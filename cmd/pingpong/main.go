@@ -1,0 +1,32 @@
+// Command pingpong runs the classic latency/bandwidth sweep over the
+// simulated MX fabric, for both the sequential baseline and the
+// PIOMan-enabled engine.
+//
+// Usage:
+//
+//	pingpong [-quick] [-max 1048576]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pioman/internal/core"
+	"pioman/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced iteration counts")
+	max := flag.Int("max", 1<<20, "largest message size")
+	flag.Parse()
+	exp.Quick = *quick
+
+	var sizes []int
+	for s := 8; s <= *max; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	fmt.Println(exp.FormatPingpong(exp.RunPingpong(core.Sequential, sizes),
+		"Pingpong, sequential baseline (original NewMadeleine)"))
+	fmt.Println(exp.FormatPingpong(exp.RunPingpong(core.Multithreaded, sizes),
+		"Pingpong, multithreaded engine (NewMadeleine + PIOMan)"))
+}

@@ -1,0 +1,65 @@
+// Quickstart: a two-node cluster, one asynchronous exchange, and proof
+// that the copy was offloaded to an idle core.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pioman"
+)
+
+func main() {
+	// A simulated cluster: two dual quad-core Xeon nodes linked by an
+	// MX-style 10G fabric, running the PIOMan-enabled engine.
+	cluster := pioman.NewCluster(2)
+	defer cluster.Close()
+
+	const size = 16 << 10
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+
+	// One warm-up exchange settles allocators and the Go scheduler so the
+	// timings below reflect the steady state.
+	cluster.Run(func(p *pioman.Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 9, data)
+		} else {
+			p.Recv(0, 9, make([]byte, size))
+		}
+	})
+
+	cluster.Run(func(p *pioman.Proc) {
+		switch p.Rank() {
+		case 0:
+			// The asynchronous send returns immediately: it only
+			// registers the request. An idle core performs the copy and
+			// the network submission while we compute.
+			start := time.Now()
+			req := p.Isend(1, 1, data)
+			fmt.Printf("rank 0: Isend(%d bytes) returned in %v\n", size, time.Since(start))
+
+			p.Compute(50 * time.Microsecond) // overlapped with the transfer
+
+			p.WaitSend(req)
+			fmt.Printf("rank 0: send complete after %v\n", time.Since(start))
+		case 1:
+			buf := make([]byte, size)
+			n, from := p.Recv(0, 1, buf)
+			ok := true
+			for i := 0; i < n; i++ {
+				if buf[i] != byte(i) {
+					ok = false
+					break
+				}
+			}
+			fmt.Printf("rank 1: received %d bytes from rank %d, intact=%v\n", n, from, ok)
+		}
+	})
+
+	st := cluster.Node(0).Eng.Stats()
+	fmt.Printf("rank 0 engine: %d sends, %d submissions offloaded to idle cores\n",
+		st.SendsPosted, st.OffloadSubmits)
+}

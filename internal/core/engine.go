@@ -1,0 +1,243 @@
+// Package core is the NewMadeleine analog: the communication engine that
+// the paper extends with PIOMan. It implements the three-layer design of
+// Fig. 3 — the application enqueues packs and returns to computing; the
+// optimizer/scheduler picks packs when a rail is free (strategies: FIFO,
+// aggregation, multirail); drivers submit to the wire — plus the two
+// protocols the evaluation exercises:
+//
+//   - eager transfers (≤ the rail's rendezvous threshold): payload is
+//     copied into a registered buffer and PIO/DMA'd; the copy is the
+//     CPU-hungry step §2.2 offloads to idle cores;
+//   - rendezvous transfers (> threshold): an RTS/CTS handshake followed by
+//     a zero-copy DMA, whose reactivity §2.3 guarantees with background
+//     progression.
+//
+// The engine runs in one of two modes: Sequential reproduces the original
+// NewMadeleine baseline (all processing on the communicating thread, and
+// progress only inside explicit waits); Multithreaded is the PIOMan-enabled
+// version (registration-only sends, progress driven by idle cores, timer
+// tasklets and blocking fallbacks through internal/piom).
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pioman/internal/nic"
+	"pioman/internal/piom"
+	"pioman/internal/sched"
+	"pioman/internal/sync2"
+	"pioman/internal/trace"
+	"pioman/internal/wire"
+)
+
+// Mode selects the engine's execution model.
+type Mode int
+
+// Engine modes.
+const (
+	// Sequential is the paper's baseline: the communicating thread does
+	// all processing; nothing progresses between calls.
+	Sequential Mode = iota
+	// Multithreaded is the PIOMan-enabled engine: communication
+	// operations run as events on whatever core is available.
+	Multithreaded
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Sequential {
+		return "sequential"
+	}
+	return "multithreaded"
+}
+
+// AnySource matches receives against any sender.
+const AnySource = -1
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Mode selects baseline vs PIOMan-enabled behaviour.
+	Mode Mode
+	// OffloadEager, in Multithreaded mode, keeps eager submission out of
+	// Isend (the §2.2 offload). Setting it false submits inline even in
+	// Multithreaded mode — an ablation isolating rendezvous progression.
+	OffloadEager bool
+	// AdaptiveOffload implements the strategy the paper's conclusion
+	// leaves as future work ("an adaptive strategy to choose whether to
+	// offload communication or not"): Isend only defers the submission
+	// when at least one core is idle to pick it up; with every core busy
+	// it submits inline, since deferral would only postpone the work to
+	// the wait. Only meaningful in Multithreaded mode with OffloadEager.
+	AdaptiveOffload bool
+	// Strategy picks the optimizer: "fifo" (default), "aggreg",
+	// "multirail".
+	Strategy string
+	// MultirailMin is the smallest rendezvous payload the multirail
+	// strategy splits across rails.
+	MultirailMin int
+	// WaitSpin bounds inline polling in Wait before blocking on the
+	// completion flag.
+	WaitSpin time.Duration
+	// Trace, if non-nil, records engine events.
+	Trace *trace.Recorder
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	SendsPosted    uint64
+	RecvsPosted    uint64
+	EagerSubmits   uint64
+	OffloadSubmits uint64 // submissions executed off the posting thread
+	RdvStarted     uint64
+	Unexpected     uint64
+	Aggregated     uint64
+	ProgressPasses uint64
+}
+
+// Engine is one node's communication engine.
+type Engine struct {
+	node  int
+	cfg   Config
+	sch   *sched.Scheduler
+	srv   *piom.Server
+	rails []*nic.Driver
+	strat strategy
+
+	// qlock protects the request queues and matching state. Critical
+	// sections are short (list manipulation only); long operations
+	// (copies, submissions) run outside it.
+	qlock      sync2.SpinLock
+	posted     []*RecvReq
+	unexpected []*unexMsg
+	rdvSend    map[uint64]*SendReq
+	rdvRecv    map[uint64]*rdvRecvState
+
+	// Stream ordering: the wire interleaves small packets past bulk
+	// transfers, so matchable packets (eager data and RTS) carry a
+	// per-destination sequence number and are processed strictly in that
+	// order at the receiver — out-of-order arrivals wait in stash. This
+	// is the matching-order guarantee MX provides above its fragmenting
+	// wire. All guarded by qlock.
+	orderOut map[int]uint64                // next seq to assign, per dst
+	orderIn  map[int]uint64                // last seq processed, per src
+	stash    map[int]map[uint64]*stashedEv // out-of-order arrivals, per src
+
+	// Event processing uses per-activity locks rather than one big engine
+	// mutex (§2.1: "instead of locking the whole communication processing
+	// with a mutex, it is possible to protect the processing of events
+	// separately ... several threads can perform different operations at
+	// the same time"): one core may drain arrivals while another performs
+	// a submission.
+	pollLock   sync2.SpinLock
+	submitLock sync2.SpinLock
+
+	// biglock is the Sequential baseline's library-wide mutex: classical
+	// thread-safe engines serialize every library call behind one lock
+	// (§2: thread safety "except through a library-wide scope mutex"),
+	// so concurrent threads of one node contend on it. Unused in
+	// Multithreaded mode.
+	biglock sync2.SpinLock
+
+	ctrlHandler atomic.Pointer[func(*wire.Packet)]
+
+	sendSeq atomic.Uint64
+	msgID   atomic.Uint64
+
+	nSends    atomic.Uint64
+	nRecvs    atomic.Uint64
+	nEager    atomic.Uint64
+	nOffload  atomic.Uint64
+	nRdv      atomic.Uint64
+	nUnexp    atomic.Uint64
+	nAggr     atomic.Uint64
+	nProgress atomic.Uint64
+}
+
+// New creates an engine for node on the given rails. rails[0] is the
+// default inter-node rail; a rail whose driver reports Name()=="shm" is
+// used for intra-node (self) traffic. The engine registers itself as a
+// progress source on srv.
+func New(node int, sch *sched.Scheduler, srv *piom.Server, rails []*nic.Driver, cfg Config) *Engine {
+	if len(rails) == 0 {
+		panic("core: engine needs at least one rail")
+	}
+	for _, r := range rails {
+		if r.Self() != node {
+			panic(fmt.Sprintf("core: rail %s endpoint %d does not match node %d", r.Name(), r.Self(), node))
+		}
+	}
+	if cfg.WaitSpin <= 0 {
+		cfg.WaitSpin = 300 * time.Microsecond
+	}
+	if cfg.MultirailMin <= 0 {
+		cfg.MultirailMin = 128 << 10
+	}
+	e := &Engine{
+		node:     node,
+		cfg:      cfg,
+		sch:      sch,
+		srv:      srv,
+		rails:    rails,
+		rdvSend:  make(map[uint64]*SendReq),
+		rdvRecv:  make(map[uint64]*rdvRecvState),
+		orderOut: make(map[int]uint64),
+		orderIn:  make(map[int]uint64),
+		stash:    make(map[int]map[uint64]*stashedEv),
+	}
+	e.strat = newStrategy(cfg.Strategy)
+	if srv != nil {
+		srv.Register(e)
+	}
+	return e
+}
+
+// Node returns the engine's node id.
+func (e *Engine) Node() int { return e.node }
+
+// Mode returns the configured mode.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// Scheduler returns the node's scheduler.
+func (e *Engine) Scheduler() *sched.Scheduler { return e.sch }
+
+// SetCtrlHandler installs the callback for control packets (used by the
+// MPI layer's collectives). The handler runs on the polling core.
+func (e *Engine) SetCtrlHandler(h func(*wire.Packet)) {
+	if h == nil {
+		e.ctrlHandler.Store(nil)
+		return
+	}
+	e.ctrlHandler.Store(&h)
+}
+
+// defaultRail returns the inter-node rail.
+func (e *Engine) defaultRail() *nic.Driver { return e.rails[0] }
+
+// railFor picks the rail for traffic to dst: self traffic prefers a
+// shared-memory rail when one is configured.
+func (e *Engine) railFor(dst int) *nic.Driver {
+	if dst == e.node {
+		for _, r := range e.rails {
+			if r.Name() == "shm" {
+				return r
+			}
+		}
+	}
+	return e.rails[0]
+}
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		SendsPosted:    e.nSends.Load(),
+		RecvsPosted:    e.nRecvs.Load(),
+		EagerSubmits:   e.nEager.Load(),
+		OffloadSubmits: e.nOffload.Load(),
+		RdvStarted:     e.nRdv.Load(),
+		Unexpected:     e.nUnexp.Load(),
+		Aggregated:     e.nAggr.Load(),
+		ProgressPasses: e.nProgress.Load(),
+	}
+}

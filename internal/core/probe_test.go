@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pioman/internal/sched"
+)
+
+func TestIprobeSeesUnexpected(t *testing.T) {
+	c := newCluster(t, 2)
+	c.run(0, func(th *sched.Thread) {
+		s := c.Nodes[0].Eng.Isend(1, 8, payload(512, 1))
+		c.Nodes[0].Eng.WaitSend(s, th)
+	})
+	// Wait for the receiver's pool to hold it.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := c.Nodes[1].Eng.Iprobe(0, 8); ok {
+			break
+		}
+	}
+	info, ok := c.Nodes[1].Eng.Iprobe(0, 8)
+	if !ok {
+		t.Fatal("Iprobe never saw the message")
+	}
+	if info.Src != 0 || info.Tag != 8 || info.Len != 512 || info.Rendezvous {
+		t.Fatalf("info = %+v", info)
+	}
+	// Probe is non-destructive: the receive must still match.
+	buf := make([]byte, 512)
+	c.run(1, func(th *sched.Thread) {
+		r := c.Nodes[1].Eng.Irecv(0, 8, buf)
+		c.Nodes[1].Eng.WaitRecv(r, th)
+	})
+	if _, ok := c.Nodes[1].Eng.Iprobe(0, 8); ok {
+		t.Fatal("message still probed after reception")
+	}
+}
+
+func TestIprobeWildcards(t *testing.T) {
+	c := newCluster(t, 2)
+	c.run(0, func(th *sched.Thread) {
+		s := c.Nodes[0].Eng.Isend(1, 42, payload(64, 0))
+		c.Nodes[0].Eng.WaitSend(s, th)
+	})
+	deadline := time.Now().Add(time.Second)
+	var ok bool
+	var info ProbeInfo
+	for time.Now().Before(deadline) {
+		if info, ok = c.Nodes[1].Eng.Iprobe(AnySource, AnyTag); ok {
+			break
+		}
+	}
+	if !ok || info.Tag != 42 || info.Src != 0 {
+		t.Fatalf("wildcard probe: ok=%v info=%+v", ok, info)
+	}
+	if _, ok := c.Nodes[1].Eng.Iprobe(0, 999); ok {
+		t.Fatal("probe matched a wrong tag")
+	}
+	// Drain to keep the cluster clean.
+	c.run(1, func(th *sched.Thread) {
+		r := c.Nodes[1].Eng.Irecv(0, 42, make([]byte, 64))
+		c.Nodes[1].Eng.WaitRecv(r, th)
+	})
+}
+
+func TestProbeRendezvousAnnouncement(t *testing.T) {
+	c := newCluster(t, 2)
+	const size = 128 << 10
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.run(0, func(th *sched.Thread) {
+			s := c.Nodes[0].Eng.Isend(1, 5, payload(size, 2))
+			c.Nodes[0].Eng.WaitSend(s, th)
+		})
+	}()
+	var got ProbeInfo
+	c.run(1, func(th *sched.Thread) {
+		got = c.Nodes[1].Eng.Probe(0, 5, th)
+	})
+	if !got.Rendezvous || got.Len != size {
+		t.Fatalf("probe of rendezvous: %+v", got)
+	}
+	buf := make([]byte, size)
+	c.run(1, func(th *sched.Thread) {
+		r := c.Nodes[1].Eng.Irecv(0, 5, buf)
+		c.Nodes[1].Eng.WaitRecv(r, th)
+	})
+	<-done
+}
+
+func TestAnyTagRecv(t *testing.T) {
+	c := newCluster(t, 2)
+	c.run(0, func(th *sched.Thread) {
+		s := c.Nodes[0].Eng.Isend(1, 77, []byte("anytag"))
+		c.Nodes[0].Eng.WaitSend(s, th)
+	})
+	buf := make([]byte, 8)
+	var r *RecvReq
+	c.run(1, func(th *sched.Thread) {
+		r = c.Nodes[1].Eng.Irecv(0, AnyTag, buf)
+		c.Nodes[1].Eng.WaitRecv(r, th)
+	})
+	if r.MatchedTag() != 77 {
+		t.Fatalf("MatchedTag = %d, want 77", r.MatchedTag())
+	}
+	if string(buf[:r.Len()]) != "anytag" {
+		t.Fatalf("payload %q", buf[:r.Len()])
+	}
+}
+
+func TestAnyTagPostedBeforeArrival(t *testing.T) {
+	c := newCluster(t, 2)
+	buf := make([]byte, 8)
+	recvDone := make(chan *RecvReq, 1)
+	go func() {
+		var got *RecvReq
+		c.run(1, func(th *sched.Thread) {
+			r := c.Nodes[1].Eng.Irecv(AnySource, AnyTag, buf)
+			c.Nodes[1].Eng.WaitRecv(r, th)
+			got = r
+		})
+		recvDone <- got
+	}()
+	time.Sleep(2 * time.Millisecond)
+	c.run(0, func(th *sched.Thread) {
+		s := c.Nodes[0].Eng.Isend(1, 13, []byte("wild"))
+		c.Nodes[0].Eng.WaitSend(s, th)
+	})
+	select {
+	case r := <-recvDone:
+		if r.MatchedTag() != 13 || r.From() != 0 {
+			t.Fatalf("matched tag=%d from=%d", r.MatchedTag(), r.From())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("wildcard receive never completed")
+	}
+}
+
+func TestWaitAny(t *testing.T) {
+	c := newCluster(t, 2)
+	bufA := make([]byte, 8)
+	bufB := make([]byte, 8)
+	var idx int
+	var ra, rb *RecvReq
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.run(1, func(th *sched.Thread) {
+			ra = c.Nodes[1].Eng.Irecv(0, 1, bufA)
+			rb = c.Nodes[1].Eng.Irecv(0, 2, bufB)
+			idx = c.Nodes[1].Eng.WaitAny(th, ra.Req(), rb.Req())
+		})
+	}()
+	time.Sleep(2 * time.Millisecond)
+	c.run(0, func(th *sched.Thread) {
+		s := c.Nodes[0].Eng.Isend(1, 2, []byte("second"))
+		c.Nodes[0].Eng.WaitSend(s, th)
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitAny never returned")
+	}
+	if idx != 1 {
+		t.Fatalf("WaitAny index = %d, want 1 (tag 2)", idx)
+	}
+	// Clean up the outstanding tag-1 receive.
+	c.run(0, func(th *sched.Thread) {
+		s := c.Nodes[0].Eng.Isend(1, 1, []byte("first"))
+		c.Nodes[0].Eng.WaitSend(s, th)
+	})
+	c.run(1, func(th *sched.Thread) {
+		c.Nodes[1].Eng.WaitRecv(ra, th)
+	})
+}
+
+func TestWaitAnyEmptyPanics(t *testing.T) {
+	c := newCluster(t, 1)
+	c.run(0, func(th *sched.Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		c.Nodes[0].Eng.WaitAny(th)
+	})
+}
+
+func TestWaitAllTimeout(t *testing.T) {
+	c := newCluster(t, 2)
+	buf := make([]byte, 8)
+	c.run(1, func(th *sched.Thread) {
+		r := c.Nodes[1].Eng.Irecv(0, 1, buf)
+		// Nothing is coming: must report false at the deadline.
+		if c.Nodes[1].Eng.WaitAllTimeout(th, 5*time.Millisecond, r.Req()) {
+			t.Error("WaitAllTimeout reported completion of a request nobody satisfied")
+		}
+		_ = r
+	})
+	// Satisfy it so shutdown is clean.
+	c.run(0, func(th *sched.Thread) {
+		s := c.Nodes[0].Eng.Isend(1, 1, []byte("x"))
+		c.Nodes[0].Eng.WaitSend(s, th)
+	})
+	c.run(1, func(th *sched.Thread) {
+		r2 := c.Nodes[1].Eng.Irecv(0, 99, nil)
+		_ = r2
+		th.Compute(time.Microsecond)
+	})
+}
+
+func TestSequentialProbe(t *testing.T) {
+	c := newCluster(t, 2, withMode(Sequential))
+	sendDone := make(chan struct{})
+	go func() {
+		defer close(sendDone)
+		c.run(0, func(th *sched.Thread) {
+			s := c.Nodes[0].Eng.Isend(1, 3, []byte("seqprobe"))
+			c.Nodes[0].Eng.WaitSend(s, th)
+		})
+	}()
+	var info ProbeInfo
+	c.run(1, func(th *sched.Thread) {
+		info = c.Nodes[1].Eng.Probe(0, 3, th)
+	})
+	<-sendDone
+	if info.Len != len("seqprobe") {
+		t.Fatalf("probe len = %d", info.Len)
+	}
+	buf := make([]byte, 16)
+	c.run(1, func(th *sched.Thread) {
+		r := c.Nodes[1].Eng.Irecv(0, 3, buf)
+		c.Nodes[1].Eng.WaitRecv(r, th)
+	})
+}

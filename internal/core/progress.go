@@ -1,0 +1,510 @@
+package core
+
+import (
+	"time"
+
+	"pioman/internal/nic"
+	"pioman/internal/topo"
+	"pioman/internal/trace"
+	"pioman/internal/wire"
+)
+
+// unexMsg is a message that arrived before its receive was posted: either
+// buffered eager data (copied into the unexpected pool) or a pending
+// rendezvous RTS awaiting a matching Irecv.
+type unexMsg struct {
+	isRTS  bool
+	src    int
+	tag    int
+	seq    uint64
+	msgID  uint64
+	data   []byte // eager: pooled copy of the payload
+	msgLen int    // RTS: announced message length
+	rail   *nic.Driver
+}
+
+// rdvRecvState tracks an in-flight rendezvous reception: data chunks
+// (possibly split over several rails) count down remaining.
+type rdvRecvState struct {
+	req       *RecvReq
+	src       int
+	msgLen    int
+	remaining int
+}
+
+// railHeader builds the protocol header for a packet.
+func railHeader(src, dst, tag int, seq, msgID uint64) nic.Header {
+	return nic.Header{Src: src, Dst: dst, Tag: tag, Seq: seq, MsgID: msgID}
+}
+
+// stashedEv is a matchable arrival (eager payload or RTS) held back until
+// its predecessors in the sender's stream have been processed.
+type stashedEv struct {
+	isRTS   bool
+	src     int
+	tag     int
+	seq     uint64
+	msgID   uint64
+	payload []byte
+	msgLen  int
+	rail    *nic.Driver
+}
+
+// Progress is the engine's piom.Source implementation: one pass drains
+// arrived packets on every rail and submits pending eager packs. The two
+// activities take separate locks, so one core can drain arrivals while
+// another executes a (possibly long) submission copy; contending cores
+// bail out immediately, which keeps polling cheap under contention.
+func (e *Engine) Progress(core topo.CoreID) bool {
+	e.nProgress.Add(1)
+	worked := false
+	if e.pollLock.TryLock() {
+		for _, rail := range e.rails {
+			for {
+				p := rail.Poll()
+				if p == nil {
+					break
+				}
+				e.handlePacket(rail, core, p)
+				worked = true
+			}
+		}
+		e.pollLock.Unlock()
+	}
+	// Background submission only happens when the engine mode calls for
+	// it: always in the Sequential baseline (progress is wait-driven, and
+	// Progress only ever runs from library calls there) and in
+	// Multithreaded mode with offloading on. With offloading disabled the
+	// posting thread is the only submitter, so idle cores must not steal
+	// the submission (that is precisely the ablation's point).
+	if e.cfg.Mode == Sequential || e.cfg.OffloadEager {
+		if e.submitPending(core, false) {
+			worked = true
+		}
+	}
+	return worked
+}
+
+// progressOne makes one bounded step of progress: at most one packet per
+// rail and one submission train. The Sequential baseline's wait loop calls
+// it under the library-wide mutex so that lock hold times stay at the
+// granularity of a single event, as in classical big-locked MPI progress
+// engines.
+func (e *Engine) progressOne(core topo.CoreID) bool {
+	e.nProgress.Add(1)
+	worked := false
+	if e.pollLock.TryLock() {
+		for _, rail := range e.rails {
+			if p := rail.Poll(); p != nil {
+				e.handlePacket(rail, core, p)
+				worked = true
+			}
+		}
+		e.pollLock.Unlock()
+	}
+	if e.submitLock.TryLock() {
+		if train := e.dequeueReady(); len(train) > 0 {
+			e.submitTrain(core, train, false)
+			worked = true
+		}
+		e.submitLock.Unlock()
+	}
+	return worked
+}
+
+// BlockingWait implements the blocking-call fallback (§3.2): it parks on
+// the default rail until a packet lands, processes it, then runs one full
+// progress pass for any follow-up work (e.g. answering an RTS).
+func (e *Engine) BlockingWait(timeout time.Duration) bool {
+	rail := e.defaultRail()
+	p := rail.BlockingPoll(timeout)
+	if p == nil {
+		return false
+	}
+	e.cfg.Trace.Recordf(trace.KindBlockingCall, -1, p.Tag, len(p.Payload), "woke on %v", p.Kind)
+	e.pollLock.Lock()
+	e.handlePacket(rail, -1, p)
+	e.pollLock.Unlock()
+	e.Progress(-1)
+	return true
+}
+
+// submitPending grabs the submission lock and submits queued eager packs.
+// fromApp marks submissions executed on the posting thread (the baseline
+// path) as opposed to offloaded ones.
+func (e *Engine) submitPending(core topo.CoreID, fromApp bool) bool {
+	if !e.submitLock.TryLock() {
+		return false
+	}
+	defer e.submitLock.Unlock()
+	return e.submitLocked(core, fromApp)
+}
+
+// submitInline makes the calling (application) thread drive submission
+// until r has left the waiting list — the no-offload path: a classical
+// engine's non-blocking send returns only once the packet has been handed
+// to the NIC, spinning if the NIC is still busy.
+func (e *Engine) submitInline(r *SendReq) {
+	for {
+		e.qlock.Lock()
+		done := r.submitted
+		e.qlock.Unlock()
+		if done {
+			return
+		}
+		e.submitPending(-1, true)
+	}
+}
+
+// dequeueReady pops the next train whose destination rail can accept a
+// submission; it returns nil either when the queue is empty or when the
+// head's rail is still busy (the pack keeps waiting, per the feed-on-idle
+// design of Fig. 3).
+func (e *Engine) dequeueReady() []*pack {
+	mtuOf := func(dst int) int { return e.railFor(dst).MTU() }
+	e.qlock.Lock()
+	defer e.qlock.Unlock()
+	head := e.strat.Head()
+	if head == nil || !e.railFor(head.req.dst).CanSubmit(head.req.dst) {
+		return nil
+	}
+	return e.strat.Dequeue(mtuOf)
+}
+
+// submitLocked drains the ready part of the strategy queue; caller holds
+// submitLock.
+func (e *Engine) submitLocked(core topo.CoreID, fromApp bool) bool {
+	worked := false
+	for {
+		train := e.dequeueReady()
+		if len(train) == 0 {
+			return worked
+		}
+		e.submitTrain(core, train, fromApp)
+		worked = true
+	}
+}
+
+// submitTrain puts one train on the wire and completes its requests.
+// Eager sends complete at submission: the payload has been copied out of
+// the application buffer (or PIO'd), so the buffer is reusable.
+func (e *Engine) submitTrain(core topo.CoreID, train []*pack, fromApp bool) {
+	r0 := train[0].req
+	rail := e.railFor(r0.dst)
+	if !fromApp {
+		e.nOffload.Add(uint64(len(train)))
+		e.cfg.Trace.Recordf(trace.KindOffload, int(core), r0.tag, r0.Len(), "dst=%d train=%d", r0.dst, len(train))
+	}
+	if len(train) == 1 {
+		rail.SendEager(railHeader(e.node, r0.dst, r0.tag, r0.seq, 0), r0.data)
+		e.nEager.Add(1)
+		e.cfg.Trace.Recordf(trace.KindSubmit, int(core), r0.tag, r0.Len(), "dst=%d seq=%d", r0.dst, r0.seq)
+	} else {
+		payload := encodeAggr(train)
+		rail.SendAggr(railHeader(e.node, r0.dst, -1, r0.seq, 0), payload)
+		e.nEager.Add(uint64(len(train)))
+		e.nAggr.Add(uint64(len(train)))
+		e.cfg.Trace.Recordf(trace.KindSubmit, int(core), -1, len(payload), "dst=%d aggregated=%d", r0.dst, len(train))
+	}
+	e.qlock.Lock()
+	for _, p := range train {
+		p.req.submitted = true
+	}
+	e.qlock.Unlock()
+	for _, p := range train {
+		p.req.req.Complete()
+	}
+}
+
+// handlePacket processes one arrived packet; caller holds pollLock,
+// which serializes all packet handling and preserves per-(src,tag) FIFO.
+func (e *Engine) handlePacket(rail *nic.Driver, core topo.CoreID, p *wire.Packet) {
+	e.cfg.Trace.Recordf(trace.KindWireRecv, int(core), p.Tag, len(p.Payload), "%v from %d", p.Kind, p.Src)
+	switch p.Kind {
+	case wire.PktEager:
+		e.handleMatchable(core, &stashedEv{
+			src: p.Src, tag: p.Tag, seq: p.Seq, payload: p.Payload, rail: rail,
+		})
+	case wire.PktAggr:
+		subs := decodeAggr(p.Payload)
+		if subs == nil {
+			panic("core: corrupted aggregated train")
+		}
+		for _, s := range subs {
+			e.handleMatchable(core, &stashedEv{
+				src: p.Src, tag: s.tag, seq: s.seq, payload: s.data, rail: rail,
+			})
+		}
+	case wire.PktRTS:
+		e.handleMatchable(core, &stashedEv{
+			isRTS: true, src: p.Src, tag: p.Tag, seq: p.Seq, msgID: p.MsgID,
+			msgLen: nic.DecodeLen(p.Payload), rail: rail,
+		})
+	case wire.PktCTS:
+		e.handleCTS(core, p)
+	case wire.PktData:
+		e.handleData(core, p)
+	case wire.PktCtrl:
+		if h := e.ctrlHandler.Load(); h != nil {
+			(*h)(p)
+		}
+	default:
+		panic("core: unknown packet kind " + p.Kind.String())
+	}
+}
+
+// handleMatchable enforces per-sender stream order: the event is processed
+// only when every lower-sequence event from the same sender has been; a
+// gap (small packet overtook a bulk one on the wire) parks it in the stash
+// until the gap fills.
+func (e *Engine) handleMatchable(core topo.CoreID, ev *stashedEv) {
+	e.qlock.Lock()
+	next := e.orderIn[ev.src] + 1
+	if ev.seq != next {
+		if ev.seq < next {
+			e.qlock.Unlock()
+			panic("core: duplicate sequence number in sender stream")
+		}
+		m := e.stash[ev.src]
+		if m == nil {
+			m = make(map[uint64]*stashedEv)
+			e.stash[ev.src] = m
+		}
+		m[ev.seq] = ev
+		e.qlock.Unlock()
+		return
+	}
+	e.orderIn[ev.src] = next
+	e.qlock.Unlock()
+	e.processMatchable(core, ev)
+	// Drain any stashed successors the gap was blocking.
+	for {
+		e.qlock.Lock()
+		next = e.orderIn[ev.src] + 1
+		buffered := e.stash[ev.src][next]
+		if buffered != nil {
+			delete(e.stash[ev.src], next)
+			e.orderIn[ev.src] = next
+		}
+		e.qlock.Unlock()
+		if buffered == nil {
+			return
+		}
+		e.processMatchable(core, buffered)
+	}
+}
+
+// processMatchable dispatches an in-order matchable event.
+func (e *Engine) processMatchable(core topo.CoreID, ev *stashedEv) {
+	if ev.isRTS {
+		e.handleRTS(ev.rail, core, ev)
+		return
+	}
+	e.handleEager(ev.rail, core, ev.src, ev.tag, ev.seq, ev.payload)
+}
+
+// handleEager delivers one eager payload: straight into the posted buffer
+// when expected (the NIC DMA'd it there — no CPU charge beyond the
+// physical copy), or into the unexpected pool otherwise (a real copy,
+// charged to the polling core, §2.2).
+func (e *Engine) handleEager(rail *nic.Driver, core topo.CoreID, src, tag int, seq uint64, payload []byte) {
+	e.qlock.Lock()
+	r := e.matchPostedLocked(src, tag)
+	e.qlock.Unlock()
+	if r != nil {
+		e.deliverEager(core, r, src, tag, payload)
+		return
+	}
+	// Unexpected: pay the pool copy, then re-check — a receive may have
+	// been posted while we copied.
+	pooled := make([]byte, len(payload))
+	copy(pooled, payload)
+	rail.ChargeMatchCopy(len(payload))
+	e.nUnexp.Add(1)
+	e.cfg.Trace.Recordf(trace.KindUnexpected, int(core), tag, len(payload), "src=%d", src)
+	e.qlock.Lock()
+	if r := e.matchPostedLocked(src, tag); r != nil {
+		e.qlock.Unlock()
+		// Second copy, pool to application buffer.
+		rail.ChargeMatchCopy(len(pooled))
+		e.deliverEager(core, r, src, tag, pooled)
+		return
+	}
+	e.unexpected = append(e.unexpected, &unexMsg{
+		src: src, tag: tag, seq: seq, data: pooled, rail: rail,
+	})
+	e.qlock.Unlock()
+}
+
+// deliverEager finishes an expected eager reception.
+func (e *Engine) deliverEager(core topo.CoreID, r *RecvReq, src, tag int, payload []byte) {
+	n := copy(r.buf, payload)
+	r.n, r.from, r.truncated = n, src, len(payload) > len(r.buf)
+	r.gotTag = tag
+	e.cfg.Trace.Recordf(trace.KindMatch, int(core), r.tag, n, "src=%d", src)
+	r.req.Complete()
+	e.cfg.Trace.Recordf(trace.KindComplete, int(core), r.tag, n, "recv")
+}
+
+// handleRTS reacts to a rendezvous request: if a matching receive is
+// posted, answer CTS immediately (reactivity is the whole point, §2.3);
+// otherwise queue it as unexpected.
+func (e *Engine) handleRTS(rail *nic.Driver, core topo.CoreID, ev *stashedEv) {
+	e.qlock.Lock()
+	r := e.matchPostedLocked(ev.src, ev.tag)
+	if r == nil {
+		e.unexpected = append(e.unexpected, &unexMsg{
+			isRTS: true, src: ev.src, tag: ev.tag, seq: ev.seq,
+			msgID: ev.msgID, msgLen: ev.msgLen, rail: rail,
+		})
+		e.qlock.Unlock()
+		e.nUnexp.Add(1)
+		e.cfg.Trace.Recordf(trace.KindUnexpected, int(core), ev.tag, ev.msgLen, "rts msgid=%d", ev.msgID)
+		return
+	}
+	r.gotTag = ev.tag
+	e.rdvRecv[ev.msgID] = &rdvRecvState{req: r, src: ev.src, msgLen: ev.msgLen, remaining: ev.msgLen}
+	e.qlock.Unlock()
+	rail.SendCTS(railHeader(e.node, ev.src, ev.tag, ev.seq, ev.msgID))
+	e.cfg.Trace.Recordf(trace.KindCTS, int(core), ev.tag, ev.msgLen, "msgid=%d", ev.msgID)
+}
+
+// handleCTS reacts to a rendezvous acknowledgement: the receiver is ready,
+// post the zero-copy data transfer.
+func (e *Engine) handleCTS(core topo.CoreID, p *wire.Packet) {
+	e.qlock.Lock()
+	s := e.rdvSend[p.MsgID]
+	delete(e.rdvSend, p.MsgID)
+	if s != nil {
+		s.ctsSeen = true
+	}
+	e.qlock.Unlock()
+	if s == nil {
+		return // duplicate CTS; already handled
+	}
+	e.sendRdvData(core, s)
+	s.req.Complete()
+	e.cfg.Trace.Recordf(trace.KindComplete, int(core), s.tag, s.Len(), "rdv send msgid=%d", s.msgID)
+}
+
+// sendRdvData posts the DATA transfer, split across rails when the
+// multirail strategy applies.
+func (e *Engine) sendRdvData(core topo.CoreID, s *SendReq) {
+	h := railHeader(e.node, s.dst, s.tag, s.seq, s.msgID)
+	rails := e.dataRails(s.dst, s.Len())
+	e.cfg.Trace.Recordf(trace.KindData, int(core), s.tag, s.Len(), "msgid=%d rails=%d", s.msgID, len(rails))
+	if len(rails) == 1 {
+		rails[0].SendData(h, 0, s.data)
+		return
+	}
+	chunk := (s.Len() + len(rails) - 1) / len(rails)
+	off := 0
+	for _, r := range rails {
+		end := off + chunk
+		if end > s.Len() {
+			end = s.Len()
+		}
+		if end <= off {
+			break
+		}
+		r.SendData(h, off, s.data[off:end])
+		off = end
+	}
+}
+
+// dataRails selects the rails carrying a rendezvous payload to dst.
+func (e *Engine) dataRails(dst, size int) []*nic.Driver {
+	if e.strat.Name() != "multirail" || size < e.cfg.MultirailMin || dst == e.node {
+		return []*nic.Driver{e.railFor(dst)}
+	}
+	var out []*nic.Driver
+	for _, r := range e.rails {
+		if r.Name() == "shm" {
+			continue
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		out = append(out, e.railFor(dst))
+	}
+	return out
+}
+
+// handleData consumes a rendezvous payload chunk: it lands directly in the
+// application buffer (zero copy).
+func (e *Engine) handleData(core topo.CoreID, p *wire.Packet) {
+	e.qlock.Lock()
+	st := e.rdvRecv[p.MsgID]
+	if st == nil {
+		e.qlock.Unlock()
+		panic("core: rendezvous data without handshake state")
+	}
+	e.qlock.Unlock()
+	// Chunks of one msgID are handled under pollLock, so mutating the
+	// state outside qlock is safe.
+	copy(st.req.buf[min(p.Offset, len(st.req.buf)):], p.Payload)
+	st.remaining -= len(p.Payload)
+	if st.remaining > 0 {
+		return
+	}
+	e.qlock.Lock()
+	delete(e.rdvRecv, p.MsgID)
+	e.qlock.Unlock()
+	r := st.req
+	n := st.msgLen
+	if n > len(r.buf) {
+		r.truncated = true
+		n = len(r.buf)
+	}
+	r.n, r.from = n, st.src
+	r.req.Complete()
+	e.cfg.Trace.Recordf(trace.KindComplete, int(core), r.tag, n, "rdv recv msgid=%d", p.MsgID)
+}
+
+// matchPostedLocked removes and returns the oldest posted receive matching
+// (src, tag); caller holds qlock. A posted receive may wildcard the source
+// (AnySource) and/or the tag (AnyTag).
+func (e *Engine) matchPostedLocked(src, tag int) *RecvReq {
+	for i, r := range e.posted {
+		if (r.tag == tag || r.tag == AnyTag) && (r.src == AnySource || r.src == src) {
+			e.posted = append(e.posted[:i], e.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// takeUnexpected removes and returns the oldest unexpected message
+// matching (src, tag); caller holds qlock. src may be AnySource and tag
+// AnyTag.
+func (e *Engine) takeUnexpected(src, tag int) *unexMsg {
+	for i, u := range e.unexpected {
+		if (tag == AnyTag || u.tag == tag) && (src == AnySource || u.src == src) {
+			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+			return u
+		}
+	}
+	return nil
+}
+
+// deliverUnexpected completes an Irecv against a buffered unexpected
+// message: eager data pays the pool-to-application copy on the calling
+// core; a pending RTS is answered with a CTS.
+func (e *Engine) deliverUnexpected(r *RecvReq, u *unexMsg) {
+	if u.isRTS {
+		e.qlock.Lock()
+		r.gotTag = u.tag
+		e.rdvRecv[u.msgID] = &rdvRecvState{req: r, src: u.src, msgLen: u.msgLen, remaining: u.msgLen}
+		e.qlock.Unlock()
+		u.rail.SendCTS(railHeader(e.node, u.src, u.tag, u.seq, u.msgID))
+		e.cfg.Trace.Recordf(trace.KindCTS, -1, u.tag, u.msgLen, "late msgid=%d", u.msgID)
+		e.kick()
+		return
+	}
+	u.rail.ChargeMatchCopy(len(u.data))
+	n := copy(r.buf, u.data)
+	r.n, r.from, r.truncated = n, u.src, len(u.data) > len(r.buf)
+	r.gotTag = u.tag
+	e.cfg.Trace.Recordf(trace.KindMatch, -1, r.tag, n, "unexpected src=%d", u.src)
+	r.req.Complete()
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"time"
+
+	"pioman/internal/piom"
+	"pioman/internal/sched"
+	"pioman/internal/trace"
+)
+
+// SendReq is an asynchronous send request. Completion semantics follow the
+// paper's benchmarks: an eager send completes when its payload has been
+// submitted to the NIC (copied out of the application buffer); a
+// rendezvous send completes once the zero-copy data transfer has been
+// programmed, i.e. after the CTS arrived and the DATA was posted.
+type SendReq struct {
+	req   piom.Request
+	eng   *Engine
+	dst   int
+	tag   int
+	seq   uint64
+	msgID uint64 // rendezvous only
+	data  []byte
+	rdv   bool
+	// submitted flags that an eager pack left the strategy queue; guarded
+	// by the engine's qlock.
+	submitted bool
+	// ctsSeen is set when the rendezvous acknowledgement arrived; guarded
+	// by qlock.
+	ctsSeen bool
+}
+
+// Dst returns the destination node.
+func (r *SendReq) Dst() int { return r.dst }
+
+// Tag returns the communication tag.
+func (r *SendReq) Tag() int { return r.tag }
+
+// Len returns the payload length.
+func (r *SendReq) Len() int { return len(r.data) }
+
+// Rendezvous reports whether the send uses the rendezvous protocol.
+func (r *SendReq) Rendezvous() bool { return r.rdv }
+
+// Completed reports whether the send has finished.
+func (r *SendReq) Completed() bool { return r.req.Completed() }
+
+// Req exposes the underlying event-server request.
+func (r *SendReq) Req() *piom.Request { return &r.req }
+
+// RecvReq is an asynchronous receive request.
+type RecvReq struct {
+	req piom.Request
+	eng *Engine
+	src int // AnySource or a node id
+	tag int
+	buf []byte
+	// Guarded by qlock until completion:
+	n         int
+	from      int
+	gotTag    int
+	truncated bool
+}
+
+// Completed reports whether the receive has finished.
+func (r *RecvReq) Completed() bool { return r.req.Completed() }
+
+// Req exposes the underlying event-server request.
+func (r *RecvReq) Req() *piom.Request { return &r.req }
+
+// Len returns the received byte count (valid after completion).
+func (r *RecvReq) Len() int { return r.n }
+
+// From returns the sender's node id (valid after completion).
+func (r *RecvReq) From() int { return r.from }
+
+// MatchedTag returns the tag of the matched message (valid after
+// completion); useful when the receive was posted with AnyTag.
+func (r *RecvReq) MatchedTag() int { return r.gotTag }
+
+// Truncated reports whether the message exceeded the posted buffer (valid
+// after completion).
+func (r *RecvReq) Truncated() bool { return r.truncated }
+
+// Isend posts an asynchronous send of data to dst under tag.
+//
+// In Multithreaded mode with offloading, this only registers the request
+// and generates a progress event — "the asynchronous send actually only
+// registers the request in a work list and generates an event" (§2.1) —
+// so it returns in well under a microsecond regardless of size. In
+// Sequential mode (or with offloading disabled) the eager submission cost
+// is paid here, on the calling thread, as classical engines do.
+//
+// The caller must not modify data until the request completes.
+func (e *Engine) Isend(dst, tag int, data []byte) *SendReq {
+	if e.cfg.Mode == Sequential {
+		// Library-wide mutex of the baseline: entering the library
+		// contends with any other thread's call, including long
+		// wait-driven progress passes.
+		e.biglock.Lock()
+		defer e.biglock.Unlock()
+	}
+	rail := e.railFor(dst)
+	r := &SendReq{
+		eng:  e,
+		dst:  dst,
+		tag:  tag,
+		data: data,
+		rdv:  len(data) > rail.EagerMax(),
+	}
+	e.sendSeq.Add(1)
+	e.nSends.Add(1)
+
+	if r.rdv {
+		r.msgID = e.msgID.Add(1)
+		e.qlock.Lock()
+		r.seq = e.orderOut[dst] + 1
+		e.orderOut[dst] = r.seq
+		e.rdvSend[r.msgID] = r
+		e.qlock.Unlock()
+		e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(data), "isend dst=%d seq=%d", dst, r.seq)
+		e.nRdv.Add(1)
+		// The RTS is cheap; posting it immediately starts the handshake
+		// with no loss of asynchrony (the expensive part is reacting to
+		// the CTS, which background progression handles).
+		rail.SendRTS(railHeader(e.node, dst, tag, r.seq, r.msgID), len(data))
+		e.cfg.Trace.Recordf(trace.KindRTS, -1, tag, len(data), "msgid=%d", r.msgID)
+		e.kick()
+		return r
+	}
+
+	e.qlock.Lock()
+	r.seq = e.orderOut[dst] + 1
+	e.orderOut[dst] = r.seq
+	e.strat.Enqueue(&pack{req: r})
+	e.qlock.Unlock()
+	e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(data), "isend dst=%d seq=%d", dst, r.seq)
+
+	if e.cfg.Mode == Multithreaded {
+		if e.cfg.OffloadEager {
+			if e.cfg.AdaptiveOffload && e.sch != nil && e.sch.IdleCores() == 0 {
+				// Adaptive policy (the paper's future-work strategy):
+				// nobody is idle to run the offloaded submission, so
+				// deferring would only delay it to the wait — submit
+				// inline instead.
+				e.submitInline(r)
+				return r
+			}
+			// Registration only: an idle core picks up the submission.
+			e.cfg.Trace.Recordf(trace.KindEventCreate, -1, tag, len(data), "offload pending")
+			e.kick()
+			return r
+		}
+		// Offload disabled (ablation): the communicating thread submits
+		// inline, like classical thread-safe engines (§2.2: "the packet
+		// is actually submitted to the network by the application thread
+		// itself"), spinning until the NIC accepted it.
+		e.submitInline(r)
+		return r
+	}
+	// Sequential baseline: the pack stays in the waiting list until the
+	// library is re-entered. The original NewMadeleine's scheduler "is
+	// only activated when a NIC becomes idle" — nothing progresses while
+	// the application computes, which is exactly why Fig. 5 measures
+	// sum(communication, computation) for it.
+	return r
+}
+
+// Irecv posts an asynchronous receive into buf, matching sender src (or
+// AnySource) and tag. If a matching unexpected message already arrived it
+// completes immediately, paying the pool-to-application copy here (§2.2's
+// second copy).
+func (e *Engine) Irecv(src, tag int, buf []byte) *RecvReq {
+	if e.cfg.Mode == Sequential {
+		e.biglock.Lock()
+		defer e.biglock.Unlock()
+	}
+	r := &RecvReq{eng: e, src: src, tag: tag, buf: buf}
+	e.nRecvs.Add(1)
+	e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(buf), "irecv src=%d", src)
+
+	e.qlock.Lock()
+	u := e.takeUnexpected(src, tag)
+	if u == nil {
+		e.posted = append(e.posted, r)
+		e.qlock.Unlock()
+		e.kick()
+		return r
+	}
+	e.qlock.Unlock()
+	e.deliverUnexpected(r, u)
+	return r
+}
+
+// kick pokes the event server so a pending operation is noticed promptly
+// even if every core is mid-quantum.
+func (e *Engine) kick() {
+	if e.cfg.Mode == Multithreaded && e.srv != nil {
+		e.srv.Schedule()
+	}
+}
+
+// Wait blocks the calling thread until req completes, driving progress
+// per the engine mode.
+//
+// The Sequential engine polls inline under the library-wide mutex — that
+// is the only progress it ever makes. The Multithreaded engine spins
+// briefly on the event server (completions usually arrive from another
+// core within a few µs), then genuinely blocks: the thread releases its
+// core — so the freed core's worker starts polling — and Marcel
+// reschedules it when whichever core detects the event sets the
+// completion flag (§3.2: "Pioman unblocks the corresponding thread and
+// asks Marcel to schedule it"). Blocking without releasing the core would
+// deadlock a fully-loaded node: every core would sit in a blocked thread
+// with nobody left to poll.
+func (e *Engine) Wait(req *piom.Request, th *sched.Thread) {
+	if req.Completed() {
+		return
+	}
+	core := th.Core()
+	if e.cfg.Mode == Sequential || e.srv == nil {
+		// Each progress step holds the library-wide mutex, as the
+		// baseline's thread-safety model dictates; the lock is released
+		// between single-event steps so other threads' library calls
+		// interleave at event granularity. The thread periodically yields
+		// its core so sibling threads are not starved on oversubscribed
+		// nodes.
+		yieldAt := time.Now().Add(sequentialYieldQuantum)
+		for !req.Completed() {
+			e.biglock.Lock()
+			e.progressOne(core)
+			e.biglock.Unlock()
+			if time.Now().After(yieldAt) {
+				th.Yield()
+				core = th.Core()
+				yieldAt = time.Now().Add(sequentialYieldQuantum)
+			}
+		}
+		e.cfg.Trace.Recordf(trace.KindWakeup, int(core), -1, 0, "inline")
+		return
+	}
+	deadline := time.Now().Add(e.cfg.WaitSpin)
+	for !req.Completed() {
+		e.srv.Poll(core)
+		if req.Completed() {
+			break
+		}
+		if time.Now().After(deadline) {
+			th.Block(req.Flag())
+			break
+		}
+	}
+	e.cfg.Trace.Recordf(trace.KindWakeup, int(core), -1, 0, "event")
+}
+
+// sequentialYieldQuantum bounds how long a sequential wait monopolizes a
+// core before letting other runnable threads in.
+const sequentialYieldQuantum = 100 * time.Microsecond
+
+// WaitSend waits for a send request on the calling thread.
+func (e *Engine) WaitSend(r *SendReq, th *sched.Thread) { e.Wait(&r.req, th) }
+
+// WaitRecv waits for a receive request on the calling thread.
+func (e *Engine) WaitRecv(r *RecvReq, th *sched.Thread) { e.Wait(&r.req, th) }
+
+// WaitAll waits for a set of requests.
+func (e *Engine) WaitAll(th *sched.Thread, reqs ...*piom.Request) {
+	for _, r := range reqs {
+		e.Wait(r, th)
+	}
+}
+
+// Await blocks a plain goroutine (one not scheduled on a simulated core)
+// until req completes. It never drives progress; use it only in
+// Multithreaded mode where background progression is guaranteed.
+func (e *Engine) Await(req *piom.Request, spin time.Duration) {
+	req.Flag().SpinWait(spin)
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// pack is one eager send waiting in the optimizer's queue (the "waiting
+// packs" layer of Fig. 3).
+type pack struct {
+	req *SendReq
+}
+
+// strategy is the optimizer of Fig. 3: it owns the queue of waiting packs
+// and decides what to put on the wire next. Implementations are called
+// under the engine's qlock and must therefore be allocation-light and
+// non-blocking.
+type strategy interface {
+	Name() string
+	// Enqueue adds a ready eager pack.
+	Enqueue(p *pack)
+	// Head returns the next pack to leave the queue without removing it,
+	// or nil when empty. The engine peeks it to check whether the
+	// destination rail can accept a submission before dequeuing.
+	Head() *pack
+	// Dequeue returns the next train to submit — one or more packs for
+	// the same destination — or nil when the queue is empty. mtuOf
+	// reports the payload budget of the rail serving a destination.
+	Dequeue(mtuOf func(dst int) int) []*pack
+	// Pending reports whether packs are queued.
+	Pending() bool
+}
+
+// newStrategy resolves a strategy name ("" defaults to fifo).
+func newStrategy(name string) strategy {
+	switch name {
+	case "", "fifo":
+		return &fifoStrategy{}
+	case "aggreg", "aggregation":
+		return &aggrStrategy{}
+	case "multirail":
+		// Multirail affects rendezvous data placement (engine-side); its
+		// eager queueing is plain FIFO.
+		return &fifoStrategy{name: "multirail"}
+	default:
+		panic(fmt.Sprintf("core: unknown strategy %q", name))
+	}
+}
+
+// fifoStrategy submits packs one at a time in post order.
+type fifoStrategy struct {
+	q    []*pack
+	name string
+}
+
+func (s *fifoStrategy) Name() string {
+	if s.name != "" {
+		return s.name
+	}
+	return "fifo"
+}
+
+func (s *fifoStrategy) Enqueue(p *pack) { s.q = append(s.q, p) }
+
+func (s *fifoStrategy) Head() *pack {
+	if len(s.q) == 0 {
+		return nil
+	}
+	return s.q[0]
+}
+
+func (s *fifoStrategy) Dequeue(mtuOf func(int) int) []*pack {
+	if len(s.q) == 0 {
+		return nil
+	}
+	p := s.q[0]
+	s.q = s.q[1:]
+	return []*pack{p}
+}
+
+func (s *fifoStrategy) Pending() bool { return len(s.q) > 0 }
+
+// aggrStrategy coalesces consecutive same-destination packs into one wire
+// packet up to the rail MTU — the data-aggregation optimization of [2].
+// Taking only a contiguous same-destination run preserves global post
+// order, so per-(src,tag) FIFO matching is unaffected.
+type aggrStrategy struct {
+	q []*pack
+}
+
+func (s *aggrStrategy) Name() string { return "aggreg" }
+
+func (s *aggrStrategy) Enqueue(p *pack) { s.q = append(s.q, p) }
+
+func (s *aggrStrategy) Head() *pack {
+	if len(s.q) == 0 {
+		return nil
+	}
+	return s.q[0]
+}
+
+func (s *aggrStrategy) Dequeue(mtuOf func(int) int) []*pack {
+	if len(s.q) == 0 {
+		return nil
+	}
+	head := s.q[0]
+	dst := head.req.dst
+	budget := mtuOf(dst) - aggrEntryOverhead - len(head.req.data)
+	train := []*pack{head}
+	i := 1
+	for i < len(s.q) {
+		p := s.q[i]
+		need := aggrEntryOverhead + len(p.req.data)
+		if p.req.dst != dst || need > budget {
+			break
+		}
+		train = append(train, p)
+		budget -= need
+		i++
+	}
+	s.q = s.q[i:]
+	return train
+}
+
+func (s *aggrStrategy) Pending() bool { return len(s.q) > 0 }
+
+// Aggregated train wire format: repeated entries of
+// [tag int64][seq uint64][len uint64][payload].
+const aggrEntryOverhead = 24
+
+// aggrSub is one decoded entry of an aggregated train.
+type aggrSub struct {
+	tag  int
+	seq  uint64
+	data []byte
+}
+
+// encodeAggr serializes a train into one payload.
+func encodeAggr(train []*pack) []byte {
+	total := 0
+	for _, p := range train {
+		total += aggrEntryOverhead + len(p.req.data)
+	}
+	out := make([]byte, 0, total)
+	var hdr [aggrEntryOverhead]byte
+	for _, p := range train {
+		binary.LittleEndian.PutUint64(hdr[0:], uint64(int64(p.req.tag)))
+		binary.LittleEndian.PutUint64(hdr[8:], p.req.seq)
+		binary.LittleEndian.PutUint64(hdr[16:], uint64(len(p.req.data)))
+		out = append(out, hdr[:]...)
+		out = append(out, p.req.data...)
+	}
+	return out
+}
+
+// decodeAggr parses an aggregated payload; it returns nil on corruption.
+func decodeAggr(payload []byte) []aggrSub {
+	var subs []aggrSub
+	for len(payload) > 0 {
+		if len(payload) < aggrEntryOverhead {
+			return nil
+		}
+		tag := int(int64(binary.LittleEndian.Uint64(payload[0:])))
+		seq := binary.LittleEndian.Uint64(payload[8:])
+		n := int(binary.LittleEndian.Uint64(payload[16:]))
+		payload = payload[aggrEntryOverhead:]
+		if n < 0 || n > len(payload) {
+			return nil
+		}
+		subs = append(subs, aggrSub{tag: tag, seq: seq, data: payload[:n]})
+		payload = payload[n:]
+	}
+	return subs
+}

@@ -1,0 +1,238 @@
+package exp
+
+import (
+	"fmt"
+	"pioman/internal/core"
+	"time"
+
+	"pioman/internal/mpi"
+	"pioman/internal/ptime"
+	"pioman/internal/stats"
+)
+
+// AblationRow is one configuration of an ablation sweep.
+type AblationRow struct {
+	Name  string
+	Value time.Duration
+}
+
+// RunAblationOffload isolates §2.2's claim that offloading takes the
+// submission cost off the critical path: it measures the time Isend itself
+// takes (registration vs inline submission) for one eager size.
+func RunAblationOffload(size int) []AblationRow {
+	warm, meas := iters(20, 200)
+	configs := []struct {
+		name string
+		cfg  mpi.Config
+	}{
+		{"sequential (inline submit)", mpi.DefaultSequential(2)},
+		{"multithreaded offload=off", func() mpi.Config {
+			c := mpi.DefaultMultithreaded(2)
+			c.OffloadEager = false
+			return c
+		}()},
+		{"multithreaded offload=on", mpi.DefaultMultithreaded(2)},
+	}
+	var rows []AblationRow
+	for _, cf := range configs {
+		w := mpi.NewWorld(cf.cfg)
+		var isendTime time.Duration
+		w.RunAll(func(p *mpi.Proc) {
+			peer := 1 - p.Rank()
+			data := make([]byte, size)
+			buf := make([]byte, size)
+			p.Barrier()
+			sample := stats.NewSample(meas)
+			for it := 0; it < warm+meas; it++ {
+				r := p.Irecv(peer, 1, buf)
+				sw := ptime.NewStopwatch()
+				s := p.Isend(peer, 1, data)
+				el := sw.Elapsed()
+				p.WaitSend(s)
+				p.WaitRecv(r)
+				if it >= warm && p.Rank() == 0 {
+					sample.Add(el)
+				}
+			}
+			if p.Rank() == 0 {
+				isendTime = sample.TrimmedMean(0.1)
+			}
+		})
+		w.Close()
+		rows = append(rows, AblationRow{Name: cf.name, Value: isendTime})
+	}
+	return rows
+}
+
+// RunAblationStrategy compares optimizer strategies on a burst of small
+// same-destination messages (the aggregation use case of [2]): total time
+// for one thread to send-and-complete n messages of sz bytes while the
+// peer sinks them.
+func RunAblationStrategy(n, sz int) []AblationRow {
+	warm, meas := iters(5, 30)
+	var rows []AblationRow
+	for _, strat := range []string{"fifo", "aggreg"} {
+		cfg := mpi.DefaultMultithreaded(2)
+		cfg.Strategy = strat
+		w := mpi.NewWorld(cfg)
+		var total time.Duration
+		w.RunAll(func(p *mpi.Proc) {
+			p.Barrier()
+			if p.Rank() == 0 {
+				data := make([]byte, sz)
+				sample := stats.NewSample(meas)
+				for it := 0; it < warm+meas; it++ {
+					sw := ptime.NewStopwatch()
+					// Post the whole burst before waiting: the waiting
+					// list fills while the rail is busy, which is what
+					// gives the aggregation strategy trains to form.
+					reqs := make([]*core.SendReq, n)
+					for m := range reqs {
+						reqs[m] = p.Isend(1, 9, data)
+					}
+					for _, s := range reqs {
+						p.WaitSend(s)
+					}
+					// One round-trip confirms full delivery.
+					var ack [1]byte
+					p.Recv(1, 10, ack[:])
+					if it >= warm {
+						sample.Add(sw.Elapsed())
+					}
+				}
+				total = sample.TrimmedMean(0.1)
+				return
+			}
+			buf := make([]byte, sz)
+			for it := 0; it < warm+meas; it++ {
+				for m := 0; m < n; m++ {
+					p.Recv(0, 9, buf)
+				}
+				p.Send(0, 10, []byte{1})
+			}
+		})
+		w.Close()
+		rows = append(rows, AblationRow{Name: "strategy=" + strat, Value: total})
+	}
+	return rows
+}
+
+// RunAblationBlocking measures rendezvous progression with every core
+// computing: with the blocking-call fallback the handshake progresses on
+// the watcher thread; without it, progression waits for the Wait call.
+func RunAblationBlocking(size int) []AblationRow {
+	warm, meas := iters(5, 40)
+	var rows []AblationRow
+	for _, blocking := range []bool{false, true} {
+		cfg := mpi.DefaultMultithreaded(2)
+		cfg.EnableBlocking = blocking
+		w := mpi.NewWorld(cfg)
+		cores := w.Node(0).Sch.NumCores()
+		// Saturate all but one core per node with hogs; the benchmark
+		// thread occupies the last one, so polling has no idle core.
+		stop := make(chan struct{})
+		var hogs []func()
+		for rank := 0; rank < 2; rank++ {
+			for i := 0; i < cores-1; i++ {
+				th := w.Node(rank).Spawn("hog", func(p *mpi.Proc) { hog(p, stop) })
+				hogs = append(hogs, th.Join)
+			}
+		}
+		var total time.Duration
+		w.RunAll(func(p *mpi.Proc) {
+			peer := 1 - p.Rank()
+			data := make([]byte, size)
+			buf := make([]byte, size)
+			sample := stats.NewSample(meas)
+			for it := 0; it < warm+meas; it++ {
+				el := exchangeOnce(p, peer, 1, data, buf, 300*time.Microsecond)
+				if it >= warm && p.Rank() == 0 {
+					sample.Add(el)
+				}
+			}
+			if p.Rank() == 0 {
+				total = sample.TrimmedMean(0.1)
+			}
+		})
+		close(stop)
+		for _, j := range hogs {
+			j()
+		}
+		w.Close()
+		name := "blocking-fallback=off"
+		if blocking {
+			name = "blocking-fallback=on"
+		}
+		rows = append(rows, AblationRow{Name: name, Value: total})
+	}
+	return rows
+}
+
+// FormatAblation renders ablation rows.
+func FormatAblation(title string, rows []AblationRow) string {
+	out := title + "\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("  %-34s %10.1fµs\n", r.Name, stats.US(r.Value))
+	}
+	return out
+}
+
+// RunAblationAdaptive evaluates the paper's future-work adaptive-offload
+// strategy (§5): Isend defers submission only when an idle core exists.
+// It measures the Fig. 4 exchange at one eager size in two regimes —
+// plenty of idle cores, and every core computing — for the static and
+// adaptive policies.
+func RunAblationAdaptive(size int) []AblationRow {
+	warm, meas := iters(10, 100)
+	var rows []AblationRow
+	for _, saturate := range []bool{false, true} {
+		for _, adaptive := range []bool{false, true} {
+			cfg := mpi.DefaultMultithreaded(2)
+			cfg.AdaptiveOffload = adaptive
+			w := mpi.NewWorld(cfg)
+			cores := w.Node(0).Sch.NumCores()
+			stop := make(chan struct{})
+			var hogs []func()
+			if saturate {
+				for rank := 0; rank < 2; rank++ {
+					for i := 0; i < cores-1; i++ {
+						th := w.Node(rank).Spawn("hog", func(p *mpi.Proc) { hog(p, stop) })
+						hogs = append(hogs, th.Join)
+					}
+				}
+			}
+			var total time.Duration
+			w.RunAll(func(p *mpi.Proc) {
+				peer := 1 - p.Rank()
+				data := make([]byte, size)
+				buf := make([]byte, size)
+				sample := stats.NewSample(meas)
+				for it := 0; it < warm+meas; it++ {
+					el := exchangeOnce(p, peer, 1, data, buf, 50*time.Microsecond)
+					if it >= warm && p.Rank() == 0 {
+						sample.Add(el)
+					}
+				}
+				if p.Rank() == 0 {
+					total = sample.TrimmedMean(0.1)
+				}
+			})
+			close(stop)
+			for _, j := range hogs {
+				j()
+			}
+			w.Close()
+			name := "idle-cores"
+			if saturate {
+				name = "saturated "
+			}
+			if adaptive {
+				name += " adaptive=on"
+			} else {
+				name += " adaptive=off"
+			}
+			rows = append(rows, AblationRow{Name: name, Value: total})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,240 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pioman/internal/core"
+)
+
+func init() {
+	// Keep the harness's own tests fast; the full-resolution sweeps run
+	// through bench_test.go and cmd/nmbench.
+	Quick = true
+}
+
+func TestGridDims(t *testing.T) {
+	cases := []struct {
+		n, rows, cols int
+	}{
+		{4, 2, 2}, {16, 4, 4}, {8, 2, 4}, {6, 2, 3}, {1, 1, 1}, {7, 1, 7},
+	}
+	for _, c := range cases {
+		g := dims(c.n)
+		if g.rows != c.rows || g.cols != c.cols {
+			t.Errorf("dims(%d) = %dx%d, want %dx%d", c.n, g.rows, g.cols, c.rows, c.cols)
+		}
+	}
+}
+
+func TestGridPlaceAndNeighbors(t *testing.T) {
+	g := dims(16) // 4x4
+	r, c := g.place(6)
+	if r != 1 || c != 2 {
+		t.Fatalf("place(6) = (%d,%d), want (1,2)", r, c)
+	}
+	// Corner 0 has 2 neighbors, edge 1 has 3, interior 5 has 4.
+	if n := len(g.neighbors(0)); n != 2 {
+		t.Errorf("corner neighbors = %d, want 2", n)
+	}
+	if n := len(g.neighbors(1)); n != 3 {
+		t.Errorf("edge neighbors = %d, want 3", n)
+	}
+	if n := len(g.neighbors(5)); n != 4 {
+		t.Errorf("interior neighbors = %d, want 4", n)
+	}
+	// Neighbor relation is symmetric.
+	for tid := 0; tid < 16; tid++ {
+		for _, nb := range g.neighbors(tid) {
+			found := false
+			for _, back := range g.neighbors(nb) {
+				if back == tid {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation asymmetric: %d->%d", tid, nb)
+			}
+		}
+	}
+}
+
+func TestGridNodeSplit(t *testing.T) {
+	g := dims(16) // 4x4, split over 2 nodes by column (Fig. 8)
+	for _, tc := range []struct{ col, node int }{{0, 0}, {1, 0}, {2, 1}, {3, 1}} {
+		if got := g.node(tc.col, 2); got != tc.node {
+			t.Errorf("node(col=%d) = %d, want %d", tc.col, got, tc.node)
+		}
+	}
+	// Degenerate: more nodes than columns must stay in range.
+	if got := g.node(0, 64); got != 0 {
+		t.Errorf("node(0, 64) = %d", got)
+	}
+	one := dims(1)
+	if got := one.node(0, 2); got < 0 || got >= 2 {
+		t.Errorf("1x1 grid node = %d out of range", got)
+	}
+}
+
+func TestPairTagUnique(t *testing.T) {
+	seen := map[int]bool{}
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if a == b {
+				continue
+			}
+			tag := pairTag(a, b)
+			if seen[tag] {
+				t.Fatalf("pairTag(%d,%d) collides", a, b)
+			}
+			seen[tag] = true
+		}
+	}
+}
+
+func TestItersQuickFloor(t *testing.T) {
+	w, m := iters(20, 200)
+	if w < 2 || m < 5 {
+		t.Fatalf("quick iters too small: %d/%d", w, m)
+	}
+	if w > 20 || m > 200 {
+		t.Fatalf("quick iters not reduced: %d/%d", w, m)
+	}
+}
+
+// fullRes runs f at full iteration counts: the shape assertions need the
+// steady-state statistics, and a full sweep still takes well under a
+// second.
+func fullRes(f func()) {
+	Quick = false
+	defer func() { Quick = true }()
+	f()
+}
+
+// offloadWins reports whether the PIOMan series beats the baseline summed
+// over the sweep, and validates per-point sanity.
+func offloadWins(t *testing.T, pts []OverlapPoint) bool {
+	t.Helper()
+	var seq, off time.Duration
+	for _, p := range pts {
+		if p.Reference <= 0 || p.Sequential <= 0 || p.Offload <= 0 {
+			t.Fatalf("non-positive measurement at size %d: %+v", p.Size, p)
+		}
+		seq += p.Sequential
+		off += p.Offload
+	}
+	return off < seq
+}
+
+func TestFig5ShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	var pts []OverlapPoint
+	fullRes(func() { pts = RunFig5() })
+	if len(pts) != len(Fig5Sizes()) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// One retry absorbs host-level scheduling noise: a genuine regression
+	// fails twice in a row.
+	if !offloadWins(t, pts) {
+		fullRes(func() { pts = RunFig5() })
+		if !offloadWins(t, pts) {
+			t.Errorf("offloading repeatedly failed to beat the baseline: %+v", pts)
+		}
+	}
+}
+
+func TestFig6ShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	var pts []OverlapPoint
+	fullRes(func() { pts = RunFig6() })
+	if !offloadWins(t, pts) {
+		fullRes(func() { pts = RunFig6() })
+		if !offloadWins(t, pts) {
+			t.Errorf("rendezvous progression repeatedly failed to beat the baseline: %+v", pts)
+		}
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	cfg := DefaultTable1(4)
+	cfg.Warmup, cfg.Iters = 5, 25
+	row := RunTable1Row(cfg)
+	if row.NoOffload <= 0 || row.Offload <= 0 {
+		t.Fatalf("non-positive measurements: %+v", row)
+	}
+	// Offloading must not catastrophically regress the application.
+	if row.Offload > row.NoOffload*2 {
+		t.Errorf("offload (%v) more than 2x baseline (%v)", row.Offload, row.NoOffload)
+	}
+}
+
+func TestPingpongQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	rows := RunPingpong(core.Multithreaded, []int{64, 4096, 64 << 10})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.HalfRTT <= 0 {
+			t.Fatalf("size %d: non-positive latency", r.Size)
+		}
+	}
+	// Bandwidth must increase with size in this range.
+	if rows[2].BandwidthMBps <= rows[0].BandwidthMBps {
+		t.Errorf("bandwidth not increasing: %v", rows)
+	}
+	// Latency for 64B must be in the right ballpark (µs, not ms).
+	if rows[0].HalfRTT > time.Millisecond {
+		t.Errorf("64B latency %v implausible", rows[0].HalfRTT)
+	}
+}
+
+func TestAblationOffloadQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	rows := RunAblationOffload(16 << 10)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]time.Duration{}
+	for _, r := range rows {
+		byName[r.Name] = r.Value
+	}
+	// The offloaded Isend must return much faster than the inline one
+	// (registration vs a 6.5µs copy + submission).
+	on := byName["multithreaded offload=on"]
+	off := byName["multithreaded offload=off"]
+	if on >= off {
+		t.Errorf("offloaded Isend (%v) not faster than inline (%v)", on, off)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	pts := []OverlapPoint{{Size: 1024, Reference: time.Microsecond}}
+	if !strings.Contains(FormatOverlap(pts, "T"), "1024") {
+		t.Error("FormatOverlap missing size")
+	}
+	rows := []Table1Row{{Threads: 4, NoOffload: time.Millisecond, Offload: time.Millisecond, SpeedupPct: 1}}
+	if !strings.Contains(FormatTable1(rows), "4") {
+		t.Error("FormatTable1 missing threads")
+	}
+	ab := []AblationRow{{Name: "x", Value: time.Microsecond}}
+	if !strings.Contains(FormatAblation("T", ab), "x") {
+		t.Error("FormatAblation missing name")
+	}
+	pp := []PingpongRow{{Size: 8, HalfRTT: time.Microsecond, BandwidthMBps: 8}}
+	if !strings.Contains(FormatPingpong(pp, "T"), "8") {
+		t.Error("FormatPingpong missing size")
+	}
+}

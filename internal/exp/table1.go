@@ -1,0 +1,229 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pioman/internal/core"
+	"pioman/internal/mpi"
+	"pioman/internal/ptime"
+	"pioman/internal/stats"
+)
+
+// Table1Config parameterizes the convolution meta-application of §4.3
+// (Fig. 7/8): a grid of threads distributed over the cluster nodes, each
+// computing its frontier, sending it asynchronously to its neighbors,
+// computing its interior, then waiting for its neighbors' frontiers.
+type Table1Config struct {
+	// Threads is the total thread count across the cluster (4 or 16 in
+	// the paper). Must form a 2^k×2^k-ish grid; 4 → 2×2, 16 → 4×4.
+	Threads int
+	// Nodes is the cluster size (2 in the paper). The grid is split by
+	// columns across nodes (Fig. 8).
+	Nodes int
+	// MsgSize is the frontier exchange size; the paper keeps it below
+	// the rendezvous threshold so copy offloading is what's measured.
+	MsgSize int
+	// FrontierCompute and InteriorCompute are the two compute phases of
+	// one iteration (Fig. 7's compute1/compute2).
+	FrontierCompute, InteriorCompute time.Duration
+	// Warmup and Iters bound the measured loop.
+	Warmup, Iters int
+}
+
+// DefaultTable1 returns the configuration used by the Table 1
+// reproduction. The interior compute scales with the per-thread domain so
+// that the 16-thread run works on a 4× larger matrix, as in the paper.
+func DefaultTable1(threads int) Table1Config {
+	return Table1Config{
+		Threads:         threads,
+		Nodes:           2,
+		MsgSize:         16 << 10,
+		FrontierCompute: 40 * time.Microsecond,
+		InteriorCompute: 220 * time.Microsecond,
+		Warmup:          10,
+		Iters:           60,
+	}
+}
+
+// grid describes the thread layout of Fig. 8.
+type grid struct {
+	rows, cols int
+}
+
+// dims factors n threads into the squarest grid (4→2×2, 16→4×4, 8→2×4).
+func dims(n int) grid {
+	best := grid{1, n}
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			best = grid{r, n / r}
+		}
+	}
+	return best
+}
+
+// place returns thread t's (row, col).
+func (g grid) place(t int) (int, int) { return t / g.cols, t % g.cols }
+
+// node maps a column to its owning node, splitting columns evenly.
+func (g grid) node(col, nodes int) int {
+	per := g.cols / nodes
+	if per == 0 {
+		per = 1
+	}
+	n := col / per
+	if n >= nodes {
+		n = nodes - 1
+	}
+	return n
+}
+
+// neighbors lists the 4-neighborhood thread ids of t.
+func (g grid) neighbors(t int) []int {
+	r, c := g.place(t)
+	var out []int
+	if r > 0 {
+		out = append(out, (r-1)*g.cols+c)
+	}
+	if r < g.rows-1 {
+		out = append(out, (r+1)*g.cols+c)
+	}
+	if c > 0 {
+		out = append(out, r*g.cols+(c-1))
+	}
+	if c < g.cols-1 {
+		out = append(out, r*g.cols+(c+1))
+	}
+	return out
+}
+
+// pairTag is the unique tag for the directed frontier transfer from thread
+// a to thread b.
+func pairTag(a, b int) int { return 10_000 + a*1_000 + b }
+
+// Table1Row is one line of Table 1.
+type Table1Row struct {
+	Threads    int
+	NoOffload  time.Duration
+	Offload    time.Duration
+	SpeedupPct float64
+}
+
+// RunTable1Row measures one thread-count configuration in both modes.
+func RunTable1Row(cfg Table1Config) Table1Row {
+	row := Table1Row{Threads: cfg.Threads}
+	row.NoOffload = runConvolution(mpi.DefaultSequential(cfg.Nodes), cfg)
+	row.Offload = runConvolution(mpi.DefaultMultithreaded(cfg.Nodes), cfg)
+	if row.NoOffload > 0 {
+		row.SpeedupPct = 100 * (1 - float64(row.Offload)/float64(row.NoOffload))
+	}
+	return row
+}
+
+// RunTable1 reproduces the full table (4 and 16 threads).
+func RunTable1() []Table1Row {
+	warm, meas := iters(10, 60)
+	var rows []Table1Row
+	for _, threads := range []int{4, 16} {
+		cfg := DefaultTable1(threads)
+		cfg.Warmup, cfg.Iters = warm, meas
+		rows = append(rows, RunTable1Row(cfg))
+	}
+	return rows
+}
+
+// RunConvolution executes the meta-application on a fresh world built from
+// wc and returns the mean per-iteration time across all threads.
+func RunConvolution(wc mpi.Config, cfg Table1Config) time.Duration {
+	return runConvolution(wc, cfg)
+}
+
+// runConvolution executes the meta-application on a fresh world and
+// returns the mean per-iteration time across all threads.
+func runConvolution(wc mpi.Config, cfg Table1Config) time.Duration {
+	g := dims(cfg.Threads)
+	w := mpi.NewWorld(wc)
+	defer w.Close()
+
+	var mu sync.Mutex
+	perThread := make([]time.Duration, 0, cfg.Threads)
+
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		tid := t
+		_, col := g.place(tid)
+		node := w.Node(g.node(col, cfg.Nodes))
+		go func() {
+			defer wg.Done()
+			node.Run(func(p *mpi.Proc) {
+				mean := convolutionThread(p, g, tid, cfg)
+				mu.Lock()
+				perThread = append(perThread, mean)
+				mu.Unlock()
+			})
+		}()
+	}
+	wg.Wait()
+
+	var sum time.Duration
+	for _, d := range perThread {
+		sum += d
+	}
+	return sum / time.Duration(len(perThread))
+}
+
+// convolutionThread is one thread's Fig. 7 loop; it returns the trimmed
+// mean of its measured iteration times.
+func convolutionThread(p *mpi.Proc, g grid, tid int, cfg Table1Config) time.Duration {
+	nbrs := g.neighbors(tid)
+	nodeOf := func(t int) int {
+		_, c := g.place(t)
+		return g.node(c, cfg.Nodes)
+	}
+	data := make([]byte, cfg.MsgSize)
+	bufs := make(map[int][]byte, len(nbrs))
+	for _, nb := range nbrs {
+		bufs[nb] = make([]byte, cfg.MsgSize)
+	}
+	sample := stats.NewSample(cfg.Iters)
+	for it := 0; it < cfg.Warmup+cfg.Iters; it++ {
+		sw := ptime.NewStopwatch()
+		// Post receives for the neighbors' frontiers.
+		recvs := make([]*core.RecvReq, 0, len(nbrs))
+		for _, nb := range nbrs {
+			recvs = append(recvs, p.Irecv(nodeOf(nb), pairTag(nb, tid), bufs[nb]))
+		}
+		// compute1: the frontier.
+		p.Compute(cfg.FrontierCompute)
+		// Asynchronously send the frontier to every neighbor.
+		sends := make([]*core.SendReq, 0, len(nbrs))
+		for _, nb := range nbrs {
+			sends = append(sends, p.Isend(nodeOf(nb), pairTag(tid, nb), data))
+		}
+		// compute2: the interior, overlapping the exchange.
+		p.Compute(cfg.InteriorCompute)
+		for _, s := range sends {
+			p.WaitSend(s)
+		}
+		for _, r := range recvs {
+			p.WaitRecv(r)
+		}
+		if it >= cfg.Warmup {
+			sample.Add(sw.Elapsed())
+		}
+	}
+	return sample.TrimmedMean(0.1)
+}
+
+// FormatTable1 renders Table 1 rows.
+func FormatTable1(rows []Table1Row) string {
+	out := fmt.Sprintf("Table 1: impact of the number of threads on communication offloading\n%10s %16s %14s %10s\n",
+		"threads", "no-offload(µs)", "offload(µs)", "speedup")
+	for _, r := range rows {
+		out += fmt.Sprintf("%10d %16.0f %14.0f %9.1f%%\n",
+			r.Threads, stats.US(r.NoOffload), stats.US(r.Offload), r.SpeedupPct)
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// f64ToBytes encodes a float64 for the reduce collectives.
+func f64ToBytes(x float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+	return b[:]
+}
+
+// bytesToF64 decodes a float64 from a reduce payload.
+func bytesToF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,105 @@
+package mpi
+
+import (
+	"fmt"
+
+	"pioman/internal/core"
+	"pioman/internal/piom"
+)
+
+// Additional collective tags (continuing the reserved negative range of
+// node.go).
+const (
+	tagScatter = -2000 - iota
+	tagAllgather
+)
+
+// Probe blocks until a message matching (src, tag) is pending and returns
+// its description without receiving it. src may be core.AnySource, tag
+// core.AnyTag.
+func (p *Proc) Probe(src, tag int) core.ProbeInfo {
+	return p.Node.Eng.Probe(src, tag, p.Th)
+}
+
+// Iprobe is the non-blocking variant of Probe.
+func (p *Proc) Iprobe(src, tag int) (core.ProbeInfo, bool) {
+	return p.Node.Eng.Iprobe(src, tag)
+}
+
+// WaitAny blocks until one of the given requests completes, returning its
+// index.
+func (p *Proc) WaitAny(reqs ...*piom.Request) int {
+	return p.Node.Eng.WaitAny(p.Th, reqs...)
+}
+
+// WaitAnyRecv waits for one of several receive requests and returns the
+// index of a completed one.
+func (p *Proc) WaitAnyRecv(reqs ...*core.RecvReq) int {
+	raw := make([]*piom.Request, len(reqs))
+	for i, r := range reqs {
+		raw[i] = r.Req()
+	}
+	return p.WaitAny(raw...)
+}
+
+// Sendrecv performs a simultaneous send to dst and receive from src under
+// the same tag (like MPI_Sendrecv), avoiding the deadlock of two blocking
+// calls.
+func (p *Proc) Sendrecv(dst, tag int, sendData []byte, src int, recvBuf []byte) (int, int) {
+	s := p.Isend(dst, tag, sendData)
+	r := p.Irecv(src, tag, recvBuf)
+	p.WaitSend(s)
+	p.WaitRecv(r)
+	return r.Len(), r.From()
+}
+
+// Scatter distributes parts from root: node i receives parts[i] into buf.
+// parts is only read on root and must have world-size entries.
+func (p *Proc) Scatter(root int, parts [][]byte, buf []byte) {
+	gen := p.Node.barrierGen.Add(1)
+	tag := collTag(tagScatter, gen)
+	if p.Rank() == root {
+		if len(parts) != p.Size() {
+			panic(fmt.Sprintf("mpi: Scatter parts has %d entries for %d nodes", len(parts), p.Size()))
+		}
+		reqs := make([]*core.SendReq, 0, p.Size()-1)
+		for i := 0; i < p.Size(); i++ {
+			if i == root {
+				copy(buf, parts[i])
+				continue
+			}
+			reqs = append(reqs, p.Isend(i, tag, parts[i]))
+		}
+		for _, s := range reqs {
+			p.WaitSend(s)
+		}
+		return
+	}
+	p.Recv(root, tag, buf)
+}
+
+// Allgather collects every node's contribution into parts on every node.
+// parts must have world-size entries on all nodes.
+func (p *Proc) Allgather(contrib []byte, parts [][]byte) {
+	if len(parts) != p.Size() {
+		panic(fmt.Sprintf("mpi: Allgather parts has %d entries for %d nodes", len(parts), p.Size()))
+	}
+	gen := p.Node.barrierGen.Add(1)
+	tag := collTag(tagAllgather, gen)
+	copy(parts[p.Rank()], contrib)
+	sends := make([]*core.SendReq, 0, p.Size()-1)
+	recvs := make([]*core.RecvReq, 0, p.Size()-1)
+	for i := 0; i < p.Size(); i++ {
+		if i == p.Rank() {
+			continue
+		}
+		sends = append(sends, p.Isend(i, tag, contrib))
+		recvs = append(recvs, p.Irecv(i, tag, parts[i]))
+	}
+	for _, s := range sends {
+		p.WaitSend(s)
+	}
+	for _, r := range recvs {
+		p.WaitRecv(r)
+	}
+}

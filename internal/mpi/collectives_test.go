@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"pioman/internal/core"
+)
+
+func TestSendrecvRing(t *testing.T) {
+	const n = 4
+	w := fastWorld(t, n, core.Multithreaded)
+	var mu sync.Mutex
+	got := map[int]byte{}
+	w.RunAll(func(p *Proc) {
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() + n - 1) % n
+		out := []byte{byte(p.Rank())}
+		in := make([]byte, 1)
+		cnt, from := p.Sendrecv(right, 55, out, left, in)
+		if cnt != 1 || from != left {
+			t.Errorf("rank %d: cnt=%d from=%d", p.Rank(), cnt, from)
+		}
+		mu.Lock()
+		got[p.Rank()] = in[0]
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		want := byte((r + n - 1) % n)
+		if got[r] != want {
+			t.Errorf("rank %d received %d, want %d", r, got[r], want)
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	const n = 4
+	w := fastWorld(t, n, core.Multithreaded)
+	w.RunAll(func(p *Proc) {
+		var parts [][]byte
+		if p.Rank() == 1 {
+			parts = make([][]byte, n)
+			for i := range parts {
+				parts[i] = []byte{byte(100 + i)}
+			}
+		}
+		buf := make([]byte, 1)
+		p.Scatter(1, parts, buf)
+		if buf[0] != byte(100+p.Rank()) {
+			t.Errorf("rank %d got %d", p.Rank(), buf[0])
+		}
+	})
+}
+
+func TestScatterWrongPartsPanics(t *testing.T) {
+	w := fastWorld(t, 2, core.Multithreaded)
+	caught := make(chan bool, 1)
+	w.Node(0).Run(func(p *Proc) {
+		defer func() { caught <- recover() != nil }()
+		p.Scatter(0, make([][]byte, 1), make([]byte, 1))
+	})
+	if !<-caught {
+		t.Fatal("expected panic")
+	}
+	// Unblock the world: nothing was sent, nothing pending.
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 3
+	w := fastWorld(t, n, core.Multithreaded)
+	var mu sync.Mutex
+	results := map[int][][]byte{}
+	w.RunAll(func(p *Proc) {
+		parts := make([][]byte, n)
+		for i := range parts {
+			parts[i] = make([]byte, 2)
+		}
+		contrib := []byte{byte(p.Rank()), byte(p.Rank() * 2)}
+		p.Allgather(contrib, parts)
+		mu.Lock()
+		results[p.Rank()] = parts
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		for i := 0; i < n; i++ {
+			want := []byte{byte(i), byte(i * 2)}
+			if !bytes.Equal(results[r][i], want) {
+				t.Errorf("rank %d parts[%d] = %v, want %v", r, i, results[r][i], want)
+			}
+		}
+	}
+}
+
+func TestAllgatherWrongPartsPanics(t *testing.T) {
+	w := fastWorld(t, 2, core.Multithreaded)
+	caught := make(chan bool, 1)
+	w.Node(0).Run(func(p *Proc) {
+		defer func() { caught <- recover() != nil }()
+		p.Allgather([]byte{1}, make([][]byte, 5))
+	})
+	if !<-caught {
+		t.Fatal("expected panic")
+	}
+}
+
+func TestProcProbe(t *testing.T) {
+	w := fastWorld(t, 2, core.Multithreaded)
+	senderDone := make(chan struct{})
+	go func() {
+		defer close(senderDone)
+		w.Node(0).Run(func(p *Proc) {
+			p.Send(1, 21, []byte("probe me"))
+		})
+	}()
+	var info core.ProbeInfo
+	w.Node(1).Run(func(p *Proc) {
+		info = p.Probe(0, 21)
+		if info.Len != 8 {
+			t.Errorf("probe len = %d", info.Len)
+		}
+		buf := make([]byte, 8)
+		p.Recv(0, 21, buf)
+	})
+	<-senderDone
+}
+
+func TestProcIprobeMiss(t *testing.T) {
+	w := fastWorld(t, 2, core.Multithreaded)
+	w.Node(0).Run(func(p *Proc) {
+		if _, ok := p.Iprobe(1, 3); ok {
+			t.Error("Iprobe matched on an empty pool")
+		}
+	})
+}
+
+func TestProcWaitAnyRecv(t *testing.T) {
+	w := fastWorld(t, 2, core.Multithreaded)
+	done := make(chan int, 1)
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		w.Node(1).Run(func(p *Proc) {
+			a := p.Irecv(0, 1, make([]byte, 4))
+			b := p.Irecv(0, 2, make([]byte, 4))
+			idx := p.WaitAnyRecv(a, b)
+			done <- idx
+			// Drain the other request.
+			if idx == 0 {
+				p.WaitRecv(b)
+			} else {
+				p.WaitRecv(a)
+			}
+		})
+	}()
+	time.Sleep(2 * time.Millisecond)
+	// Satisfy only the tag-2 request first so the outcome is
+	// deterministic; the tag-1 message follows to unblock the drain.
+	w.Node(0).Run(func(p *Proc) {
+		p.Send(1, 2, []byte("b"))
+	})
+	var idx int
+	select {
+	case idx = <-done:
+		if idx != 1 {
+			t.Fatalf("WaitAnyRecv = %d, want 1", idx)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitAnyRecv never returned")
+	}
+	w.Node(0).Run(func(p *Proc) {
+		p.Send(1, 1, []byte("a"))
+	})
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain never finished")
+	}
+}

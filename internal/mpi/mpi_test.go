@@ -1,0 +1,300 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"pioman/internal/core"
+	"pioman/internal/nic"
+	"pioman/internal/topo"
+	"pioman/internal/wire"
+)
+
+// fastWorld builds a small world with negligible modeled costs.
+func fastWorld(t *testing.T, n int, mode core.Mode) *World {
+	t.Helper()
+	mx := nic.MXParams()
+	mx.Link = wire.LinkParams{Latency: 0, BytesPerUS: 1e12}
+	mx.Cost.CopyBytesPerUS = 1e12
+	mx.Cost.PIOBytesPerUS = 1e12
+	mx.Cost.SubmitOverhead = 0
+	mx.Cost.DMASetup = 0
+	shm := nic.SHMParams()
+	shm.Link = wire.LinkParams{Latency: 0, BytesPerUS: 1e12}
+	shm.Cost = mx.Cost
+	shm.RecvCopies = false
+	cfg := Config{
+		Nodes:        n,
+		Machine:      topo.Machine{Sockets: 1, CoresPerSocket: 4},
+		Mode:         mode,
+		OffloadEager: mode == core.Multithreaded,
+		MX:           mx,
+		SHM:          shm,
+	}
+	w := NewWorld(cfg)
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestWorldDefaults(t *testing.T) {
+	w := NewWorld(Config{})
+	defer w.Close()
+	if w.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", w.Size())
+	}
+	if w.Node(0).Sch.NumCores() != 8 {
+		t.Fatalf("cores = %d, want 8", w.Node(0).Sch.NumCores())
+	}
+}
+
+func TestDefaultPresets(t *testing.T) {
+	mt := DefaultMultithreaded(3)
+	if mt.Mode != core.Multithreaded || !mt.OffloadEager || mt.Nodes != 3 {
+		t.Fatalf("bad MT preset %+v", mt)
+	}
+	seq := DefaultSequential(2)
+	if seq.Mode != core.Sequential {
+		t.Fatalf("bad seq preset %+v", seq)
+	}
+}
+
+func TestDuplicateRailPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := Config{Nodes: 2, MX: nic.MXParams(), ExtraRails: []nic.Params{nic.MXParams()}}
+	NewWorld(cfg)
+}
+
+func TestSendRecvAcrossNodes(t *testing.T) {
+	for _, mode := range []core.Mode{core.Sequential, core.Multithreaded} {
+		t.Run(mode.String(), func(t *testing.T) {
+			w := fastWorld(t, 2, mode)
+			w.RunAll(func(p *Proc) {
+				if p.Rank() == 0 {
+					p.Send(1, 1, []byte("ping"))
+					buf := make([]byte, 8)
+					n, from := p.Recv(1, 2, buf)
+					if string(buf[:n]) != "pong" || from != 1 {
+						t.Errorf("rank0 got %q from %d", buf[:n], from)
+					}
+				} else {
+					buf := make([]byte, 8)
+					n, _ := p.Recv(0, 1, buf)
+					if string(buf[:n]) != "ping" {
+						t.Errorf("rank1 got %q", buf[:n])
+					}
+					p.Send(0, 2, []byte("pong"))
+				}
+			})
+		})
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	w := fastWorld(t, 4, core.Multithreaded)
+	var mu sync.Mutex
+	phase := make(map[int]int)
+	for round := 0; round < 3; round++ {
+		w.RunAll(func(p *Proc) {
+			mu.Lock()
+			phase[p.Rank()]++
+			mine := phase[p.Rank()]
+			mu.Unlock()
+			p.Barrier()
+			// After the barrier, every rank must have entered this round.
+			mu.Lock()
+			for r := 0; r < p.Size(); r++ {
+				if phase[r] < mine {
+					t.Errorf("rank %d passed barrier before rank %d entered round %d", p.Rank(), r, mine)
+				}
+			}
+			mu.Unlock()
+		})
+	}
+}
+
+func TestBarrierSingleNode(t *testing.T) {
+	w := fastWorld(t, 1, core.Multithreaded)
+	w.RunAll(func(p *Proc) { p.Barrier() }) // must not deadlock
+}
+
+func TestBcast(t *testing.T) {
+	w := fastWorld(t, 3, core.Multithreaded)
+	data := []byte("broadcast payload")
+	w.RunAll(func(p *Proc) {
+		buf := make([]byte, len(data))
+		if p.Rank() == 1 {
+			copy(buf, data)
+		}
+		p.Bcast(1, buf)
+		if !bytes.Equal(buf, data) {
+			t.Errorf("rank %d got %q", p.Rank(), buf)
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	w := fastWorld(t, 4, core.Multithreaded)
+	w.RunAll(func(p *Proc) {
+		contrib := []byte{byte(p.Rank() * 10)}
+		var parts [][]byte
+		if p.Rank() == 0 {
+			parts = make([][]byte, p.Size())
+			for i := range parts {
+				parts[i] = make([]byte, 1)
+			}
+		}
+		p.Gather(0, contrib, parts)
+		if p.Rank() == 0 {
+			for i, part := range parts {
+				if part[0] != byte(i*10) {
+					t.Errorf("parts[%d] = %d, want %d", i, part[0], i*10)
+				}
+			}
+		}
+	})
+}
+
+func TestGatherWrongPartsPanics(t *testing.T) {
+	w := fastWorld(t, 2, core.Multithreaded)
+	done := make(chan bool, 1)
+	w.Node(1).Run(func(p *Proc) { p.Send(0, collTag(tagGather, 1), []byte{1}) })
+	w.Node(0).Run(func(p *Proc) {
+		defer func() { done <- recover() != nil }()
+		p.Gather(0, []byte{0}, make([][]byte, 1)) // wrong size
+	})
+	if !<-done {
+		t.Fatal("expected panic from mis-sized parts")
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	w := fastWorld(t, 4, core.Multithreaded)
+	want := 0.0
+	for r := 0; r < 4; r++ {
+		want += float64(r) + 0.5
+	}
+	var mu sync.Mutex
+	got := map[int]float64{}
+	w.RunAll(func(p *Proc) {
+		s := p.AllReduceSum(float64(p.Rank()) + 0.5)
+		mu.Lock()
+		got[p.Rank()] = s
+		mu.Unlock()
+	})
+	for r, s := range got {
+		if math.Abs(s-want) > 1e-9 {
+			t.Errorf("rank %d sum = %v, want %v", r, s, want)
+		}
+	}
+}
+
+func TestIntraNodeThreads(t *testing.T) {
+	// Two threads on the same node exchange through the shm rail.
+	w := fastWorld(t, 2, core.Multithreaded)
+	n := w.Node(0)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		n.Run(func(p *Proc) {
+			p.Send(0, 77, []byte("intra"))
+		})
+	}()
+	var got []byte
+	go func() {
+		defer wg.Done()
+		n.Run(func(p *Proc) {
+			buf := make([]byte, 8)
+			cnt, _ := p.Recv(0, 77, buf)
+			got = buf[:cnt]
+		})
+	}()
+	wg.Wait()
+	if string(got) != "intra" {
+		t.Fatalf("intra-node exchange got %q", got)
+	}
+}
+
+func TestLargeTransferAcrossWorld(t *testing.T) {
+	w := fastWorld(t, 2, core.Multithreaded)
+	const size = 256 << 10
+	src := make([]byte, size)
+	for i := range src {
+		src[i] = byte(i * 13)
+	}
+	w.RunAll(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 5, src)
+		} else {
+			buf := make([]byte, size)
+			cnt, _ := p.Recv(0, 5, buf)
+			if cnt != size || !bytes.Equal(buf, src) {
+				t.Error("large transfer corrupted")
+			}
+		}
+	})
+}
+
+func TestManyThreadsPerNodeExchange(t *testing.T) {
+	// The Table-1 communication scheme in miniature: each node runs 4
+	// threads exchanging with neighbors intra- and inter-node.
+	w := fastWorld(t, 2, core.Multithreaded)
+	const perNode = 4
+	var wg sync.WaitGroup
+	for node := 0; node < 2; node++ {
+		for th := 0; th < perNode; th++ {
+			wg.Add(1)
+			go func(node, th int) {
+				defer wg.Done()
+				w.Node(node).Run(func(p *Proc) {
+					peerNode := 1 - node
+					tag := 100 + th
+					s := p.Isend(peerNode, tag, []byte{byte(node), byte(th)})
+					buf := make([]byte, 2)
+					r := p.Irecv(peerNode, tag, buf)
+					p.WaitSend(s)
+					p.WaitRecv(r)
+					if buf[0] != byte(peerNode) || buf[1] != byte(th) {
+						t.Errorf("node %d thread %d got %v", node, th, buf)
+					}
+				})
+			}(node, th)
+		}
+	}
+	wg.Wait()
+}
+
+func TestRunAllRanks(t *testing.T) {
+	w := fastWorld(t, 3, core.Multithreaded)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	w.RunAll(func(p *Proc) {
+		mu.Lock()
+		seen[p.Rank()] = true
+		mu.Unlock()
+		if p.Size() != 3 {
+			t.Errorf("Size = %d", p.Size())
+		}
+	})
+	if len(seen) != 3 {
+		t.Fatalf("ranks seen: %v", seen)
+	}
+}
+
+func TestComputeOnProc(t *testing.T) {
+	w := fastWorld(t, 1, core.Multithreaded)
+	w.RunAll(func(p *Proc) {
+		start := time.Now()
+		p.Compute(200 * time.Microsecond)
+		if el := time.Since(start); el < 200*time.Microsecond {
+			t.Errorf("Compute returned after %v", el)
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pioman/internal/core"
+	"pioman/internal/piom"
+	"pioman/internal/sched"
+	"pioman/internal/trace"
+)
+
+// Node is one cluster node: an MPI-process analog hosting many threads.
+type Node struct {
+	world *World
+	rank  int
+	Sch   *sched.Scheduler
+	Srv   *piom.Server
+	Eng   *core.Engine
+	Trace *trace.Recorder
+
+	barrierGen atomic.Uint64
+}
+
+// Rank returns the node's rank.
+func (n *Node) Rank() int { return n.rank }
+
+// World returns the owning world.
+func (n *Node) World() *World { return n.world }
+
+// Spawn starts an application thread on this node's cores.
+func (n *Node) Spawn(name string, fn func(*Proc)) *sched.Thread {
+	return n.Sch.Spawn(name, func(th *sched.Thread) {
+		fn(&Proc{Node: n, Th: th})
+	})
+}
+
+// Run spawns fn and waits for it to finish.
+func (n *Node) Run(fn func(*Proc)) {
+	n.Spawn("run", fn).Join()
+}
+
+// Proc is the handle a node thread uses to communicate and compute: it
+// couples the node's engine with the thread's core scheduling, mirroring
+// the paper's benchmark programs (Fig. 4 / Fig. 7).
+type Proc struct {
+	Node *Node
+	Th   *sched.Thread
+}
+
+// Rank returns the owning node's rank.
+func (p *Proc) Rank() int { return p.Node.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.Node.world.Size() }
+
+// Compute spins for d on the thread's core (the compute() phase).
+func (p *Proc) Compute(d time.Duration) { p.Th.Compute(d) }
+
+// Isend posts an asynchronous send (nm_isend).
+func (p *Proc) Isend(dst, tag int, data []byte) *core.SendReq {
+	return p.Node.Eng.Isend(dst, tag, data)
+}
+
+// Irecv posts an asynchronous receive.
+func (p *Proc) Irecv(src, tag int, buf []byte) *core.RecvReq {
+	return p.Node.Eng.Irecv(src, tag, buf)
+}
+
+// WaitSend waits for a send to complete (nm_swait).
+func (p *Proc) WaitSend(r *core.SendReq) { p.Node.Eng.WaitSend(r, p.Th) }
+
+// WaitRecv waits for a receive to complete.
+func (p *Proc) WaitRecv(r *core.RecvReq) { p.Node.Eng.WaitRecv(r, p.Th) }
+
+// Wait waits on any request.
+func (p *Proc) Wait(r *piom.Request) { p.Node.Eng.Wait(r, p.Th) }
+
+// Send is a blocking send.
+func (p *Proc) Send(dst, tag int, data []byte) {
+	p.WaitSend(p.Isend(dst, tag, data))
+}
+
+// Recv is a blocking receive; it returns the byte count and sender.
+func (p *Proc) Recv(src, tag int, buf []byte) (int, int) {
+	r := p.Irecv(src, tag, buf)
+	p.WaitRecv(r)
+	return r.Len(), r.From()
+}
+
+// Collective tags live in a reserved negative range so they never collide
+// with application traffic.
+const (
+	tagBarrier = -1000 - iota
+	tagBcast
+	tagGather
+	tagReduce
+)
+
+// collTag derives a per-generation collective tag.
+func collTag(base int, gen uint64) int {
+	return base - 16*int(gen%1_000_000)
+}
+
+// Barrier synchronizes all nodes: non-roots signal rank 0 and wait for the
+// release; rank 0 gathers then broadcasts. Built entirely on the engine's
+// eager path, so it also exercises unexpected-message handling under
+// contention.
+func (p *Proc) Barrier() {
+	gen := p.Node.barrierGen.Add(1)
+	tag := collTag(tagBarrier, gen)
+	size := p.Size()
+	if size == 1 {
+		return
+	}
+	if p.Rank() == 0 {
+		for i := 1; i < size; i++ {
+			var b [1]byte
+			p.Recv(core.AnySource, tag, b[:])
+		}
+		for i := 1; i < size; i++ {
+			p.Send(i, tag, []byte{1})
+		}
+		return
+	}
+	p.Send(0, tag, []byte{0})
+	var b [1]byte
+	p.Recv(0, tag, b[:])
+}
+
+// Bcast broadcasts buf from root to every node; all nodes must call it
+// with same-sized buffers.
+func (p *Proc) Bcast(root int, buf []byte) {
+	gen := p.Node.barrierGen.Add(1)
+	tag := collTag(tagBcast, gen)
+	if p.Rank() == root {
+		reqs := make([]*core.SendReq, 0, p.Size()-1)
+		for i := 0; i < p.Size(); i++ {
+			if i == root {
+				continue
+			}
+			reqs = append(reqs, p.Isend(i, tag, buf))
+		}
+		for _, r := range reqs {
+			p.WaitSend(r)
+		}
+		return
+	}
+	p.Recv(root, tag, buf)
+}
+
+// Gather collects each node's contribution into parts on root (parts is
+// only written on root and must have world-size entries, each large enough
+// for the corresponding contribution).
+func (p *Proc) Gather(root int, contrib []byte, parts [][]byte) {
+	gen := p.Node.barrierGen.Add(1)
+	tag := collTag(tagGather, gen)
+	if p.Rank() != root {
+		p.Send(root, tag, contrib)
+		return
+	}
+	if len(parts) != p.Size() {
+		panic(fmt.Sprintf("mpi: Gather parts has %d entries for %d nodes", len(parts), p.Size()))
+	}
+	copy(parts[root], contrib)
+	reqs := make([]*core.RecvReq, 0, p.Size()-1)
+	for i := 0; i < p.Size(); i++ {
+		if i == root {
+			continue
+		}
+		reqs = append(reqs, p.Irecv(i, tag, parts[i]))
+	}
+	for _, r := range reqs {
+		p.WaitRecv(r)
+	}
+}
+
+// AllReduceSum sums one float64 across all nodes and returns the total on
+// every node (gather-to-0 then broadcast).
+func (p *Proc) AllReduceSum(x float64) float64 {
+	gen := p.Node.barrierGen.Add(1)
+	tag := collTag(tagReduce, gen)
+	size := p.Size()
+	if size == 1 {
+		return x
+	}
+	if p.Rank() == 0 {
+		sum := x
+		for i := 1; i < size; i++ {
+			var b [8]byte
+			p.Recv(core.AnySource, tag, b[:])
+			sum += bytesToF64(b[:])
+		}
+		out := f64ToBytes(sum)
+		for i := 1; i < size; i++ {
+			p.Send(i, tag, out)
+		}
+		return sum
+	}
+	p.Send(0, tag, f64ToBytes(x))
+	var b [8]byte
+	p.Recv(0, tag, b[:])
+	return bytesToF64(b[:])
+}

@@ -1,0 +1,177 @@
+// Package mpi assembles simulated cluster nodes into a message-passing
+// world with an MPI-flavored API (Isend/Irecv/Wait, Barrier, Bcast,
+// Gather), mirroring how the paper's benchmarks drive NewMadeleine
+// (nm_isend / nm_swait, one MPI process per node with threads inside,
+// §4.3). Each node owns a Marcel scheduler, a PIOMan event server and a
+// NewMadeleine engine; nodes share an MX-like inter-node fabric and an
+// intra-node shared-memory rail.
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"pioman/internal/core"
+	"pioman/internal/nic"
+	"pioman/internal/piom"
+	"pioman/internal/sched"
+	"pioman/internal/topo"
+	"pioman/internal/trace"
+	"pioman/internal/wire"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Nodes is the number of cluster nodes (default 2, the testbed).
+	Nodes int
+	// Machine is each node's core topology (default dual quad-core Xeon).
+	Machine topo.Machine
+	// Mode selects the engine mode for every node.
+	Mode core.Mode
+	// OffloadEager mirrors core.Config.OffloadEager (default true in
+	// Multithreaded mode; set by Default*).
+	OffloadEager bool
+	// AdaptiveOffload mirrors core.Config.AdaptiveOffload: submit inline
+	// when no core is idle (the paper's future-work strategy).
+	AdaptiveOffload bool
+	// Strategy is the optimizer strategy name.
+	Strategy string
+	// MX configures the inter-node rail (zero value: nic.MXParams).
+	MX nic.Params
+	// SHM configures the intra-node rail; nil Name disables it.
+	SHM nic.Params
+	// ExtraRails adds more inter-node rails (multirail setups).
+	ExtraRails []nic.Params
+	// EnableBlocking starts the blocking-call fallback watchers.
+	EnableBlocking bool
+	// TimerPeriod drives the scheduler timer trigger (0 disables).
+	TimerPeriod time.Duration
+	// TraceCapacity, if positive, attaches an event recorder per node.
+	TraceCapacity int
+}
+
+// DefaultMultithreaded returns the PIOMan-enabled configuration of the
+// paper's testbed: n dual quad-core nodes, MX + shared memory rails.
+func DefaultMultithreaded(n int) Config {
+	return Config{
+		Nodes:          n,
+		Mode:           core.Multithreaded,
+		OffloadEager:   true,
+		MX:             nic.MXParams(),
+		SHM:            nic.SHMParams(),
+		EnableBlocking: true,
+	}
+}
+
+// DefaultSequential returns the original-NewMadeleine baseline on the same
+// hardware.
+func DefaultSequential(n int) Config {
+	return Config{
+		Nodes: n,
+		Mode:  core.Sequential,
+		MX:    nic.MXParams(),
+		SHM:   nic.SHMParams(),
+	}
+}
+
+// World is a running simulated cluster.
+type World struct {
+	cfg   Config
+	nodes []*Node
+}
+
+// NewWorld builds and starts a cluster.
+func NewWorld(cfg Config) *World {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.Machine.NumCores() == 0 {
+		cfg.Machine = topo.DualQuadXeon()
+	}
+	if cfg.MX.Name == "" {
+		cfg.MX = nic.MXParams()
+	}
+	w := &World{cfg: cfg}
+
+	railParams := []nic.Params{cfg.MX}
+	if cfg.SHM.Name != "" {
+		railParams = append(railParams, cfg.SHM)
+	}
+	railParams = append(railParams, cfg.ExtraRails...)
+	fabrics := make(map[string]*wire.Fabric, len(railParams))
+	for _, rp := range railParams {
+		if _, dup := fabrics[rp.Name]; dup {
+			panic(fmt.Sprintf("mpi: duplicate rail name %q", rp.Name))
+		}
+		fabrics[rp.Name] = wire.NewFabric(cfg.Nodes, rp.Link)
+	}
+
+	for rank := 0; rank < cfg.Nodes; rank++ {
+		sch := sched.New(sched.Config{
+			Machine:     cfg.Machine,
+			TimerPeriod: cfg.TimerPeriod,
+		})
+		var srv *piom.Server
+		if cfg.Mode == core.Multithreaded {
+			srv = piom.NewServer(sch, piom.Config{
+				EnableIdleHook: true,
+				EnableBlocking: cfg.EnableBlocking,
+			})
+		}
+		var rec *trace.Recorder
+		if cfg.TraceCapacity > 0 {
+			rec = trace.NewRecorder(cfg.TraceCapacity)
+		}
+		rails := make([]*nic.Driver, 0, len(railParams))
+		for _, rp := range railParams {
+			rails = append(rails, nic.New(rp, fabrics[rp.Name], rank))
+		}
+		eng := core.New(rank, sch, srv, rails, core.Config{
+			Mode:            cfg.Mode,
+			OffloadEager:    cfg.OffloadEager,
+			AdaptiveOffload: cfg.AdaptiveOffload,
+			Strategy:        cfg.Strategy,
+			Trace:           rec,
+		})
+		n := &Node{world: w, rank: rank, Sch: sch, Srv: srv, Eng: eng, Trace: rec}
+		if srv != nil {
+			srv.Start()
+		}
+		w.nodes = append(w.nodes, n)
+	}
+	return w
+}
+
+// Size returns the number of nodes.
+func (w *World) Size() int { return len(w.nodes) }
+
+// Node returns the node with the given rank.
+func (w *World) Node(rank int) *Node { return w.nodes[rank] }
+
+// Mode reports the engine mode of the world.
+func (w *World) Mode() core.Mode { return w.cfg.Mode }
+
+// RunAll spawns fn as one thread on every node and joins them all. The
+// rank is available via Proc.Rank.
+func (w *World) RunAll(fn func(*Proc)) {
+	ths := make([]*sched.Thread, len(w.nodes))
+	for i, n := range w.nodes {
+		node := n
+		ths[i] = node.Sch.Spawn(fmt.Sprintf("rank%d", node.rank), func(th *sched.Thread) {
+			fn(&Proc{Node: node, Th: th})
+		})
+	}
+	for _, th := range ths {
+		th.Join()
+	}
+}
+
+// Close shuts the cluster down. All spawned threads must have completed.
+func (w *World) Close() {
+	for _, n := range w.nodes {
+		if n.Srv != nil {
+			n.Srv.Stop()
+		}
+		n.Sch.Shutdown()
+	}
+}

@@ -1,0 +1,345 @@
+// Package nic implements the rail drivers the engine submits requests to.
+// A driver pairs a simulated fabric (internal/wire) with a host cost model
+// (internal/ptime): submission burns CPU on whichever goroutine calls it —
+// that is the property PIOMan's offloading exploits — while propagation is
+// charged as wire time.
+//
+// Three presets model the rails the paper's NewMadeleine supports:
+//
+//   - MX: Myrinet MYRI-10G under the MX driver. PIO for very small
+//     packets (≤128 B), copy-to-registered-buffer + DMA for eager messages,
+//     and a mandatory rendezvous above 32 KiB ("Myrinet's MX driver uses a
+//     rendezvous protocol for messages larger than 32 kB", §2.3).
+//   - SHM: the intra-node shared-memory channel of §4.3, low latency and
+//     high bandwidth but a copy on both sides.
+//   - TCP: a lossless in-order TCP/Ethernet-class rail with much higher
+//     latency, used by the multirail strategy tests.
+package nic
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pioman/internal/ptime"
+	"pioman/internal/wire"
+)
+
+// HeaderBytes is the wire size of a protocol header (tag, seq, msgid,
+// lengths); RTS and CTS packets are header-only.
+const HeaderBytes = 32
+
+// Header identifies one protocol packet.
+type Header struct {
+	Src, Dst int
+	Tag      int
+	Seq      uint64
+	MsgID    uint64
+}
+
+// Params fully describes a simulated rail driver.
+type Params struct {
+	Name string
+	// Link is the wire model for this rail.
+	Link wire.LinkParams
+	// Cost is the host-side CPU cost model.
+	Cost ptime.CostModel
+	// PIOMax is the largest payload sent through PIO (0 disables PIO).
+	PIOMax int
+	// EagerMax is the largest payload sent eagerly; larger messages must
+	// use the rendezvous protocol.
+	EagerMax int
+	// MTU bounds a single packet's payload (aggregation limit).
+	MTU int
+	// RecvCopies reports whether reception of eager data costs a copy on
+	// the receiving core (true for SHM's double copy; for MX the NIC
+	// DMAs into host memory, and the match-time copy is charged by the
+	// engine only when the message was unexpected).
+	RecvCopies bool
+}
+
+// MXParams models the paper's testbed NIC.
+func MXParams() Params {
+	return Params{
+		Name:     "mx",
+		Link:     wire.MYRI10G(),
+		Cost:     ptime.DefaultCostModel(),
+		PIOMax:   128,
+		EagerMax: 32 << 10,
+		MTU:      32 << 10,
+	}
+}
+
+// SHMParams models the intra-node shared-memory channel.
+func SHMParams() Params {
+	return Params{
+		Name: "shm",
+		Link: wire.LinkParams{Latency: 300 * time.Nanosecond, BytesPerUS: 5000},
+		Cost: ptime.CostModel{
+			CopyBytesPerUS: 2500,
+			PIOBytesPerUS:  2500, // a store is a store within a node
+			SubmitOverhead: 150 * time.Nanosecond,
+			DMASetup:       300 * time.Nanosecond,
+		},
+		PIOMax:     512,
+		EagerMax:   16 << 10,
+		MTU:        16 << 10,
+		RecvCopies: true,
+	}
+}
+
+// TCPParams models a TCP/10GbE rail.
+func TCPParams() Params {
+	return Params{
+		Name: "tcp",
+		Link: wire.LinkParams{Latency: 15 * time.Microsecond, BytesPerUS: 1100},
+		Cost: ptime.CostModel{
+			CopyBytesPerUS: 2500,
+			PIOBytesPerUS:  0, // no PIO path through a socket
+			SubmitOverhead: 2 * time.Microsecond,
+			DMASetup:       2 * time.Microsecond,
+		},
+		PIOMax:   0,
+		EagerMax: 64 << 10,
+		MTU:      64 << 10,
+	}
+}
+
+// Stats counts driver activity.
+type Stats struct {
+	EagerSent  uint64
+	EagerBytes uint64
+	PIOSent    uint64
+	RTSSent    uint64
+	CTSSent    uint64
+	DataSent   uint64
+	DataBytes  uint64
+	Polls      uint64
+	Recvs      uint64
+}
+
+// Driver is one endpoint of a rail: node `self` on fabric `fab`.
+type Driver struct {
+	p    Params
+	fab  *wire.Fabric
+	self int
+
+	eagerSent  atomic.Uint64
+	eagerBytes atomic.Uint64
+	pioSent    atomic.Uint64
+	rtsSent    atomic.Uint64
+	ctsSent    atomic.Uint64
+	dataSent   atomic.Uint64
+	dataBytes  atomic.Uint64
+	polls      atomic.Uint64
+	recvs      atomic.Uint64
+}
+
+// New returns node self's endpoint on fab with rail parameters p.
+func New(p Params, fab *wire.Fabric, self int) *Driver {
+	if fab == nil {
+		panic("nic: nil fabric")
+	}
+	if self < 0 || self >= fab.Nodes() {
+		panic(fmt.Sprintf("nic: node %d outside fabric of %d", self, fab.Nodes()))
+	}
+	if p.MTU <= 0 {
+		p.MTU = 64 << 10
+	}
+	return &Driver{p: p, fab: fab, self: self}
+}
+
+// Name returns the rail name.
+func (d *Driver) Name() string { return d.p.Name }
+
+// Self returns this endpoint's node id.
+func (d *Driver) Self() int { return d.self }
+
+// Params returns the rail parameters.
+func (d *Driver) Params() Params { return d.p }
+
+// EagerMax returns the rendezvous threshold.
+func (d *Driver) EagerMax() int { return d.p.EagerMax }
+
+// MTU returns the per-packet payload bound.
+func (d *Driver) MTU() int { return d.p.MTU }
+
+// SendEager transmits payload eagerly. The caller's core pays the
+// submission cost: descriptor setup plus either a PIO transfer (very small
+// payloads) or a copy into the registered send buffer. This is the
+// "several dozens of microseconds" cost of §2.2 that offloading hides.
+func (d *Driver) SendEager(h Header, payload []byte) {
+	n := len(payload)
+	if n > d.p.EagerMax {
+		panic(fmt.Sprintf("nic %s: eager send of %d bytes above threshold %d", d.p.Name, n, d.p.EagerMax))
+	}
+	ptime.SpinFor(d.p.Cost.SubmitOverhead)
+	if d.p.PIOMax > 0 && n <= d.p.PIOMax {
+		d.p.Cost.ChargePIO(n)
+		d.pioSent.Add(1)
+	} else {
+		d.p.Cost.ChargeCopy(n)
+		ptime.SpinFor(d.p.Cost.DMASetup)
+	}
+	d.eagerSent.Add(1)
+	d.eagerBytes.Add(uint64(n))
+	d.fab.Send(&wire.Packet{
+		Kind: wire.PktEager, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
+		Seq: h.Seq, MsgID: h.MsgID, Payload: payload,
+		WireLen: n + HeaderBytes,
+	})
+}
+
+// SendRTS posts a rendezvous request-to-send: header-only, cheap.
+func (d *Driver) SendRTS(h Header, msgLen int) {
+	ptime.SpinFor(d.p.Cost.SubmitOverhead)
+	d.rtsSent.Add(1)
+	d.fab.Send(&wire.Packet{
+		Kind: wire.PktRTS, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
+		Seq: h.Seq, MsgID: h.MsgID,
+		Payload: encodeLen(msgLen), WireLen: HeaderBytes,
+	})
+}
+
+// SendCTS answers a rendezvous handshake: header-only, cheap.
+func (d *Driver) SendCTS(h Header) {
+	ptime.SpinFor(d.p.Cost.SubmitOverhead)
+	d.ctsSent.Add(1)
+	d.fab.Send(&wire.Packet{
+		Kind: wire.PktCTS, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
+		Seq: h.Seq, MsgID: h.MsgID, WireLen: HeaderBytes,
+	})
+}
+
+// SendData transmits a rendezvous payload zero-copy: the NIC DMAs straight
+// from the application buffer, so the CPU pays only the DMA programming
+// cost regardless of size. offset tags the chunk's position within the
+// message so the multirail strategy can split one message across rails.
+func (d *Driver) SendData(h Header, offset int, payload []byte) {
+	ptime.SpinFor(d.p.Cost.SubmitOverhead)
+	ptime.SpinFor(d.p.Cost.DMASetup)
+	d.dataSent.Add(1)
+	d.dataBytes.Add(uint64(len(payload)))
+	d.fab.Send(&wire.Packet{
+		Kind: wire.PktData, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
+		Seq: h.Seq, MsgID: h.MsgID, Offset: offset, Payload: payload,
+		WireLen: len(payload) + HeaderBytes,
+	})
+}
+
+// SendAggr transmits an aggregated train of eager packs as one wire packet
+// (the optimizer's data-aggregation strategy). The payload is the encoded
+// train; the caller's core pays the same copy cost the individual packs
+// would have (they are copied into one registered buffer).
+func (d *Driver) SendAggr(h Header, payload []byte) {
+	ptime.SpinFor(d.p.Cost.SubmitOverhead)
+	d.p.Cost.ChargeCopy(len(payload))
+	ptime.SpinFor(d.p.Cost.DMASetup)
+	d.eagerSent.Add(1)
+	d.eagerBytes.Add(uint64(len(payload)))
+	d.fab.Send(&wire.Packet{
+		Kind: wire.PktAggr, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
+		Seq: h.Seq, MsgID: h.MsgID, Payload: payload,
+		WireLen: len(payload) + HeaderBytes,
+	})
+}
+
+// SendCtrl transmits an engine control packet (barriers, tests).
+func (d *Driver) SendCtrl(h Header, payload []byte) {
+	ptime.SpinFor(d.p.Cost.SubmitOverhead)
+	d.fab.Send(&wire.Packet{
+		Kind: wire.PktCtrl, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
+		Seq: h.Seq, MsgID: h.MsgID, Payload: payload,
+		WireLen: len(payload) + HeaderBytes,
+	})
+}
+
+// Poll returns one arrived packet or nil. If the rail's reception path
+// costs a copy (SHM), the caller's core pays it here.
+func (d *Driver) Poll() *wire.Packet {
+	d.polls.Add(1)
+	p := d.fab.Poll(d.self)
+	if p != nil {
+		d.recvs.Add(1)
+		if d.p.RecvCopies && len(p.Payload) > 0 {
+			d.p.Cost.ChargeCopy(len(p.Payload))
+		}
+	}
+	return p
+}
+
+// BlockingPoll waits up to timeout for a packet, sleeping rather than
+// spinning. It models the interrupt-based blocking call used when no core
+// is idle (§3.2 "Rendezvous management").
+func (d *Driver) BlockingPoll(timeout time.Duration) *wire.Packet {
+	p := d.fab.BlockingRecv(d.self, timeout)
+	if p != nil {
+		d.recvs.Add(1)
+		if d.p.RecvCopies && len(p.Payload) > 0 {
+			d.p.Cost.ChargeCopy(len(p.Payload))
+		}
+	}
+	return p
+}
+
+// HasPending reports whether any packet is queued (arrived or in flight)
+// for this endpoint.
+func (d *Driver) HasPending() bool {
+	_, ok := d.fab.PendingAt(d.self)
+	return ok
+}
+
+// CanSubmit reports whether the rail toward dst can accept another eager
+// submission: NewMadeleine's scheduler feeds a NIC "when it becomes idle",
+// so submission is gated on the link's backlog staying within roughly one
+// fragment of serialization. While the gate is closed, packs accumulate in
+// the waiting list — which is exactly when the aggregation strategy forms
+// trains.
+func (d *Driver) CanSubmit(dst int) bool {
+	return d.fab.LinkBacklog(d.self, dst) <= d.p.Link.FragSlot()+d.p.Link.PacketGap
+}
+
+// NextSeq allocates a fabric-unique sequence number.
+func (d *Driver) NextSeq() uint64 { return d.fab.NextSeq() }
+
+// ChargeMatchCopy charges the cost of copying an unexpected message from
+// the library's unexpected-message pool into the application buffer. The
+// paper's receive path performs this copy only when the message was
+// unexpected (§2.2).
+func (d *Driver) ChargeMatchCopy(n int) { d.p.Cost.ChargeCopy(n) }
+
+// Stats returns a snapshot of activity counters.
+func (d *Driver) Stats() Stats {
+	return Stats{
+		EagerSent:  d.eagerSent.Load(),
+		EagerBytes: d.eagerBytes.Load(),
+		PIOSent:    d.pioSent.Load(),
+		RTSSent:    d.rtsSent.Load(),
+		CTSSent:    d.ctsSent.Load(),
+		DataSent:   d.dataSent.Load(),
+		DataBytes:  d.dataBytes.Load(),
+		Polls:      d.polls.Load(),
+		Recvs:      d.recvs.Load(),
+	}
+}
+
+// encodeLen stores a message length in a small header payload.
+func encodeLen(n int) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(n >> (8 * i))
+	}
+	return b
+}
+
+// DecodeLen recovers a message length from an RTS payload.
+func DecodeLen(b []byte) int {
+	if len(b) < 8 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < 8; i++ {
+		n |= int(b[i]) << (8 * i)
+	}
+	return n
+}

@@ -1,0 +1,266 @@
+package nic
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pioman/internal/wire"
+)
+
+// fastParams returns a rail with negligible costs for logic-only tests.
+func fastParams() Params {
+	return Params{
+		Name:     "fast",
+		Link:     wire.LinkParams{Latency: 0, BytesPerUS: 1e12},
+		PIOMax:   128,
+		EagerMax: 32 << 10,
+		MTU:      32 << 10,
+	}
+}
+
+func pair(t *testing.T, p Params) (*Driver, *Driver) {
+	t.Helper()
+	fab := wire.NewFabric(2, p.Link)
+	return New(p, fab, 0), New(p, fab, 1)
+}
+
+func pollUntil(t *testing.T, d *Driver, timeout time.Duration) *wire.Packet {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if p := d.Poll(); p != nil {
+			return p
+		}
+	}
+	t.Fatal("no packet within timeout")
+	return nil
+}
+
+func TestEagerRoundtrip(t *testing.T) {
+	a, b := pair(t, fastParams())
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	a.SendEager(Header{Src: 0, Dst: 1, Tag: 5, Seq: 1}, payload)
+	p := pollUntil(t, b, time.Second)
+	if p.Kind != wire.PktEager || p.Tag != 5 || len(p.Payload) != 1024 {
+		t.Fatalf("bad packet %+v", p)
+	}
+	for i, v := range p.Payload {
+		if v != byte(i) {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+	st := a.Stats()
+	if st.EagerSent != 1 || st.EagerBytes != 1024 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEagerAboveThresholdPanics(t *testing.T) {
+	a, _ := pair(t, fastParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.SendEager(Header{Src: 0, Dst: 1}, make([]byte, 33<<10))
+}
+
+func TestPIOCountsSmallMessages(t *testing.T) {
+	a, b := pair(t, fastParams())
+	a.SendEager(Header{Src: 0, Dst: 1, Tag: 1}, make([]byte, 64))   // PIO
+	a.SendEager(Header{Src: 0, Dst: 1, Tag: 2}, make([]byte, 4096)) // copy+DMA
+	pollUntil(t, b, time.Second)
+	pollUntil(t, b, time.Second)
+	st := a.Stats()
+	if st.PIOSent != 1 {
+		t.Fatalf("PIOSent = %d, want 1", st.PIOSent)
+	}
+	if st.EagerSent != 2 {
+		t.Fatalf("EagerSent = %d, want 2", st.EagerSent)
+	}
+}
+
+func TestRendezvousPacketFlow(t *testing.T) {
+	a, b := pair(t, fastParams())
+	h := Header{Src: 0, Dst: 1, Tag: 9, MsgID: 77}
+	a.SendRTS(h, 128<<10)
+	rts := pollUntil(t, b, time.Second)
+	if rts.Kind != wire.PktRTS || rts.MsgID != 77 {
+		t.Fatalf("bad RTS %+v", rts)
+	}
+	if got := DecodeLen(rts.Payload); got != 128<<10 {
+		t.Fatalf("DecodeLen = %d, want %d", got, 128<<10)
+	}
+	b.SendCTS(Header{Src: 1, Dst: 0, Tag: 9, MsgID: 77})
+	cts := pollUntil(t, a, time.Second)
+	if cts.Kind != wire.PktCTS || cts.MsgID != 77 {
+		t.Fatalf("bad CTS %+v", cts)
+	}
+	data := make([]byte, 128<<10)
+	a.SendData(h, 0, data)
+	d := pollUntil(t, b, time.Second)
+	if d.Kind != wire.PktData || len(d.Payload) != 128<<10 {
+		t.Fatalf("bad DATA %+v kind=%v len=%d", d, d.Kind, len(d.Payload))
+	}
+	st := a.Stats()
+	if st.RTSSent != 1 || st.DataSent != 1 || st.DataBytes != uint64(128<<10) {
+		t.Fatalf("sender stats %+v", st)
+	}
+	if b.Stats().CTSSent != 1 {
+		t.Fatalf("receiver stats %+v", b.Stats())
+	}
+}
+
+func TestSubmitChargesCPU(t *testing.T) {
+	p := fastParams()
+	p.Cost.CopyBytesPerUS = 100 // 10 µs per KB
+	p.Cost.SubmitOverhead = 0
+	a, _ := pair(t, p)
+	start := time.Now()
+	a.SendEager(Header{Src: 0, Dst: 1}, make([]byte, 10_000)) // 100µs of copy
+	if el := time.Since(start); el < 100*time.Microsecond {
+		t.Fatalf("SendEager returned after %v, want >= 100µs of copy cost", el)
+	}
+}
+
+func TestSendDataIsZeroCopy(t *testing.T) {
+	p := fastParams()
+	p.Cost.CopyBytesPerUS = 1 // copies would be catastrophically slow
+	p.Cost.DMASetup = time.Microsecond
+	a, _ := pair(t, p)
+	start := time.Now()
+	a.SendData(Header{Src: 0, Dst: 1}, 0, make([]byte, 1<<20))
+	if el := time.Since(start); el > 10*time.Millisecond {
+		t.Fatalf("SendData took %v: it must not pay a copy cost", el)
+	}
+}
+
+func TestRecvCopiesCharged(t *testing.T) {
+	p := fastParams()
+	p.RecvCopies = true
+	p.Cost.CopyBytesPerUS = 100 // 10 µs per KB
+	a, b := pair(t, p)
+	a.SendEager(Header{Src: 0, Dst: 1}, make([]byte, 20_000))
+	deadline := time.Now().Add(time.Second)
+	for {
+		start := time.Now()
+		pk := b.Poll()
+		if pk != nil {
+			if el := time.Since(start); el < 200*time.Microsecond {
+				t.Fatalf("receiving Poll took %v, want >= 200µs copy", el)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no packet")
+		}
+	}
+}
+
+func TestBlockingPoll(t *testing.T) {
+	a, b := pair(t, fastParams())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		a.SendEager(Header{Src: 0, Dst: 1, Tag: 3}, []byte("zz"))
+	}()
+	p := b.BlockingPoll(2 * time.Second)
+	if p == nil || p.Tag != 3 {
+		t.Fatalf("BlockingPoll = %+v", p)
+	}
+	if p := b.BlockingPoll(10 * time.Millisecond); p != nil {
+		t.Fatalf("phantom packet %+v", p)
+	}
+}
+
+func TestHasPending(t *testing.T) {
+	a, b := pair(t, fastParams())
+	if b.HasPending() {
+		t.Fatal("fresh driver has pending")
+	}
+	a.SendEager(Header{Src: 0, Dst: 1}, []byte("x"))
+	if !b.HasPending() {
+		t.Fatal("pending not visible")
+	}
+	pollUntil(t, b, time.Second)
+	if b.HasPending() {
+		t.Fatal("pending after drain")
+	}
+}
+
+func TestCtrlPackets(t *testing.T) {
+	a, b := pair(t, fastParams())
+	a.SendCtrl(Header{Src: 0, Dst: 1, Tag: -1}, []byte{42})
+	p := pollUntil(t, b, time.Second)
+	if p.Kind != wire.PktCtrl || p.Payload[0] != 42 {
+		t.Fatalf("bad ctrl %+v", p)
+	}
+}
+
+func TestPresetsSane(t *testing.T) {
+	mx, shm, tcp := MXParams(), SHMParams(), TCPParams()
+	if mx.EagerMax != 32<<10 {
+		t.Errorf("MX EagerMax = %d, want 32K (paper §2.3)", mx.EagerMax)
+	}
+	if mx.PIOMax != 128 {
+		t.Errorf("MX PIOMax = %d, want 128 (paper §2.2)", mx.PIOMax)
+	}
+	if shm.Link.Latency >= mx.Link.Latency {
+		t.Error("SHM latency should be below MX")
+	}
+	if !shm.RecvCopies {
+		t.Error("SHM must copy on receive")
+	}
+	if tcp.Link.Latency <= mx.Link.Latency {
+		t.Error("TCP latency should exceed MX")
+	}
+	if tcp.PIOMax != 0 {
+		t.Error("TCP has no PIO path")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	fab := wire.NewFabric(2, wire.MYRI10G())
+	for _, bad := range []int{-1, 2, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(self=%d) did not panic", bad)
+				}
+			}()
+			New(MXParams(), fab, bad)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(nil fabric) did not panic")
+			}
+		}()
+		New(MXParams(), nil, 0)
+	}()
+}
+
+func TestDefaultMTU(t *testing.T) {
+	fab := wire.NewFabric(1, wire.MYRI10G())
+	p := Params{Name: "x", Link: wire.MYRI10G()}
+	d := New(p, fab, 0)
+	if d.MTU() <= 0 {
+		t.Fatalf("MTU = %d, want positive default", d.MTU())
+	}
+}
+
+func TestLenCodecProperty(t *testing.T) {
+	f := func(n uint32) bool {
+		return DecodeLen(encodeLen(int(n))) == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if DecodeLen(nil) != 0 || DecodeLen([]byte{1, 2}) != 0 {
+		t.Error("short buffers must decode to 0")
+	}
+}

@@ -1,0 +1,64 @@
+// Package ptime provides microsecond-precision busy-wait timing used to
+// model CPU-bound costs (application computation, memory copies, PIO
+// transfers) on real cores.
+//
+// The paper's central claim is that CPU-hungry communication operations can
+// be moved to idle cores so that they physically overlap with application
+// computation. To reproduce that mechanically, every CPU cost in this
+// repository is an actual busy-wait executed by the goroutine that "pays"
+// the cost: if the spin runs on an idle core's worker, the application
+// thread keeps computing in parallel; if it runs inline, it delays the
+// caller. Wall-clock measurements then exhibit the same max-vs-sum behaviour
+// the paper reports.
+package ptime
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// spinBatch is the number of inner iterations executed between clock reads.
+// Reading the clock on every iteration would dominate the loop on fast
+// machines; batching keeps precision well under a microsecond while keeping
+// the loop CPU-bound.
+const spinBatch = 64
+
+// sink defeats dead-code elimination of the spin loop.
+var sink atomic.Uint64
+
+// SpinFor busy-waits for approximately d, burning the executing core.
+// It never yields to the Go scheduler: the point is to occupy a core the
+// way a memcpy or PIO transfer would.
+func SpinFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	SpinUntil(time.Now().Add(d))
+}
+
+// SpinUntil busy-waits until the wall clock reaches deadline.
+func SpinUntil(deadline time.Time) {
+	var acc uint64
+	for time.Now().Before(deadline) {
+		for i := 0; i < spinBatch; i++ {
+			acc += uint64(i)
+		}
+	}
+	sink.Add(acc)
+}
+
+// Compute is an alias for SpinFor with intent: it models application
+// computation (the compute() phase of the paper's Fig. 4 benchmark).
+func Compute(d time.Duration) { SpinFor(d) }
+
+// A Stopwatch measures elapsed wall time with the monotonic clock.
+type Stopwatch struct{ start time.Time }
+
+// NewStopwatch returns a started stopwatch.
+func NewStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed reports the time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }
+
+// Restart resets the stopwatch to now.
+func (s *Stopwatch) Restart() { s.start = time.Now() }

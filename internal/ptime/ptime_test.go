@@ -1,0 +1,123 @@
+package ptime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSpinForZeroAndNegative(t *testing.T) {
+	start := time.Now()
+	SpinFor(0)
+	SpinFor(-time.Millisecond)
+	if el := time.Since(start); el > 5*time.Millisecond {
+		t.Fatalf("SpinFor(<=0) took %v, want ~0", el)
+	}
+}
+
+func TestSpinForDuration(t *testing.T) {
+	for _, d := range []time.Duration{20 * time.Microsecond, 200 * time.Microsecond, 2 * time.Millisecond} {
+		start := time.Now()
+		SpinFor(d)
+		el := time.Since(start)
+		if el < d {
+			t.Errorf("SpinFor(%v) returned after %v, want >= %v", d, el, d)
+		}
+		// Allow generous slack for scheduling noise but catch gross errors.
+		if el > d*10+time.Millisecond {
+			t.Errorf("SpinFor(%v) took %v, way over budget", d, el)
+		}
+	}
+}
+
+func TestSpinUntilPast(t *testing.T) {
+	start := time.Now()
+	SpinUntil(start.Add(-time.Second))
+	if el := time.Since(start); el > 5*time.Millisecond {
+		t.Fatalf("SpinUntil(past) took %v, want ~0", el)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	sw := NewStopwatch()
+	SpinFor(100 * time.Microsecond)
+	if e := sw.Elapsed(); e < 100*time.Microsecond {
+		t.Fatalf("Elapsed = %v, want >= 100µs", e)
+	}
+	sw.Restart()
+	if e := sw.Elapsed(); e > time.Millisecond {
+		t.Fatalf("after Restart, Elapsed = %v, want ~0", e)
+	}
+}
+
+func TestCopyCostLinear(t *testing.T) {
+	c := DefaultCostModel()
+	if got := c.CopyCost(2500); got != time.Microsecond {
+		t.Errorf("CopyCost(2500) = %v, want 1µs", got)
+	}
+	if got := c.CopyCost(0); got != 0 {
+		t.Errorf("CopyCost(0) = %v, want 0", got)
+	}
+	if got := c.CopyCost(-5); got != 0 {
+		t.Errorf("CopyCost(-5) = %v, want 0", got)
+	}
+}
+
+func TestPIOSlowerThanCopy(t *testing.T) {
+	c := DefaultCostModel()
+	for _, n := range []int{64, 128, 1024} {
+		if c.PIOCost(n) <= c.CopyCost(n) {
+			t.Errorf("PIOCost(%d)=%v should exceed CopyCost(%d)=%v", n, c.PIOCost(n), n, c.CopyCost(n))
+		}
+	}
+}
+
+func TestZeroRateCostModel(t *testing.T) {
+	var c CostModel
+	if c.CopyCost(1024) != 0 || c.PIOCost(1024) != 0 {
+		t.Fatal("zero-rate cost model must report zero cost, not divide by zero")
+	}
+}
+
+// Property: cost is monotone non-decreasing in size.
+func TestCostMonotonicProperty(t *testing.T) {
+	c := DefaultCostModel()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return c.CopyCost(x) <= c.CopyCost(y) && c.PIOCost(x) <= c.PIOCost(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost of concatenation is (approximately) additive; allow 1ns
+// rounding slack per term.
+func TestCostAdditiveProperty(t *testing.T) {
+	c := DefaultCostModel()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		sum := c.CopyCost(x) + c.CopyCost(y)
+		whole := c.CopyCost(x + y)
+		diff := sum - whole
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2*time.Nanosecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChargeCopyBurnsTime(t *testing.T) {
+	c := DefaultCostModel()
+	start := time.Now()
+	c.ChargeCopy(250000) // 100µs at 2.5GB/s
+	if el := time.Since(start); el < 100*time.Microsecond {
+		t.Fatalf("ChargeCopy(250000) took %v, want >= 100µs", el)
+	}
+}

@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"pioman/internal/topo"
+)
+
+func BenchmarkTaskletScheduleExecute(b *testing.B) {
+	s := New(Config{Machine: topo.Machine{Sockets: 1, CoresPerSocket: 2}})
+	defer s.Shutdown()
+	var runs atomic.Int64
+	tl := NewTasklet("bench", func(core topo.CoreID) { runs.Add(1) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(tl)
+	}
+	b.StopTimer()
+	// Drain: wait until the tasklet queue settles.
+	for {
+		prev := runs.Load()
+		if prev > 0 && prev == runs.Load() {
+			break
+		}
+	}
+}
+
+func BenchmarkThreadSpawnJoin(b *testing.B) {
+	s := New(Config{Machine: topo.Machine{Sockets: 1, CoresPerSocket: 4}})
+	defer s.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Spawn("w", func(th *Thread) {}).Join()
+	}
+}
+
+func BenchmarkThreadYield(b *testing.B) {
+	s := New(Config{Machine: topo.Machine{Sockets: 1, CoresPerSocket: 2}})
+	defer s.Shutdown()
+	th := s.Spawn("y", func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Yield()
+		}
+	})
+	th.Join()
+}

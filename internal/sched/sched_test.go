@@ -1,0 +1,420 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pioman/internal/sync2"
+	"pioman/internal/topo"
+)
+
+func testSched(t *testing.T, cores int) *Scheduler {
+	t.Helper()
+	s := New(Config{Machine: topo.Machine{Sockets: 1, CoresPerSocket: cores}})
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func TestDefaultMachine(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown()
+	if s.NumCores() != 8 {
+		t.Fatalf("NumCores = %d, want 8 (dual quad Xeon)", s.NumCores())
+	}
+}
+
+func TestTaskletRunsOnce(t *testing.T) {
+	s := testSched(t, 2)
+	var runs atomic.Int32
+	done := make(chan struct{})
+	tl := NewTasklet("t", func(core topo.CoreID) {
+		runs.Add(1)
+		close(done)
+	})
+	s.Schedule(tl)
+	<-done
+	time.Sleep(5 * time.Millisecond)
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("tasklet ran %d times, want 1", n)
+	}
+}
+
+func TestTaskletCoalescesWhilePending(t *testing.T) {
+	s := testSched(t, 1)
+	gate := make(chan struct{})
+	var runs atomic.Int32
+	// Occupy the only core so the tasklet stays pending.
+	blocker := NewTasklet("blocker", func(core topo.CoreID) { <-gate })
+	tl := NewTasklet("t", func(core topo.CoreID) { runs.Add(1) })
+	s.Schedule(blocker)
+	time.Sleep(2 * time.Millisecond) // blocker now running
+	for i := 0; i < 10; i++ {
+		s.Schedule(tl) // all coalesce into one pending execution
+	}
+	close(gate)
+	time.Sleep(10 * time.Millisecond)
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("tasklet ran %d times, want 1 (coalesced)", n)
+	}
+}
+
+func TestTaskletRescheduleWhileRunningRunsAgain(t *testing.T) {
+	s := testSched(t, 2)
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	var runs atomic.Int32
+	var tl *Tasklet
+	tl = NewTasklet("t", func(core topo.CoreID) {
+		if runs.Add(1) == 1 {
+			close(started)
+			<-unblock
+		}
+	})
+	s.Schedule(tl)
+	<-started
+	s.Schedule(tl) // while running: must re-run exactly once more
+	s.Schedule(tl) // coalesces with the previous reschedule
+	close(unblock)
+	deadline := time.Now().Add(time.Second)
+	for runs.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if n := runs.Load(); n != 2 {
+		t.Fatalf("tasklet ran %d times, want 2", n)
+	}
+}
+
+func TestTaskletNeverConcurrent(t *testing.T) {
+	s := testSched(t, 4)
+	var inside, maxInside atomic.Int32
+	var runs atomic.Int32
+	tl := NewTasklet("t", func(core topo.CoreID) {
+		v := inside.Add(1)
+		for {
+			m := maxInside.Load()
+			if v <= m || maxInside.CompareAndSwap(m, v) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		inside.Add(-1)
+		runs.Add(1)
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Schedule(tl)
+				time.Sleep(50 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().TaskletsRun > 0 && inside.Load() == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m := maxInside.Load(); m > 1 {
+		t.Fatalf("tasklet ran on %d cores concurrently", m)
+	}
+	if runs.Load() == 0 {
+		t.Fatal("tasklet never ran")
+	}
+}
+
+func TestNilTaskletFnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTasklet("bad", nil)
+}
+
+func TestScheduleFunc(t *testing.T) {
+	s := testSched(t, 2)
+	done := make(chan topo.CoreID, 1)
+	s.ScheduleFunc("once", func(core topo.CoreID) { done <- core })
+	select {
+	case c := <-done:
+		if !s.Machine().ValidCore(c) {
+			t.Fatalf("ran on invalid core %d", c)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("one-shot tasklet never ran")
+	}
+}
+
+func TestThreadRunsAndJoins(t *testing.T) {
+	s := testSched(t, 2)
+	ran := false
+	th := s.Spawn("worker", func(th *Thread) {
+		th.Compute(10 * time.Microsecond)
+		ran = true
+	})
+	th.Join()
+	if !ran {
+		t.Fatal("thread body did not run")
+	}
+	if !th.Done() {
+		t.Fatal("Done() false after Join")
+	}
+}
+
+func TestMoreThreadsThanCores(t *testing.T) {
+	s := testSched(t, 2)
+	const n = 10
+	var done atomic.Int32
+	ths := make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		ths[i] = s.Spawn("w", func(th *Thread) {
+			th.Compute(50 * time.Microsecond)
+			th.Yield()
+			th.Compute(50 * time.Microsecond)
+			done.Add(1)
+		})
+	}
+	for _, th := range ths {
+		th.Join()
+	}
+	if done.Load() != n {
+		t.Fatalf("completed %d/%d threads", done.Load(), n)
+	}
+}
+
+func TestCoreOccupancyNeverExceedsCores(t *testing.T) {
+	const cores = 3
+	s := testSched(t, cores)
+	var cur, max atomic.Int32
+	const n = 12
+	ths := make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		ths[i] = s.Spawn("w", func(th *Thread) {
+			for k := 0; k < 5; k++ {
+				v := cur.Add(1)
+				for {
+					m := max.Load()
+					if v <= m || max.CompareAndSwap(m, v) {
+						break
+					}
+				}
+				th.Compute(20 * time.Microsecond)
+				cur.Add(-1)
+				th.Yield()
+			}
+		})
+	}
+	for _, th := range ths {
+		th.Join()
+	}
+	if m := max.Load(); m > cores {
+		t.Fatalf("%d threads computed concurrently on %d cores", m, cores)
+	}
+}
+
+func TestThreadBlockWakesOnFlag(t *testing.T) {
+	s := testSched(t, 2)
+	var f sync2.Flag
+	order := make(chan string, 4)
+	th := s.Spawn("blocker", func(th *Thread) {
+		order <- "before"
+		th.Block(&f)
+		order <- "after"
+	})
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case got := <-order:
+		if got != "before" {
+			t.Fatalf("got %q", got)
+		}
+	default:
+		t.Fatal("thread never started")
+	}
+	select {
+	case <-order:
+		t.Fatal("thread passed Block before flag set")
+	default:
+	}
+	f.Set()
+	th.Join()
+	if got := <-order; got != "after" {
+		t.Fatalf("got %q, want after", got)
+	}
+}
+
+func TestBlockReleasesCoreForOthers(t *testing.T) {
+	// One core: a blocked thread must not starve another thread.
+	s := testSched(t, 1)
+	var f sync2.Flag
+	ranOther := make(chan struct{})
+	blocked := s.Spawn("blocked", func(th *Thread) {
+		th.Block(&f)
+	})
+	s.Spawn("other", func(th *Thread) {
+		close(ranOther)
+	})
+	select {
+	case <-ranOther:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked thread held the only core")
+	}
+	f.Set()
+	blocked.Join()
+}
+
+func TestSpinThen(t *testing.T) {
+	s := testSched(t, 1)
+	th := s.Spawn("spinner", func(th *Thread) {
+		n := 0
+		ok := th.SpinThen(50*time.Millisecond, func() bool {
+			n++
+			return n >= 3
+		})
+		if !ok {
+			t.Error("SpinThen should have succeeded")
+		}
+		if !th.SpinThen(time.Microsecond, func() bool { return true }) {
+			t.Error("immediately-true condition failed")
+		}
+		if th.SpinThen(100*time.Microsecond, func() bool { return false }) {
+			t.Error("never-true condition succeeded")
+		}
+	})
+	th.Join()
+}
+
+func TestComputeWithoutCorePanics(t *testing.T) {
+	s := testSched(t, 1)
+	ch := make(chan *Thread, 1)
+	s.Spawn("w", func(t2 *Thread) { ch <- t2 }).Join()
+	th := <-ch
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	th.Compute(time.Microsecond)
+}
+
+func TestIdleHookRunsOnIdleCores(t *testing.T) {
+	s := testSched(t, 2)
+	var polls atomic.Int64
+	s.SetIdleHook(func(core topo.CoreID) bool {
+		polls.Add(1)
+		return false
+	})
+	deadline := time.Now().Add(time.Second)
+	for polls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if polls.Load() == 0 {
+		t.Fatal("idle hook never ran")
+	}
+	s.SetIdleHook(nil)
+}
+
+func TestIdleHookPreemptedByThread(t *testing.T) {
+	s := testSched(t, 1)
+	s.SetIdleHook(func(core topo.CoreID) bool { return true }) // always "working"
+	done := make(chan struct{})
+	s.Spawn("t", func(th *Thread) { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("greedy idle hook starved the application thread")
+	}
+	s.SetIdleHook(nil)
+}
+
+func TestTimerTaskletFires(t *testing.T) {
+	s := New(Config{
+		Machine:     topo.Machine{Sockets: 1, CoresPerSocket: 2},
+		TimerPeriod: time.Millisecond,
+	})
+	defer s.Shutdown()
+	var fires atomic.Int32
+	s.SetTimerTasklet(NewTasklet("tick", func(core topo.CoreID) { fires.Add(1) }))
+	deadline := time.Now().Add(2 * time.Second)
+	for fires.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if fires.Load() < 3 {
+		t.Fatalf("timer tasklet fired %d times, want >= 3", fires.Load())
+	}
+	if s.Stats().TimerTicks < 3 {
+		t.Fatalf("TimerTicks = %d", s.Stats().TimerTicks)
+	}
+}
+
+func TestIdleCoresCounter(t *testing.T) {
+	s := testSched(t, 4)
+	// With no threads, all cores pass through idle; the instantaneous
+	// count fluctuates but must be observable > 0 and <= 4.
+	deadline := time.Now().Add(time.Second)
+	sawIdle := false
+	for time.Now().Before(deadline) {
+		n := s.IdleCores()
+		if n < 0 || n > 4 {
+			t.Fatalf("IdleCores = %d out of range", n)
+		}
+		if n > 0 {
+			sawIdle = true
+			break
+		}
+	}
+	if !sawIdle {
+		t.Fatal("never observed an idle core on an empty scheduler")
+	}
+}
+
+func TestShutdownWithLiveThreadPanics(t *testing.T) {
+	s := New(Config{Machine: topo.Machine{Sockets: 1, CoresPerSocket: 1}})
+	var f sync2.Flag
+	th := s.Spawn("stuck", func(th *Thread) { th.Block(&f) })
+	time.Sleep(2 * time.Millisecond)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on Shutdown with live threads")
+			}
+		}()
+		s.Shutdown()
+	}()
+	f.Set()
+	th.Join()
+	s.Shutdown()
+}
+
+func TestStatsCount(t *testing.T) {
+	s := testSched(t, 2)
+	th := s.Spawn("w", func(th *Thread) { th.Compute(time.Microsecond) })
+	th.Join()
+	done := make(chan struct{})
+	s.ScheduleFunc("t", func(core topo.CoreID) { close(done) })
+	<-done
+	st := s.Stats()
+	if st.ThreadsRun == 0 {
+		t.Error("ThreadsRun = 0")
+	}
+	if st.TaskletsRun == 0 {
+		t.Error("TaskletsRun = 0")
+	}
+	if st.ThreadsAlive != 0 {
+		t.Errorf("ThreadsAlive = %d, want 0", st.ThreadsAlive)
+	}
+}
+
+func TestScheduleAfterShutdownIsNoop(t *testing.T) {
+	s := New(Config{Machine: topo.Machine{Sockets: 1, CoresPerSocket: 1}})
+	s.Shutdown()
+	s.ScheduleFunc("late", func(core topo.CoreID) {})
+	s.Shutdown() // double shutdown is fine
+}

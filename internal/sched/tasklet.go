@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"pioman/internal/topo"
+)
+
+// Tasklet is a deferred, very-high-priority work item, modeled after the
+// Linux tasklets Marcel borrows (§3.1 of the paper, [7]). Guarantees:
+//
+//   - A tasklet runs on at most one core at a time, so its body may touch
+//     shared engine state without further locking (the paper's per-event
+//     mutual exclusion, §2.1).
+//   - Schedule while idle enqueues it once; Schedule while pending is a
+//     no-op; Schedule while running causes exactly one re-execution after
+//     the current run finishes.
+//
+// Cores execute tasklets before application threads, so a scheduled
+// tasklet runs "as soon as the scheduler reaches a point where it is safe
+// to let them run".
+type Tasklet struct {
+	fn    func(core topo.CoreID)
+	state atomic.Int32
+	name  string
+}
+
+// Tasklet lifecycle states.
+const (
+	taskletIdle int32 = iota
+	taskletPending
+	taskletRunning
+	taskletRerun // running, and re-scheduled during the run
+)
+
+// NewTasklet returns a tasklet executing fn. The core argument passed to fn
+// identifies the executing core, so engine code can attribute costs and
+// trace events.
+func NewTasklet(name string, fn func(core topo.CoreID)) *Tasklet {
+	if fn == nil {
+		panic("sched: nil tasklet function")
+	}
+	return &Tasklet{fn: fn, name: name}
+}
+
+// Name returns the tasklet's diagnostic name.
+func (t *Tasklet) Name() string { return t.name }
+
+// schedule transitions the tasklet toward execution and reports whether the
+// caller must enqueue it.
+func (t *Tasklet) schedule() (enqueue bool) {
+	for {
+		switch s := t.state.Load(); s {
+		case taskletIdle:
+			if t.state.CompareAndSwap(taskletIdle, taskletPending) {
+				return true
+			}
+		case taskletPending, taskletRerun:
+			return false
+		case taskletRunning:
+			if t.state.CompareAndSwap(taskletRunning, taskletRerun) {
+				return false
+			}
+		}
+	}
+}
+
+// execute runs the tasklet body on core and reports whether it must be
+// re-enqueued (a Schedule arrived during the run).
+func (t *Tasklet) execute(core topo.CoreID) (requeue bool) {
+	if !t.state.CompareAndSwap(taskletPending, taskletRunning) {
+		// Only pending tasklets are ever enqueued; anything else is a
+		// queue-corruption bug worth failing loudly on.
+		panic("sched: executing tasklet that is not pending")
+	}
+	t.fn(core)
+	for {
+		switch s := t.state.Load(); s {
+		case taskletRunning:
+			if t.state.CompareAndSwap(taskletRunning, taskletIdle) {
+				return false
+			}
+		case taskletRerun:
+			if t.state.CompareAndSwap(taskletRerun, taskletPending) {
+				return true
+			}
+		default:
+			panic("sched: tasklet state corrupted during execution")
+		}
+	}
+}

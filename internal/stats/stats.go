@@ -1,0 +1,154 @@
+// Package stats provides the small statistics toolkit used by the benchmark
+// harness: running mean/variance (Welford), min/max, and percentile
+// summaries over duration samples. The paper reports single µs numbers per
+// configuration; we additionally report medians and spread because the
+// simulated testbed runs on a shared host.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Running accumulates streaming statistics with Welford's algorithm.
+type Running struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one sample.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the sample count.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean, 0 if empty.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance, 0 for fewer than 2 samples.
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest sample, 0 if empty.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample, 0 if empty.
+func (r *Running) Max() float64 { return r.max }
+
+// Sample is a bounded collection of duration measurements.
+type Sample struct {
+	xs []time.Duration
+}
+
+// NewSample returns an empty sample with capacity hint n.
+func NewSample(n int) *Sample { return &Sample{xs: make([]time.Duration, 0, n)} }
+
+// Add appends one measurement.
+func (s *Sample) Add(d time.Duration) { s.xs = append(s.xs, d) }
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on a sorted copy. Empty samples return 0.
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.xs))
+	copy(sorted, s.xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() time.Duration { return s.Percentile(50) }
+
+// Min returns the smallest measurement, 0 if empty.
+func (s *Sample) Min() time.Duration { return s.Percentile(0) }
+
+// Max returns the largest measurement, 0 if empty.
+func (s *Sample) Max() time.Duration { return s.Percentile(100) }
+
+// Mean returns the arithmetic mean, 0 if empty.
+func (s *Sample) Mean() time.Duration {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / time.Duration(len(s.xs))
+}
+
+// TrimmedMean returns the mean after discarding the top and bottom frac
+// (e.g. 0.1 trims 10% from each side). It is the harness's default
+// estimator: robust to scheduler noise spikes on the shared host.
+func (s *Sample) TrimmedMean(frac float64) time.Duration {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if frac < 0 || frac >= 0.5 {
+		return s.Mean()
+	}
+	sorted := make([]time.Duration, len(s.xs))
+	copy(sorted, s.xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	k := int(float64(len(sorted)) * frac)
+	kept := sorted[k : len(sorted)-k]
+	if len(kept) == 0 {
+		return s.Median()
+	}
+	var sum time.Duration
+	for _, x := range kept {
+		sum += x
+	}
+	return sum / time.Duration(len(kept))
+}
+
+// Summary formats min/median/mean/p95/max in microseconds.
+func (s *Sample) Summary() string {
+	return fmt.Sprintf("min=%.1fµs med=%.1fµs mean=%.1fµs p95=%.1fµs max=%.1fµs (n=%d)",
+		us(s.Min()), us(s.Median()), us(s.Mean()), us(s.Percentile(95)), us(s.Max()), s.N())
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// US converts a duration to float microseconds for table printing.
+func US(d time.Duration) float64 { return us(d) }

@@ -1,0 +1,55 @@
+package sync2
+
+import (
+	"sync"
+	"testing"
+)
+
+func BenchmarkSpinLockUncontended(b *testing.B) {
+	var l SpinLock
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkSpinLockContended(b *testing.B) {
+	var l SpinLock
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Lock()
+			l.Unlock()
+		}
+	})
+}
+
+func BenchmarkMutexContendedReference(b *testing.B) {
+	var l sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Lock()
+			l.Unlock()
+		}
+	})
+}
+
+func BenchmarkFlagSetAndCheck(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var f Flag
+		f.Set()
+		if !f.IsSet() {
+			b.Fatal("unset")
+		}
+	}
+}
+
+func BenchmarkTryLock(b *testing.B) {
+	var l SpinLock
+	for i := 0; i < b.N; i++ {
+		if l.TryLock() {
+			l.Unlock()
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package sync2
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Flag is a one-shot completion event. A request's completion is signaled
+// exactly once by whichever core detects it; any number of goroutines may
+// wait. Waiters first spin briefly (completions usually arrive within a few
+// microseconds in the engine) and then fall back to a channel so that long
+// waits do not burn a core.
+type Flag struct {
+	done atomic.Bool
+	ch   chan struct{}
+	init atomic.Bool
+	mu   SpinLock
+}
+
+// channel lazily allocates the notification channel.
+func (f *Flag) channel() chan struct{} {
+	if f.init.Load() {
+		return f.ch
+	}
+	f.mu.Lock()
+	if !f.init.Load() {
+		f.ch = make(chan struct{})
+		f.init.Store(true)
+	}
+	ch := f.ch
+	f.mu.Unlock()
+	return ch
+}
+
+// Set marks the flag done and wakes all waiters. Setting an already-set
+// flag is a no-op, so multiple detectors may race safely.
+func (f *Flag) Set() {
+	if f.done.Swap(true) {
+		return
+	}
+	close(f.channel())
+}
+
+// IsSet reports whether Set has been called.
+func (f *Flag) IsSet() bool { return f.done.Load() }
+
+// Wait blocks until the flag is set.
+func (f *Flag) Wait() {
+	if f.done.Load() {
+		return
+	}
+	<-f.channel()
+}
+
+// SpinWait busy-waits up to spin before blocking on the channel. It returns
+// as soon as the flag is set. The spin phase keeps the sub-5µs completion
+// path free of scheduler round trips.
+func (f *Flag) SpinWait(spin time.Duration) {
+	if f.done.Load() {
+		return
+	}
+	deadline := time.Now().Add(spin)
+	for time.Now().Before(deadline) {
+		if f.done.Load() {
+			return
+		}
+	}
+	<-f.channel()
+}

@@ -1,0 +1,44 @@
+package sync2
+
+// Semaphore is a counting semaphore built on a buffered channel, for
+// bounding concurrent occupancy (e.g. in applications built on the public
+// API that want to cap in-flight requests).
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// NewSemaphore returns a semaphore with n free slots. n must be positive.
+func NewSemaphore(n int) *Semaphore {
+	if n <= 0 {
+		panic("sync2: semaphore size must be positive")
+	}
+	return &Semaphore{slots: make(chan struct{}, n)}
+}
+
+// Acquire takes a slot, blocking until one is free.
+func (s *Semaphore) Acquire() { s.slots <- struct{}{} }
+
+// TryAcquire takes a slot if one is immediately free.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot. Releasing more than acquired panics.
+func (s *Semaphore) Release() {
+	select {
+	case <-s.slots:
+	default:
+		panic("sync2: release of unacquired semaphore slot")
+	}
+}
+
+// InUse reports the number of currently held slots.
+func (s *Semaphore) InUse() int { return len(s.slots) }
+
+// Cap reports the total number of slots.
+func (s *Semaphore) Cap() int { return cap(s.slots) }

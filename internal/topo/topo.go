@@ -1,0 +1,101 @@
+// Package topo models the hardware topology of a cluster node: sockets and
+// cores, like the dual quad-core Xeon machines of the paper's testbed. The
+// Marcel analog (internal/sched) uses the topology to enumerate cores, and
+// the engine uses socket distance to prefer offloading submissions to cores
+// close to the communicating thread (cache-affinity, §2.2's "cache effects"
+// caveat).
+package topo
+
+import "fmt"
+
+// CoreID identifies one core within a node, in [0, Machine.NumCores()).
+type CoreID int
+
+// Machine describes the topology of a single node.
+type Machine struct {
+	// Sockets is the number of CPU packages.
+	Sockets int
+	// CoresPerSocket is the number of cores in each package.
+	CoresPerSocket int
+}
+
+// DualQuadXeon is the paper's testbed node: two quad-core 2.33 GHz Xeons.
+func DualQuadXeon() Machine { return Machine{Sockets: 2, CoresPerSocket: 4} }
+
+// Validate reports an error if the topology is degenerate.
+func (m Machine) Validate() error {
+	if m.Sockets <= 0 || m.CoresPerSocket <= 0 {
+		return fmt.Errorf("topo: invalid machine %dx%d", m.Sockets, m.CoresPerSocket)
+	}
+	return nil
+}
+
+// NumCores returns the total number of cores.
+func (m Machine) NumCores() int { return m.Sockets * m.CoresPerSocket }
+
+// Socket returns the socket that owns core c.
+func (m Machine) Socket(c CoreID) int {
+	if !m.ValidCore(c) {
+		panic(fmt.Sprintf("topo: core %d out of range on %v", c, m))
+	}
+	return int(c) / m.CoresPerSocket
+}
+
+// ValidCore reports whether c exists on the machine.
+func (m Machine) ValidCore(c CoreID) bool {
+	return c >= 0 && int(c) < m.NumCores()
+}
+
+// Distance returns a topological distance between two cores: 0 for the same
+// core, 1 for cores sharing a socket, 2 across sockets. The offload
+// placement policy prefers low distance to keep the submitted buffer warm
+// in a shared cache.
+func (m Machine) Distance(a, b CoreID) int {
+	switch {
+	case a == b:
+		return 0
+	case m.Socket(a) == m.Socket(b):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Siblings returns every core sharing a socket with c, excluding c itself.
+func (m Machine) Siblings(c CoreID) []CoreID {
+	s := m.Socket(c)
+	out := make([]CoreID, 0, m.CoresPerSocket-1)
+	for i := s * m.CoresPerSocket; i < (s+1)*m.CoresPerSocket; i++ {
+		if CoreID(i) != c {
+			out = append(out, CoreID(i))
+		}
+	}
+	return out
+}
+
+// Cores enumerates every core ID.
+func (m Machine) Cores() []CoreID {
+	out := make([]CoreID, m.NumCores())
+	for i := range out {
+		out[i] = CoreID(i)
+	}
+	return out
+}
+
+// ByDistance returns all cores other than c sorted by increasing distance
+// from c (socket-mates first). Within a distance class, IDs ascend.
+func (m Machine) ByDistance(c CoreID) []CoreID {
+	out := make([]CoreID, 0, m.NumCores()-1)
+	out = append(out, m.Siblings(c)...)
+	for _, o := range m.Cores() {
+		if m.Socket(o) != m.Socket(c) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (m Machine) String() string {
+	return fmt.Sprintf("%d sockets x %d cores", m.Sockets, m.CoresPerSocket)
+}

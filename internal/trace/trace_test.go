@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindPoll})
+	r.Recordf(KindSubmit, 0, 1, 64, "x")
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+	r.Reset()
+}
+
+func TestRecordAndDump(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(Event{Kind: KindRegister, Core: 0, Tag: 7, Size: 1024})
+	r.Record(Event{Kind: KindSubmit, Core: 3, Tag: 7, Size: 1024, Note: "offloaded"})
+	r.Record(Event{Kind: KindComplete, Core: -1, Tag: 7})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	var sb strings.Builder
+	r.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"register", "submit", "complete", "tag=7", "size=1024", "offloaded", "core=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpEmpty(t *testing.T) {
+	var sb strings.Builder
+	NewRecorder(4).Dump(&sb)
+	if !strings.Contains(sb.String(), "no events") {
+		t.Fatalf("empty dump = %q", sb.String())
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: KindPoll, Tag: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	evs := r.Events()
+	tags := []int{evs[0].Tag, evs[1].Tag, evs[2].Tag, evs[3].Tag}
+	for i, want := range []int{6, 7, 8, 9} {
+		if tags[i] != want {
+			t.Fatalf("wrapped tags = %v, want [6 7 8 9]", tags)
+		}
+	}
+}
+
+func TestEventsChronological(t *testing.T) {
+	r := NewRecorder(8)
+	now := time.Now()
+	// Insert out of order explicitly.
+	r.Record(Event{Kind: KindPoll, At: now.Add(2 * time.Microsecond)})
+	r.Record(Event{Kind: KindPoll, At: now})
+	r.Record(Event{Kind: KindPoll, At: now.Add(time.Microsecond)})
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At.Before(evs[i-1].At) {
+			t.Fatal("Events not sorted chronologically")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(Event{Kind: KindPoll})
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", r.Len())
+	}
+	r.Record(Event{Kind: KindSubmit})
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRecorder(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Kind: KindPoll, Core: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", r.Len())
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	if len(r.ring) != 1024 {
+		t.Fatalf("default capacity = %d, want 1024", len(r.ring))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSubmit.String() != "submit" {
+		t.Fatalf("KindSubmit = %q", KindSubmit.String())
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Fatalf("unknown kind = %q", Kind(200).String())
+	}
+}

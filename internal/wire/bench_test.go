@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkSendPollSmall(b *testing.B) {
+	f := NewFabric(2, LinkParams{Latency: 0, BytesPerUS: 1e12})
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Send(&Packet{Src: 0, Dst: 1, Payload: payload})
+		for f.Poll(1) == nil {
+		}
+	}
+}
+
+func BenchmarkSendPollBulk(b *testing.B) {
+	f := NewFabric(2, LinkParams{Latency: 0, BytesPerUS: 1e12})
+	payload := make([]byte, 64<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Send(&Packet{Kind: PktData, Src: 0, Dst: 1, Payload: payload})
+		for f.Poll(1) == nil {
+		}
+	}
+}
+
+func BenchmarkPollEmpty(b *testing.B) {
+	f := NewFabric(2, MYRI10G())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f.Poll(1) != nil {
+			b.Fatal("phantom packet")
+		}
+	}
+}
+
+func BenchmarkLinkBacklog(b *testing.B) {
+	f := NewFabric(2, MYRI10G())
+	for i := 0; i < b.N; i++ {
+		_ = f.LinkBacklog(0, 1)
+	}
+}
+
+func BenchmarkSerializeCost(b *testing.B) {
+	lp := MYRI10G()
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		sink += lp.SerializeCost(i & 0xFFFF)
+	}
+	_ = sink
+}
