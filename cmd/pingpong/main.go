@@ -1,25 +1,50 @@
-// Command pingpong runs the classic latency/bandwidth sweep over the
-// simulated MX fabric, for both the sequential baseline and the
-// PIOMan-enabled engine.
+// Command pingpong runs the classic latency/bandwidth sweep.
 //
-// Usage:
+// By default it sweeps the simulated MX fabric, for both the sequential
+// baseline and the PIOMan-enabled engine:
 //
 //	pingpong [-quick] [-max 1048576]
+//
+// With -listen or -connect it instead runs the full engine stack between
+// two real OS processes over TCP (fabric/tcpfab), exercising the eager
+// protocol below 32 KiB and the RTS/CTS rendezvous protocol above it on
+// genuine sockets:
+//
+//	pingpong -listen 127.0.0.1:9777           # rank 0
+//	pingpong -connect 127.0.0.1:9777          # rank 1, other process
+//
+// Rank 0 accepts with -listen (port 0 picks an ephemeral port, printed on
+// startup); rank 1 dials it. The connecting rank speaks first so the
+// listening rank learns its return path from the accepted connection.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"time"
 
 	"pioman/internal/core"
 	"pioman/internal/exp"
+	"pioman/internal/fabric/tcpfab"
+	"pioman/internal/mpi"
+	"pioman/internal/nic"
+	"pioman/internal/topo"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts")
 	max := flag.Int("max", 1<<20, "largest message size")
+	listen := flag.String("listen", "", "run as rank 0 over real TCP, accepting on this address")
+	connect := flag.String("connect", "", "run as rank 1 over real TCP, dialing rank 0 at this address")
 	flag.Parse()
 	exp.Quick = *quick
+
+	if *listen != "" || *connect != "" {
+		os.Exit(runReal(*listen, *connect, *quick))
+	}
 
 	var sizes []int
 	for s := 8; s <= *max; s *= 2 {
@@ -29,4 +54,141 @@ func main() {
 		"Pingpong, sequential baseline (original NewMadeleine)"))
 	fmt.Println(exp.FormatPingpong(exp.RunPingpong(core.Multithreaded, sizes),
 		"Pingpong, multithreaded engine (NewMadeleine + PIOMan)"))
+}
+
+// Real-mode protocol tags.
+const (
+	tagHello = 1 // rank 1 -> rank 0: opens the return path
+	tagPing  = 2
+	tagPong  = 3
+	tagBye   = 4
+)
+
+// realSizes spans both protocols around the 32 KiB rendezvous threshold.
+var realSizes = []int{64, 1 << 10, 4 << 10, 32 << 10, 64 << 10, 256 << 10}
+
+// runReal executes one rank of the two-process pingpong and returns the
+// process exit code.
+func runReal(listen, connect string, quick bool) int {
+	if listen != "" && connect != "" {
+		fmt.Fprintln(os.Stderr, "pingpong: -listen and -connect are mutually exclusive")
+		return 2
+	}
+	iters := 50
+	if quick {
+		iters = 5
+	}
+	// The engine dedicates goroutines to busy-polling (that is the
+	// paper's design); with GOMAXPROCS at or below the spinner count a
+	// woken socket reader waits out the runtime's ~10ms preemption tick
+	// before it can deliver. Keep enough Ps that woken goroutines
+	// schedule immediately even on small hosts.
+	if runtime.GOMAXPROCS(0) < 6 {
+		runtime.GOMAXPROCS(6)
+	}
+
+	var (
+		ep  *tcpfab.Endpoint
+		err error
+	)
+	rank := 0
+	if listen != "" {
+		ep, err = tcpfab.New(tcpfab.Config{Self: 0, Nodes: 2, Listen: listen})
+		if err == nil {
+			fmt.Printf("pingpong: rank 0 listening on %s\n", ep.Addr())
+		}
+	} else {
+		rank = 1
+		ep, err = tcpfab.New(tcpfab.Config{Self: 1, Nodes: 2, Peers: map[int]string{0: connect}})
+		if err == nil {
+			// Fail fast on a bad address: without this the dial error
+			// only surfaces as a silently dropped packet deep in the
+			// engine, and the process hangs waiting for a reply.
+			err = ep.Dial(0)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pingpong: %v\n", err)
+		return 1
+	}
+
+	w := mpi.NewDistributed(mpi.Config{
+		Mode:           core.Multithreaded,
+		OffloadEager:   true,
+		EnableBlocking: true,
+		// Real sockets progress through the §3.2 blocking fallback:
+		// active polling would only steal CPU from the kernel's own
+		// packet delivery on small hosts.
+		NoIdlePolling: true,
+		Machine:       topo.Machine{Sockets: 1, CoresPerSocket: 2},
+	}, nic.RealParams(), ep)
+	defer w.Close()
+
+	failed := false
+	w.Node(rank).Run(func(p *mpi.Proc) {
+		if rank == 1 {
+			// Speaking first gives rank 0 its return path.
+			p.Send(0, tagHello, []byte("hello"))
+			echoUntilBye(p)
+			return
+		}
+		var b [8]byte
+		p.Recv(1, tagHello, b[:5])
+		// Rank 1 only exits on the bye marker; send it on every exit
+		// path, including failures, so a corrupted run doesn't strand
+		// the peer in its echo loop.
+		defer p.Send(1, tagBye, []byte("bye"))
+		for _, size := range realSizes {
+			proto := "eager"
+			if size > 32<<10 {
+				proto = "rendezvous"
+			}
+			msg := patterned(size)
+			buf := make([]byte, size)
+			// Warmup exchange, then the timed loop.
+			p.Send(1, tagPing, msg)
+			p.Recv(1, tagPong, buf)
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				p.Send(1, tagPing, msg)
+				n, _ := p.Recv(1, tagPong, buf)
+				if n != size || !bytes.Equal(buf, msg) {
+					fmt.Fprintf(os.Stderr, "pingpong: echo of %d bytes corrupted\n", size)
+					failed = true
+					return
+				}
+			}
+			rtt := time.Since(start) / time.Duration(iters)
+			fmt.Printf("pingpong: %-10s %8d B  rtt %10v  %8.1f MB/s\n",
+				proto, size, rtt, 2*float64(size)/rtt.Seconds()/1e6)
+		}
+	})
+	if failed {
+		return 1
+	}
+	fmt.Printf("pingpong: rank %d ok\n", rank)
+	return 0
+}
+
+// echoUntilBye bounces pings back until the bye marker arrives.
+func echoUntilBye(p *mpi.Proc) {
+	buf := make([]byte, realSizes[len(realSizes)-1])
+	for {
+		r := p.Irecv(0, core.AnyTag, buf)
+		p.WaitRecv(r)
+		if r.MatchedTag() == tagBye {
+			return
+		}
+		p.Send(0, tagPong, buf[:r.Len()])
+	}
+}
+
+// patterned fills a buffer with position-derived bytes so corruption and
+// cross-size mixups are detectable.
+func patterned(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 13)
+	}
+	return b
 }

@@ -1,0 +1,3 @@
+module pioman
+
+go 1.22

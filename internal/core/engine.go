@@ -228,6 +228,16 @@ func (e *Engine) railFor(dst int) *nic.Driver {
 	return e.rails[0]
 }
 
+// Close shuts the engine's rail transports down. In-flight requests are
+// not completed; callers quiesce application traffic first (the MPI
+// layer's World.Close runs after every spawned thread joined). Sends
+// after Close are dropped and counted by the drivers.
+func (e *Engine) Close() {
+	for _, r := range e.rails {
+		r.Close()
+	}
+}
+
 // Stats returns a snapshot of engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{

@@ -91,7 +91,7 @@ func newCluster(t testing.TB, n int, opts ...clusterOpt) *testCluster {
 		}
 		var rails []*nic.Driver
 		for _, rp := range params.railsFn(node) {
-			rails = append(rails, nic.New(rp, params.fabrics[rp.Name], node))
+			rails = append(rails, nic.NewSim(rp, params.fabrics[rp.Name], node))
 		}
 		eng := New(node, sch, srv, rails, Config{
 			Mode:            params.mode,
@@ -672,7 +672,7 @@ func TestEngineValidation(t *testing.T) {
 			}
 		}()
 		fab := wire.NewFabric(2, wire.MYRI10G())
-		New(0, sch, nil, []*nic.Driver{nic.New(nic.MXParams(), fab, 1)}, Config{})
+		New(0, sch, nil, []*nic.Driver{nic.NewSim(nic.MXParams(), fab, 1)}, Config{})
 	}()
 }
 

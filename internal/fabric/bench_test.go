@@ -1,0 +1,91 @@
+package fabric_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/simfab"
+	"pioman/internal/fabric/tcpfab"
+	"pioman/internal/wire"
+)
+
+// Raw-endpoint round-trip latency, simulated wire vs real localhost TCP,
+// at the paper's three regimes: latency-bound (64 B), eager (4 KiB) and
+// rendezvous-class (64 KiB) messages. This is the number BENCH_*.json
+// tracks so the real transport's progress is measurable PR over PR.
+
+var benchSizes = []int{64, 4 << 10, 64 << 10}
+
+// echoPeer bounces every packet on ep back to its source.
+func echoPeer(ep fabric.Endpoint, quit <-chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		default:
+		}
+		p := ep.BlockingRecv(50 * time.Millisecond)
+		if p == nil {
+			continue
+		}
+		ep.Send(&wire.Packet{
+			Kind: wire.PktEager, Src: ep.Self(), Dst: p.Src,
+			Seq: p.Seq, Payload: p.Payload,
+		})
+	}
+}
+
+// benchRTT measures ping-pong round trips between endpoints 0 and 1.
+func benchRTT(b *testing.B, f fabric.Fabric, size int) {
+	ep0, err := f.Endpoint(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep1, err := f.Endpoint(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	quit := make(chan struct{})
+	go echoPeer(ep1, quit)
+	defer close(quit)
+	payload := make([]byte, size)
+	b.SetBytes(int64(2 * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ep0.Send(&wire.Packet{
+			Kind: wire.PktEager, Src: 0, Dst: 1, Seq: uint64(i), Payload: payload,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		// Block rather than spin-poll: on a single-CPU host a busy
+		// loop starves the echo goroutine until the 10ms preemption
+		// tick and the bench measures the Go scheduler instead.
+		for ep0.BlockingRecv(time.Second) == nil {
+		}
+	}
+}
+
+func BenchmarkRTTSimfab(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			f := simfab.New(wire.NewFabric(2, wire.MYRI10G()))
+			defer f.Close()
+			benchRTT(b, f, size)
+		})
+	}
+}
+
+func BenchmarkRTTTcpfab(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			f, err := tcpfab.NewLocal(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			benchRTT(b, f, size)
+		})
+	}
+}

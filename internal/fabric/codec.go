@@ -1,0 +1,156 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pioman/internal/wire"
+)
+
+// Wire format of one framed packet, little-endian throughout:
+//
+//	u32  frame length (bytes that follow, i.e. header + payload)
+//	u8   codec version
+//	u8   packet kind
+//	u8   flags (bit0: payload present — distinguishes nil from 0-byte)
+//	u8   reserved
+//	i32  src
+//	i32  dst
+//	i64  tag      (collective tags are negative)
+//	u64  seq
+//	u64  msg id
+//	i64  offset   (rendezvous chunk position)
+//	i64  wire len (modeled size; kept so both backends charge alike)
+//	u32  payload length
+//	...  payload bytes
+//
+// The frame length prefix lets a stream transport (tcpfab) delimit packets
+// without touching the header, and the version byte leaves room to evolve
+// the header without breaking mixed-version clusters mid-upgrade.
+const (
+	codecVersion = 1
+
+	flagPayload = 1 << 0
+
+	// headerBytes is the fixed-size portion after the length prefix.
+	headerBytes = 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 4
+
+	// MaxFrameBytes bounds one frame (128 MiB): a decoder reading a
+	// corrupt or hostile length prefix must not attempt an unbounded
+	// allocation.
+	MaxFrameBytes = 128 << 20
+)
+
+// EncodedSize returns the full frame size of p, length prefix included.
+func EncodedSize(p *wire.Packet) int {
+	return 4 + headerBytes + len(p.Payload)
+}
+
+// AppendPacket appends p's frame to dst and returns the extended slice.
+func AppendPacket(dst []byte, p *wire.Packet) []byte {
+	var flags byte
+	if p.Payload != nil {
+		flags = flagPayload
+	}
+	wireLen := p.WireLen
+	if wireLen == 0 {
+		wireLen = len(p.Payload)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerBytes+len(p.Payload)))
+	dst = append(dst, codecVersion, byte(p.Kind), flags, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(p.Src)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(p.Dst)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(p.Tag)))
+	dst = binary.LittleEndian.AppendUint64(dst, p.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, p.MsgID)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(p.Offset)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(wireLen)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Payload)))
+	return append(dst, p.Payload...)
+}
+
+// EncodePacket returns p as one self-delimiting frame.
+func EncodePacket(p *wire.Packet) []byte {
+	return AppendPacket(make([]byte, 0, EncodedSize(p)), p)
+}
+
+// DecodePacket parses one complete frame produced by EncodePacket.
+func DecodePacket(b []byte) (*wire.Packet, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("fabric: frame truncated at length prefix (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("fabric: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	if uint32(len(b)-4) != n {
+		return nil, fmt.Errorf("fabric: frame length %d does not match %d trailing bytes", n, len(b)-4)
+	}
+	return decodeBody(b[4:])
+}
+
+// decodeBody parses a frame body (everything after the length prefix).
+func decodeBody(b []byte) (*wire.Packet, error) {
+	if len(b) < headerBytes {
+		return nil, fmt.Errorf("fabric: frame body of %d bytes below header size %d", len(b), headerBytes)
+	}
+	if v := b[0]; v != codecVersion {
+		return nil, fmt.Errorf("fabric: unknown codec version %d", v)
+	}
+	p := &wire.Packet{
+		Kind:    wire.PacketKind(b[1]),
+		Src:     int(int32(binary.LittleEndian.Uint32(b[4:]))),
+		Dst:     int(int32(binary.LittleEndian.Uint32(b[8:]))),
+		Tag:     int(int64(binary.LittleEndian.Uint64(b[12:]))),
+		Seq:     binary.LittleEndian.Uint64(b[20:]),
+		MsgID:   binary.LittleEndian.Uint64(b[28:]),
+		Offset:  int(int64(binary.LittleEndian.Uint64(b[36:]))),
+		WireLen: int(int64(binary.LittleEndian.Uint64(b[44:]))),
+	}
+	flags := b[2]
+	plen := binary.LittleEndian.Uint32(b[52:])
+	if uint32(len(b)-headerBytes) != plen {
+		return nil, fmt.Errorf("fabric: payload length %d does not match %d trailing bytes", plen, len(b)-headerBytes)
+	}
+	if flags&flagPayload != 0 {
+		p.Payload = make([]byte, plen)
+		copy(p.Payload, b[headerBytes:])
+	} else if plen != 0 {
+		return nil, fmt.Errorf("fabric: nil-payload frame carries %d payload bytes", plen)
+	}
+	return p, nil
+}
+
+// WritePacket writes p as one frame to w. Oversized payloads are refused
+// here, on the sender: encoding them anyway would either be rejected by
+// the receiver's MaxFrameBytes guard (killing the connection) or, past
+// 4 GiB, wrap the u32 length prefix and desync the whole stream.
+func WritePacket(w io.Writer, p *wire.Packet) error {
+	if len(p.Payload) > MaxFrameBytes-headerBytes {
+		return fmt.Errorf("fabric: %d-byte payload exceeds frame limit %d", len(p.Payload), MaxFrameBytes-headerBytes)
+	}
+	_, err := w.Write(EncodePacket(p))
+	return err
+}
+
+// ReadPacket reads exactly one frame from r. io.EOF at a frame boundary is
+// returned as io.EOF; a partial frame yields io.ErrUnexpectedEOF.
+func ReadPacket(r io.Reader) (*wire.Packet, error) {
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(pre[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("fabric: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return decodeBody(body)
+}

@@ -1,0 +1,170 @@
+package fabric
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pioman/internal/wire"
+)
+
+var allKinds = []wire.PacketKind{
+	wire.PktEager, wire.PktRTS, wire.PktCTS, wire.PktData, wire.PktCtrl, wire.PktAggr,
+}
+
+// edgePayloads covers the boundary shapes the satellite task calls out:
+// nil, zero-byte, single byte, one-under/over the MX MTU, and a large
+// rendezvous chunk.
+func edgePayloads() [][]byte {
+	mtu := 32 << 10
+	mk := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(i * 131)
+		}
+		return b
+	}
+	return [][]byte{
+		nil,
+		{},
+		mk(1),
+		mk(mtu - 1),
+		mk(mtu),
+		mk(mtu + 1),
+		mk(256 << 10),
+	}
+}
+
+// samePacket compares every exported field byte-exactly, keeping the
+// nil-vs-empty payload distinction.
+func samePacket(t *testing.T, want, got *wire.Packet) {
+	t.Helper()
+	if got.Kind != want.Kind || got.Src != want.Src || got.Dst != want.Dst ||
+		got.Tag != want.Tag || got.Seq != want.Seq || got.MsgID != want.MsgID ||
+		got.Offset != want.Offset {
+		t.Fatalf("header mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+	wantWire := want.WireLen
+	if wantWire == 0 {
+		wantWire = len(want.Payload)
+	}
+	if got.WireLen != wantWire {
+		t.Fatalf("wire len %d, want %d", got.WireLen, wantWire)
+	}
+	if (got.Payload == nil) != (want.Payload == nil) {
+		t.Fatalf("payload nil-ness changed: want nil=%v got nil=%v", want.Payload == nil, got.Payload == nil)
+	}
+	if !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("payload corrupted: %d bytes want %d", len(got.Payload), len(want.Payload))
+	}
+}
+
+func TestCodecRoundTripAllKinds(t *testing.T) {
+	for _, kind := range allKinds {
+		for pi, payload := range edgePayloads() {
+			p := &wire.Packet{
+				Kind: kind, Src: 0, Dst: 3, Tag: -1016, Seq: 7, MsgID: 42,
+				Offset: len(payload) / 2, Payload: payload,
+				WireLen: len(payload) + 32,
+			}
+			got, err := DecodePacket(EncodePacket(p))
+			if err != nil {
+				t.Fatalf("kind %v payload #%d: %v", kind, pi, err)
+			}
+			samePacket(t, p, got)
+		}
+	}
+}
+
+func TestCodecRoundTripExtremes(t *testing.T) {
+	p := &wire.Packet{
+		Kind:   wire.PktData,
+		Src:    math.MaxInt32,
+		Dst:    -1, // AnySource-style sentinel must survive
+		Tag:    math.MinInt32,
+		Seq:    math.MaxUint64,
+		MsgID:  math.MaxUint64 - 1,
+		Offset: math.MaxInt32, // max rendezvous chunk offset
+	}
+	got, err := DecodePacket(EncodePacket(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePacket(t, p, got)
+}
+
+// TestCodecRoundTripProperty fuzzes random packets through the codec and
+// through the stream reader/writer, the property being byte-exact
+// round-trips for any field combination.
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var stream bytes.Buffer
+	var sent []*wire.Packet
+	for i := 0; i < 500; i++ {
+		var payload []byte
+		if rng.Intn(4) > 0 {
+			payload = make([]byte, rng.Intn(1<<14))
+			rng.Read(payload)
+		}
+		p := &wire.Packet{
+			Kind:    allKinds[rng.Intn(len(allKinds))],
+			Src:     rng.Intn(64),
+			Dst:     rng.Intn(64),
+			Tag:     rng.Intn(1<<20) - (1 << 19),
+			Seq:     rng.Uint64(),
+			MsgID:   rng.Uint64(),
+			Offset:  rng.Intn(1 << 30),
+			Payload: payload,
+			WireLen: len(payload) + 32,
+		}
+		got, err := DecodePacket(EncodePacket(p))
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		samePacket(t, p, got)
+		if err := WritePacket(&stream, p); err != nil {
+			t.Fatal(err)
+		}
+		sent = append(sent, p)
+	}
+	// The concatenated stream must parse back packet-for-packet: this is
+	// exactly what tcpfab's reader does on a socket.
+	for i, want := range sent {
+		got, err := ReadPacket(&stream)
+		if err != nil {
+			t.Fatalf("stream packet %d: %v", i, err)
+		}
+		samePacket(t, want, got)
+	}
+	if _, err := ReadPacket(&stream); err != io.EOF {
+		t.Fatalf("exhausted stream: want io.EOF, got %v", err)
+	}
+}
+
+func TestCodecRejectsCorruptFrames(t *testing.T) {
+	good := EncodePacket(&wire.Packet{Kind: wire.PktEager, Payload: []byte("abc")})
+	cases := map[string][]byte{
+		"empty":            {},
+		"short prefix":     good[:3],
+		"truncated header": good[:10],
+		"truncated body":   good[:len(good)-1],
+		"trailing junk":    append(append([]byte{}, good...), 0xFF),
+		"bad version":      func() []byte { b := append([]byte{}, good...); b[4] = 99; return b }(),
+		"huge length":      {0xFF, 0xFF, 0xFF, 0xFF},
+	}
+	for name, b := range cases {
+		if _, err := DecodePacket(b); err == nil {
+			t.Errorf("%s: corrupt frame decoded without error", name)
+		}
+	}
+	// Stream reader: a partial frame is an unexpected EOF, not a hang or
+	// a zero packet.
+	if _, err := ReadPacket(bytes.NewReader(good[:len(good)-2])); err != io.ErrUnexpectedEOF {
+		t.Errorf("partial stream frame: want ErrUnexpectedEOF, got %v", err)
+	}
+	if _, err := ReadPacket(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0})); err == nil {
+		t.Errorf("oversized stream frame accepted")
+	}
+}

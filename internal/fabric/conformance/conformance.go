@@ -1,0 +1,432 @@
+// Package conformance is the shared contract test for fabric backends.
+// Every backend (simfab, tcpfab, and whatever comes next — shm rings,
+// multirail bundles) runs the same two suites:
+//
+//   - RunEndpoint exercises the raw fabric.Endpoint contract: reliable
+//     complete delivery, field fidelity, blocking reception, shutdown.
+//   - RunWorld drives the full engine stack (Marcel + PIOMan +
+//     NewMadeleine via internal/mpi) over the backend and pins down the
+//     protocol-level behaviours the paper's engine guarantees: eager and
+//     rendezvous exchanges, RTS/CTS correlation under concurrency,
+//     posted-order matching, any-source receives, clean shutdown.
+//
+// A backend that passes both suites is a drop-in rail transport.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"pioman/internal/core"
+	"pioman/internal/fabric"
+	"pioman/internal/mpi"
+	"pioman/internal/wire"
+)
+
+// OpenFabric builds a fresh n-node fabric for one subtest. Cleanup is the
+// caller's: register t.Cleanup inside if the backend needs teardown beyond
+// Fabric.Close (the suite always calls Close).
+type OpenFabric func(t *testing.T, nodes int) fabric.Fabric
+
+// recvDeadline bounds every wait in the suite: generous enough for a
+// loaded -race CI box, far below any test timeout.
+const recvDeadline = 30 * time.Second
+
+// RunEndpoint runs the endpoint-level contract suite against open.
+func RunEndpoint(t *testing.T, open OpenFabric) {
+	t.Run("Identity", func(t *testing.T) {
+		f := open(t, 3)
+		defer f.Close()
+		if f.Nodes() != 3 {
+			t.Fatalf("Nodes() = %d, want 3", f.Nodes())
+		}
+		for rank := 0; rank < 3; rank++ {
+			ep, err := f.Endpoint(rank)
+			if err != nil {
+				t.Fatalf("Endpoint(%d): %v", rank, err)
+			}
+			if ep.Self() != rank || ep.Nodes() != 3 {
+				t.Fatalf("endpoint %d reports self=%d nodes=%d", rank, ep.Self(), ep.Nodes())
+			}
+		}
+		if _, err := f.Endpoint(3); err == nil {
+			t.Error("Endpoint(out of range) did not error")
+		}
+		if _, err := f.Endpoint(-1); err == nil {
+			t.Error("Endpoint(-1) did not error")
+		}
+	})
+
+	t.Run("DeliverAllKinds", func(t *testing.T) {
+		f := open(t, 2)
+		defer f.Close()
+		src, dst := mustEp(t, f, 0), mustEp(t, f, 1)
+		kinds := []wire.PacketKind{
+			wire.PktEager, wire.PktRTS, wire.PktCTS, wire.PktData, wire.PktCtrl, wire.PktAggr,
+		}
+		for i, k := range kinds {
+			payload := bytes.Repeat([]byte{byte(i + 1)}, 64+i)
+			want := &wire.Packet{
+				Kind: k, Src: 0, Dst: 1, Tag: -5 + i, Seq: uint64(i + 1),
+				MsgID: uint64(1000 + i), Offset: 7 * i, Payload: payload,
+			}
+			if err := src.Send(want); err != nil {
+				t.Fatalf("send %v: %v", k, err)
+			}
+			got := recvOne(t, dst)
+			if got.Kind != want.Kind || got.Src != 0 || got.Dst != 1 ||
+				got.Tag != want.Tag || got.Seq != want.Seq ||
+				got.MsgID != want.MsgID || got.Offset != want.Offset ||
+				!bytes.Equal(got.Payload, want.Payload) {
+				t.Fatalf("kind %v arrived mutated:\nwant %+v\ngot  %+v", k, want, got)
+			}
+		}
+	})
+
+	t.Run("CompleteDelivery", func(t *testing.T) {
+		// The portable ordering contract: nothing lost, nothing
+		// duplicated, every sequence number accounted for. Total order
+		// is deliberately NOT asserted — the simulator's fragmenting
+		// wire may interleave, and receivers reorder by Seq.
+		f := open(t, 2)
+		defer f.Close()
+		src, dst := mustEp(t, f, 0), mustEp(t, f, 1)
+		const n = 300
+		go func() {
+			for i := 1; i <= n; i++ {
+				size := 16
+				if i%7 == 0 {
+					size = 24 << 10 // bulk packets provoke interleaving
+				}
+				src.Send(&wire.Packet{
+					Kind: wire.PktEager, Src: 0, Dst: 1, Seq: uint64(i),
+					Payload: bytes.Repeat([]byte{byte(i)}, size),
+				})
+			}
+		}()
+		seen := make(map[uint64]bool, n)
+		for len(seen) < n {
+			p := recvOne(t, dst)
+			if seen[p.Seq] {
+				t.Fatalf("sequence %d delivered twice", p.Seq)
+			}
+			if p.Seq < 1 || p.Seq > n {
+				t.Fatalf("unknown sequence %d", p.Seq)
+			}
+			if len(p.Payload) > 0 && p.Payload[0] != byte(p.Seq) {
+				t.Fatalf("sequence %d payload corrupted", p.Seq)
+			}
+			seen[p.Seq] = true
+		}
+	})
+
+	t.Run("SelfLoopback", func(t *testing.T) {
+		f := open(t, 2)
+		defer f.Close()
+		ep := mustEp(t, f, 0)
+		ep.Send(&wire.Packet{Kind: wire.PktCtrl, Src: 0, Dst: 0, Tag: 9, Payload: []byte("self")})
+		p := recvOne(t, ep)
+		if p.Tag != 9 || string(p.Payload) != "self" {
+			t.Fatalf("loopback mutated: %+v", p)
+		}
+	})
+
+	t.Run("PendingAndPoll", func(t *testing.T) {
+		f := open(t, 2)
+		defer f.Close()
+		src, dst := mustEp(t, f, 0), mustEp(t, f, 1)
+		if dst.Pending() {
+			t.Fatal("fresh endpoint reports pending traffic")
+		}
+		if p := dst.Poll(); p != nil {
+			t.Fatalf("fresh endpoint polled %+v", p)
+		}
+		src.Send(&wire.Packet{Kind: wire.PktEager, Src: 0, Dst: 1, Payload: []byte("x")})
+		deadline := time.Now().Add(recvDeadline)
+		for !dst.Pending() {
+			if time.Now().After(deadline) {
+				t.Fatal("Pending never became true after a send")
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		if p := recvOne(t, dst); string(p.Payload) != "x" {
+			t.Fatalf("poll returned %+v", p)
+		}
+	})
+
+	t.Run("BlockingRecvTimeout", func(t *testing.T) {
+		f := open(t, 2)
+		defer f.Close()
+		ep := mustEp(t, f, 1)
+		start := time.Now()
+		if p := ep.BlockingRecv(30 * time.Millisecond); p != nil {
+			t.Fatalf("idle BlockingRecv returned %+v", p)
+		}
+		if d := time.Since(start); d < 20*time.Millisecond {
+			t.Fatalf("BlockingRecv returned after %v, before its timeout", d)
+		}
+	})
+
+	t.Run("BlockingRecvWakes", func(t *testing.T) {
+		f := open(t, 2)
+		defer f.Close()
+		src, dst := mustEp(t, f, 0), mustEp(t, f, 1)
+		got := make(chan *wire.Packet, 1)
+		go func() { got <- dst.BlockingRecv(recvDeadline) }()
+		time.Sleep(10 * time.Millisecond)
+		src.Send(&wire.Packet{Kind: wire.PktEager, Src: 0, Dst: 1, Payload: []byte("wake")})
+		select {
+		case p := <-got:
+			if p == nil || string(p.Payload) != "wake" {
+				t.Fatalf("blocked receiver woke with %+v", p)
+			}
+		case <-time.After(recvDeadline):
+			t.Fatal("blocked receiver never woke on a send")
+		}
+	})
+
+	t.Run("NextSeqUnique", func(t *testing.T) {
+		f := open(t, 2)
+		defer f.Close()
+		ep := mustEp(t, f, 0)
+		seen := make(map[uint64]bool)
+		for i := 0; i < 1000; i++ {
+			s := ep.NextSeq()
+			if seen[s] {
+				t.Fatalf("NextSeq repeated %d", s)
+			}
+			seen[s] = true
+		}
+	})
+
+	t.Run("CloseSemantics", func(t *testing.T) {
+		f := open(t, 2)
+		ep := mustEp(t, f, 1)
+		woke := make(chan *wire.Packet, 1)
+		go func() { woke <- ep.BlockingRecv(recvDeadline) }()
+		time.Sleep(10 * time.Millisecond)
+		if err := ep.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		select {
+		case p := <-woke:
+			if p != nil {
+				t.Fatalf("receiver woke from Close with a packet: %+v", p)
+			}
+		case <-time.After(recvDeadline):
+			t.Fatal("Close did not wake the blocked receiver")
+		}
+		if err := ep.Send(&wire.Packet{Kind: wire.PktEager, Src: 1, Dst: 0}); err == nil {
+			t.Error("Send after Close did not error")
+		}
+		if err := ep.Close(); err != nil {
+			t.Errorf("second Close errored: %v", err)
+		}
+		f.Close()
+	})
+}
+
+// OpenWorld builds a fresh 2-node engine world over the backend under
+// test. The suite closes it.
+type OpenWorld func(t *testing.T) *mpi.World
+
+// RunWorld runs the full-stack protocol suite against worlds from open.
+func RunWorld(t *testing.T, open OpenWorld) {
+	t.Run("EagerExchange", func(t *testing.T) {
+		w := open(t)
+		defer closeWorld(t, w)
+		msg := patterned(1 << 10) // well under every rail's threshold
+		w.RunAll(func(p *mpi.Proc) {
+			if p.Rank() == 0 {
+				p.Send(1, 7, msg)
+				buf := make([]byte, len(msg))
+				n, from := p.Recv(1, 8, buf)
+				if n != len(msg) || from != 1 || !bytes.Equal(buf, msg) {
+					t.Errorf("echo mutated: n=%d from=%d", n, from)
+				}
+			} else {
+				buf := make([]byte, len(msg))
+				p.Recv(0, 7, buf)
+				p.Send(0, 8, buf)
+			}
+		})
+	})
+
+	t.Run("RendezvousExchange", func(t *testing.T) {
+		w := open(t)
+		defer closeWorld(t, w)
+		msg := patterned(256 << 10) // above every rail's eager threshold
+		w.RunAll(func(p *mpi.Proc) {
+			if p.Rank() == 0 {
+				r := p.Isend(1, 7, msg)
+				if !r.Rendezvous() {
+					t.Errorf("256 KiB send did not pick the rendezvous protocol")
+				}
+				p.WaitSend(r)
+				buf := make([]byte, len(msg))
+				p.Recv(1, 8, buf)
+				if !bytes.Equal(buf, msg) {
+					t.Errorf("rendezvous echo corrupted")
+				}
+			} else {
+				buf := make([]byte, len(msg))
+				p.Recv(0, 7, buf)
+				p.Send(0, 8, buf)
+			}
+		})
+	})
+
+	t.Run("PostedOrderMatching", func(t *testing.T) {
+		// Same (src, tag) messages of mixed protocols must match posted
+		// receives in send order, even when the transport interleaves —
+		// this is the engine's seq-reordering guarantee riding on the
+		// fabric's weaker contract.
+		w := open(t)
+		defer closeWorld(t, w)
+		sizes := []int{100, 200 << 10, 1000, 64 << 10, 50} // eager, rdv, eager, rdv, eager
+		w.RunAll(func(p *mpi.Proc) {
+			const tag = 3
+			if p.Rank() == 0 {
+				for i, n := range sizes {
+					p.Send(1, tag, patternedAt(n, byte(i)))
+				}
+			} else {
+				for i, n := range sizes {
+					buf := make([]byte, n)
+					got, _ := p.Recv(0, tag, buf)
+					if got != n {
+						t.Errorf("message %d: %d bytes, want %d", i, got, n)
+						continue
+					}
+					if !bytes.Equal(buf, patternedAt(n, byte(i))) {
+						t.Errorf("message %d (%d B) out of order or corrupted", i, n)
+					}
+				}
+			}
+		})
+	})
+
+	t.Run("RdvCorrelation", func(t *testing.T) {
+		// Concurrent rendezvous in both directions: each RTS/CTS/Data
+		// triple must stay correlated by message id, or payloads land in
+		// the wrong buffers.
+		w := open(t)
+		defer closeWorld(t, w)
+		const flows = 4
+		size := 96 << 10
+		w.RunAll(func(p *mpi.Proc) {
+			peer := 1 - p.Rank()
+			sends := make([]*core.SendReq, 0, flows)
+			recvs := make([]*core.RecvReq, 0, flows)
+			bufs := make([][]byte, flows)
+			for i := 0; i < flows; i++ {
+				sends = append(sends, p.Isend(peer, 100+i, patternedAt(size+i, byte(0x40+i))))
+			}
+			for i := 0; i < flows; i++ {
+				bufs[i] = make([]byte, size+i)
+				recvs = append(recvs, p.Irecv(peer, 100+i, bufs[i]))
+			}
+			for _, r := range sends {
+				p.WaitSend(r)
+			}
+			for i, r := range recvs {
+				p.WaitRecv(r)
+				if !bytes.Equal(bufs[i], patternedAt(size+i, byte(0x40+i))) {
+					t.Errorf("rank %d flow %d: payload crossed rendezvous streams", p.Rank(), i)
+				}
+			}
+		})
+	})
+
+	t.Run("AnySource", func(t *testing.T) {
+		w := open(t)
+		defer closeWorld(t, w)
+		const msgs = 5
+		w.RunAll(func(p *mpi.Proc) {
+			if p.Rank() == 0 {
+				seen := 0
+				for i := 0; i < msgs; i++ {
+					buf := make([]byte, 8)
+					n, from := p.Recv(core.AnySource, 11, buf)
+					if from != 1 || n != 8 {
+						t.Errorf("any-source recv: n=%d from=%d", n, from)
+					}
+					seen++
+				}
+				if seen != msgs {
+					t.Errorf("matched %d any-source messages, want %d", seen, msgs)
+				}
+			} else {
+				for i := 0; i < msgs; i++ {
+					p.Send(0, 11, []byte(fmt.Sprintf("msg%05d", i))) // exactly 8 bytes
+				}
+			}
+		})
+	})
+
+	t.Run("Shutdown", func(t *testing.T) {
+		w := open(t)
+		w.RunAll(func(p *mpi.Proc) {
+			p.Barrier()
+		})
+		closeWorld(t, w)
+	})
+}
+
+// closeWorld guards against a Close that hangs on transport teardown.
+func closeWorld(t *testing.T, w *mpi.World) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		w.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(recvDeadline):
+		t.Fatal("World.Close did not return: shutdown wedged")
+	}
+}
+
+// mustEp unwraps Endpoint for rank.
+func mustEp(t *testing.T, f fabric.Fabric, rank int) fabric.Endpoint {
+	t.Helper()
+	ep, err := f.Endpoint(rank)
+	if err != nil {
+		t.Fatalf("Endpoint(%d): %v", rank, err)
+	}
+	return ep
+}
+
+// recvOne waits for one packet, polling and blocking alternately so both
+// reception paths see traffic.
+func recvOne(t *testing.T, ep fabric.Endpoint) *wire.Packet {
+	t.Helper()
+	deadline := time.Now().Add(recvDeadline)
+	for {
+		if p := ep.Poll(); p != nil {
+			return p
+		}
+		if p := ep.BlockingRecv(5 * time.Millisecond); p != nil {
+			return p
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no packet arrived within the suite deadline")
+		}
+	}
+}
+
+// patterned returns n bytes of position-derived filler.
+func patterned(n int) []byte { return patternedAt(n, 0) }
+
+// patternedAt returns n bytes whose contents depend on both position and
+// salt, so cross-delivered buffers never compare equal.
+func patternedAt(n int, salt byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*3 + salt
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+// Package fabric abstracts where the engine's packets travel. The paper's
+// NewMadeleine drives real NICs through per-rail drivers (MX, SHM, TCP);
+// this layer gives the reproduction the same pluggability: internal/nic
+// submits to a fabric.Endpoint without knowing whether the bytes cross the
+// in-process wire simulator (fabric/simfab, the cost-model testbed) or a
+// real operating-system transport (fabric/tcpfab, TCP sockets between OS
+// processes).
+//
+// The contract both backends must satisfy is pinned down by the shared
+// conformance suite in fabric/conformance, which every backend's tests run.
+package fabric
+
+import (
+	"errors"
+	"time"
+
+	"pioman/internal/wire"
+)
+
+// ErrClosed is returned by Send on a closed endpoint.
+var ErrClosed = errors.New("fabric: endpoint closed")
+
+// Endpoint is one node's attachment to a fabric: the submission and
+// reception port a nic.Driver drives.
+//
+// Delivery semantics required of every implementation:
+//
+//   - Delivery is reliable and complete: every sent packet arrives at its
+//     destination exactly once (no loss, no duplication, no corruption).
+//   - Per-pair order is NOT guaranteed: the simulator's fragmenting wire
+//     interleaves small packets past bulk transfers. Receivers that need
+//     ordered streams reorder by sequence number, as internal/core does.
+//     (tcpfab happens to deliver per-sender FIFO; code must not rely on
+//     more than the portable contract.)
+//   - Payload bytes and every header field of wire.Packet arrive intact.
+//   - Send never blocks on the receiver making progress (backends buffer).
+//   - After Close, Send returns ErrClosed and blocked receivers wake with
+//     a nil packet once drained.
+type Endpoint interface {
+	// Self returns this endpoint's node id.
+	Self() int
+	// Nodes returns the number of nodes the fabric spans.
+	Nodes() int
+	// Send injects p toward p.Dst. It returns promptly; delivery is
+	// asynchronous. A zero p.WireLen is defaulted to len(p.Payload).
+	Send(p *wire.Packet) error
+	// Poll returns the next packet visible at this endpoint, or nil.
+	Poll() *wire.Packet
+	// BlockingRecv waits up to timeout for a packet, sleeping rather than
+	// spinning. Nil means timeout or endpoint closed (after draining).
+	BlockingRecv(timeout time.Duration) *wire.Packet
+	// Pending reports whether any packet is queued for this endpoint,
+	// arrived or still in flight.
+	Pending() bool
+	// Backlog reports how far into the future the transmit path toward
+	// dst is occupied — zero when idle. Real transports with their own
+	// flow control report zero; the simulator reports the modeled link
+	// horizon, which is what gates the optimizer's feed-on-idle policy.
+	Backlog(dst int) time.Duration
+	// NextSeq allocates a sequence number unique on this endpoint's
+	// outgoing streams.
+	NextSeq() uint64
+	// Close shuts the endpoint down: blocked receivers wake, subsequent
+	// Sends fail with ErrClosed. Close is idempotent.
+	Close() error
+}
+
+// Fabric hands out the endpoints of a communication domain. In-process
+// backends (simfab, tcpfab.Local) serve every rank; a distributed backend
+// serves only the local process's rank and errors for remote ones.
+type Fabric interface {
+	// Nodes returns the number of nodes the fabric spans.
+	Nodes() int
+	// Endpoint returns rank's attachment point.
+	Endpoint(rank int) (Endpoint, error)
+	// Close releases every endpoint and the underlying transport.
+	Close() error
+}

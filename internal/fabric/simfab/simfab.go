@@ -1,0 +1,120 @@
+// Package simfab adapts the in-process wire simulator (internal/wire) to
+// the fabric interface. It is a thin shim: all cost-model semantics —
+// link serialization horizons, fragment interleaving, modeled latency —
+// stay in internal/wire, so every simulation result obtained before the
+// fabric layer existed is unchanged.
+package simfab
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pioman/internal/fabric"
+	"pioman/internal/wire"
+)
+
+// Fabric wraps a *wire.Fabric as a fabric.Fabric.
+type Fabric struct {
+	w *wire.Fabric
+}
+
+// New wraps w. The caller may keep using w directly; endpoints observe
+// all traffic injected either way.
+func New(w *wire.Fabric) *Fabric {
+	if w == nil {
+		panic("simfab: nil wire fabric")
+	}
+	return &Fabric{w: w}
+}
+
+// Wire returns the underlying simulator.
+func (f *Fabric) Wire() *wire.Fabric { return f.w }
+
+// Nodes implements fabric.Fabric.
+func (f *Fabric) Nodes() int { return f.w.Nodes() }
+
+// Endpoint implements fabric.Fabric.
+func (f *Fabric) Endpoint(rank int) (fabric.Endpoint, error) {
+	if rank < 0 || rank >= f.w.Nodes() {
+		return nil, fmt.Errorf("simfab: rank %d outside fabric of %d nodes", rank, f.w.Nodes())
+	}
+	return &Endpoint{w: f.w, self: rank}, nil
+}
+
+// MustEndpoint returns rank's endpoint, panicking on a bad rank (used by
+// construction paths that validate ranks themselves).
+func (f *Fabric) MustEndpoint(rank int) *Endpoint {
+	ep, err := f.Endpoint(rank)
+	if err != nil {
+		panic(err)
+	}
+	return ep.(*Endpoint)
+}
+
+// Close implements fabric.Fabric: it closes the simulator, waking every
+// endpoint's blocked receivers.
+func (f *Fabric) Close() error {
+	f.w.Close()
+	return nil
+}
+
+// Endpoint is one simulated node's port on the wire simulator.
+type Endpoint struct {
+	w      *wire.Fabric
+	self   int
+	closed atomic.Bool
+}
+
+// NewEndpoint attaches directly to w as node self.
+func NewEndpoint(w *wire.Fabric, self int) *Endpoint {
+	return New(w).MustEndpoint(self)
+}
+
+// Self implements fabric.Endpoint.
+func (e *Endpoint) Self() int { return e.self }
+
+// Nodes implements fabric.Endpoint.
+func (e *Endpoint) Nodes() int { return e.w.Nodes() }
+
+// Send implements fabric.Endpoint.
+func (e *Endpoint) Send(p *wire.Packet) error {
+	if e.closed.Load() {
+		return fabric.ErrClosed
+	}
+	e.w.Send(p)
+	return nil
+}
+
+// Poll implements fabric.Endpoint.
+func (e *Endpoint) Poll() *wire.Packet { return e.w.Poll(e.self) }
+
+// BlockingRecv implements fabric.Endpoint.
+func (e *Endpoint) BlockingRecv(timeout time.Duration) *wire.Packet {
+	return e.w.BlockingRecv(e.self, timeout)
+}
+
+// Pending implements fabric.Endpoint.
+func (e *Endpoint) Pending() bool {
+	_, ok := e.w.PendingAt(e.self)
+	return ok
+}
+
+// Backlog implements fabric.Endpoint: the modeled serialization horizon of
+// the outgoing link toward dst.
+func (e *Endpoint) Backlog(dst int) time.Duration {
+	return e.w.LinkBacklog(e.self, dst)
+}
+
+// NextSeq implements fabric.Endpoint.
+func (e *Endpoint) NextSeq() uint64 { return e.w.NextSeq() }
+
+// Close implements fabric.Endpoint. The simulated links are shared state,
+// so closing any endpoint closes the whole simulated fabric — exactly the
+// collective-shutdown semantics mpi.World.Close wants; per-node teardown
+// is a real-transport concern (see fabric/tcpfab).
+func (e *Endpoint) Close() error {
+	e.closed.Store(true)
+	e.w.Close()
+	return nil
+}

@@ -1,0 +1,46 @@
+package simfab_test
+
+import (
+	"testing"
+
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/conformance"
+	"pioman/internal/fabric/simfab"
+	"pioman/internal/mpi"
+	"pioman/internal/topo"
+	"pioman/internal/wire"
+)
+
+func TestEndpointConformance(t *testing.T) {
+	conformance.RunEndpoint(t, func(t *testing.T, nodes int) fabric.Fabric {
+		return simfab.New(wire.NewFabric(nodes, wire.MYRI10G()))
+	})
+}
+
+func TestWorldConformance(t *testing.T) {
+	conformance.RunWorld(t, func(t *testing.T) *mpi.World {
+		// The default world path: simulated MX rail built implicitly
+		// from the link model — the exact configuration every
+		// pre-fabric simulation result was measured on.
+		cfg := mpi.DefaultMultithreaded(2)
+		cfg.Machine = topo.Machine{Sockets: 1, CoresPerSocket: 2}
+		return mpi.NewWorld(cfg)
+	})
+}
+
+// TestWorldConformanceExplicitFabric pins the Fabrics override path: a
+// simfab instance supplied through the config must behave identically to
+// the implicit one.
+func TestWorldConformanceExplicitFabric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestWorldConformance")
+	}
+	conformance.RunWorld(t, func(t *testing.T) *mpi.World {
+		cfg := mpi.DefaultMultithreaded(2)
+		cfg.Machine = topo.Machine{Sockets: 1, CoresPerSocket: 2}
+		cfg.Fabrics = map[string]fabric.Fabric{
+			cfg.MX.Name: simfab.New(wire.NewFabric(2, cfg.MX.Link)),
+		}
+		return mpi.NewWorld(cfg)
+	})
+}

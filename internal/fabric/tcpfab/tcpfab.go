@@ -1,0 +1,479 @@
+// Package tcpfab is a real transport backend for the fabric layer: packets
+// travel between operating-system processes as length-prefixed frames
+// (fabric's codec) over TCP connections, one per peer per direction.
+//
+// Topology is a full mesh of ranks. Every endpoint listens; a connection
+// toward a peer is dialed lazily on first send when the peer's address is
+// known, and an accepted connection is adopted as the send path when no
+// dialed one exists yet — so an asymmetric setup (only one side knows an
+// address, as in pingpong's -listen/-connect pair) still yields two-way
+// traffic. Each direction of a pair owns its own TCP stream, which gives
+// the per-sender FIFO delivery the engine's sequence-ordering layer
+// assumes, with no cross-size reordering at all.
+package tcpfab
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pioman/internal/fabric"
+	"pioman/internal/wire"
+)
+
+// handshake frame: magic, codec-compatible version, sender rank, cluster
+// size. Exchanged once, dialer to acceptor, before any packet frames.
+const (
+	hsMagic   = 0x50494F4D // "PIOM"
+	hsVersion = 1
+	hsBytes   = 4 + 4 + 4 + 4
+
+	dialTimeout      = 10 * time.Second
+	handshakeTimeout = 10 * time.Second
+)
+
+// Config describes one process's attachment to a TCP fabric.
+type Config struct {
+	// Self is this endpoint's rank.
+	Self int
+	// Nodes is the cluster size.
+	Nodes int
+	// Listen is the address to accept peers on (e.g. "127.0.0.1:0",
+	// ":9777"). Empty disables accepting: only dialed peers are
+	// reachable.
+	Listen string
+	// Peers maps rank to dial address for the peers this process may
+	// have to contact first. Peers that always speak first (they dial
+	// us) can be omitted; their accepted connection becomes the send
+	// path.
+	Peers map[int]string
+}
+
+// Endpoint is one process's port on a TCP fabric.
+type Endpoint struct {
+	self, nodes int
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	peers   map[int]string
+	out     map[int]*peerConn     // send path per peer
+	dialing map[int]chan struct{} // in-flight dial per peer; closed when done
+	open    map[net.Conn]struct{} // every live conn, for teardown
+
+	seq    atomic.Uint64
+	state  atomic.Int32  // 0 open, 1 closed
+	done   chan struct{} // closed on Close; wakes every blocked receiver
+	inbox  inbox
+	wg     sync.WaitGroup
+}
+
+// peerConn serializes frame writes onto one TCP stream.
+type peerConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	bw *bufio.Writer
+}
+
+// writePacket frames p onto the stream.
+func (pc *peerConn) writePacket(p *wire.Packet) error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if err := fabric.WritePacket(pc.bw, p); err != nil {
+		return err
+	}
+	return pc.bw.Flush()
+}
+
+// inbox is the arrival queue: FIFO, one notify edge for blocking
+// receivers.
+type inbox struct {
+	mu     sync.Mutex
+	pkts   []*wire.Packet
+	notify chan struct{}
+}
+
+func (ib *inbox) push(p *wire.Packet) {
+	ib.mu.Lock()
+	ib.pkts = append(ib.pkts, p)
+	ib.mu.Unlock()
+	select {
+	case ib.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (ib *inbox) pop() *wire.Packet {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if len(ib.pkts) == 0 {
+		return nil
+	}
+	p := ib.pkts[0]
+	ib.pkts = ib.pkts[1:]
+	return p
+}
+
+func (ib *inbox) empty() bool {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return len(ib.pkts) == 0
+}
+
+// New opens an endpoint per cfg. If cfg.Listen is set the returned
+// endpoint is already accepting; its actual address (useful with port 0)
+// is Addr().
+func New(cfg Config) (*Endpoint, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("tcpfab: cluster needs at least one node")
+	}
+	if cfg.Self < 0 || cfg.Self >= cfg.Nodes {
+		return nil, fmt.Errorf("tcpfab: rank %d outside cluster of %d", cfg.Self, cfg.Nodes)
+	}
+	e := &Endpoint{
+		self:    cfg.Self,
+		nodes:   cfg.Nodes,
+		peers:   make(map[int]string, len(cfg.Peers)),
+		out:     make(map[int]*peerConn),
+		dialing: make(map[int]chan struct{}),
+		open:    make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+		inbox:   inbox{notify: make(chan struct{}, 1)},
+	}
+	for r, a := range cfg.Peers {
+		e.peers[r] = a
+	}
+	if cfg.Listen != "" {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("tcpfab: listen %s: %w", cfg.Listen, err)
+		}
+		e.ln = ln
+		e.wg.Add(1)
+		go e.acceptLoop()
+	}
+	return e, nil
+}
+
+// Addr returns the actual listen address, or nil when not listening.
+func (e *Endpoint) Addr() net.Addr {
+	if e.ln == nil {
+		return nil
+	}
+	return e.ln.Addr()
+}
+
+// SetPeerAddr records rank's dial address (e.g. learned out of band after
+// both sides bound ephemeral ports).
+func (e *Endpoint) SetPeerAddr(rank int, addr string) {
+	e.mu.Lock()
+	e.peers[rank] = addr
+	e.mu.Unlock()
+}
+
+// Self implements fabric.Endpoint.
+func (e *Endpoint) Self() int { return e.self }
+
+// Nodes implements fabric.Endpoint.
+func (e *Endpoint) Nodes() int { return e.nodes }
+
+// NextSeq implements fabric.Endpoint. Sequence numbers only need to be
+// unique per origin endpoint: receivers order per-sender streams.
+func (e *Endpoint) NextSeq() uint64 { return e.seq.Add(1) }
+
+// Backlog implements fabric.Endpoint: TCP runs its own flow control, the
+// submission gate is always open.
+func (e *Endpoint) Backlog(int) time.Duration { return 0 }
+
+// Pending implements fabric.Endpoint.
+func (e *Endpoint) Pending() bool { return !e.inbox.empty() }
+
+// Poll implements fabric.Endpoint.
+func (e *Endpoint) Poll() *wire.Packet { return e.inbox.pop() }
+
+// BlockingRecv implements fabric.Endpoint.
+func (e *Endpoint) BlockingRecv(timeout time.Duration) *wire.Packet {
+	deadline := time.Now().Add(timeout)
+	for {
+		if p := e.inbox.pop(); p != nil {
+			return p
+		}
+		if e.closed() {
+			return nil
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-e.inbox.notify:
+		case <-e.done:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
+// Dial eagerly establishes the connection toward rank, which Send would
+// otherwise create lazily. Use it to fail fast on a bad address instead
+// of discovering it one dropped packet at a time.
+func (e *Endpoint) Dial(rank int) error {
+	if e.closed() {
+		return fabric.ErrClosed
+	}
+	if rank == e.self {
+		return nil
+	}
+	_, err := e.connTo(rank)
+	return err
+}
+
+// Send implements fabric.Endpoint.
+func (e *Endpoint) Send(p *wire.Packet) error {
+	if e.closed() {
+		return fabric.ErrClosed
+	}
+	if p.Dst < 0 || p.Dst >= e.nodes {
+		return fmt.Errorf("tcpfab: send to rank %d outside cluster of %d", p.Dst, e.nodes)
+	}
+	if p.WireLen <= 0 {
+		p.WireLen = len(p.Payload)
+	}
+	if p.Dst == e.self {
+		e.inbox.push(p)
+		return nil
+	}
+	pc, err := e.connTo(p.Dst)
+	if err != nil {
+		return err
+	}
+	if err := pc.writePacket(p); err != nil {
+		e.dropConn(p.Dst, pc)
+		return fmt.Errorf("tcpfab: send to rank %d: %w", p.Dst, err)
+	}
+	return nil
+}
+
+// connTo returns the send path toward rank, dialing it if needed. The
+// dial itself runs outside the endpoint lock with a per-peer in-flight
+// marker: concurrent senders to the same cold peer wait for that one
+// dial, while senders to connected peers (and accept/Close) are never
+// head-of-line blocked behind a slow or dead address.
+func (e *Endpoint) connTo(rank int) (*peerConn, error) {
+	for {
+		e.mu.Lock()
+		// Close sets state before taking mu, so a sender that raced
+		// past Send's entry check cannot dial and register a connection
+		// (and its reader goroutine) after Close has torn down.
+		if e.closed() {
+			e.mu.Unlock()
+			return nil, fabric.ErrClosed
+		}
+		if pc := e.out[rank]; pc != nil {
+			e.mu.Unlock()
+			return pc, nil
+		}
+		if ch := e.dialing[rank]; ch != nil {
+			e.mu.Unlock()
+			<-ch
+			continue // dial finished (either way) — re-evaluate
+		}
+		addr, ok := e.peers[rank]
+		if !ok {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("tcpfab: no address for rank %d and no accepted connection from it", rank)
+		}
+		ch := make(chan struct{})
+		e.dialing[rank] = ch
+		e.mu.Unlock()
+
+		c, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err == nil {
+			if herr := writeHandshake(c, e.self, e.nodes); herr != nil {
+				c.Close()
+				err = herr
+			}
+		}
+
+		e.mu.Lock()
+		delete(e.dialing, rank)
+		close(ch)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("tcpfab: dial rank %d at %s: %w", rank, addr, err)
+		}
+		if e.closed() {
+			e.mu.Unlock()
+			c.Close()
+			return nil, fabric.ErrClosed
+		}
+		if pc := e.out[rank]; pc != nil {
+			// An accepted connection was adopted while we dialed; use
+			// it and drop ours.
+			e.mu.Unlock()
+			c.Close()
+			return pc, nil
+		}
+		pc := &peerConn{c: c, bw: bufio.NewWriter(c)}
+		e.out[rank] = pc
+		e.open[c] = struct{}{}
+		// The dialed stream is bidirectional: the peer may answer on it
+		// instead of dialing back (it adopted it), so always read it.
+		e.wg.Add(1)
+		go e.readLoop(c, rank)
+		e.mu.Unlock()
+		return pc, nil
+	}
+}
+
+// dropConn removes a failed send path so the next send redials.
+func (e *Endpoint) dropConn(rank int, pc *peerConn) {
+	e.mu.Lock()
+	if e.out[rank] == pc {
+		delete(e.out, rank)
+	}
+	delete(e.open, pc.c)
+	e.mu.Unlock()
+	pc.c.Close()
+}
+
+// acceptLoop admits peers. The handshake runs in the per-connection
+// goroutine — with the conn already tracked for teardown — so a peer that
+// connects and stalls can never wedge Close.
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.state.Load() != 0 {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.open[c] = struct{}{}
+		e.wg.Add(1)
+		e.mu.Unlock()
+		go e.serveConn(c)
+	}
+}
+
+// serveConn validates an accepted stream, adopts it as the send path to
+// its peer when none exists, and streams its frames into the inbox.
+func (e *Endpoint) serveConn(c net.Conn) {
+	defer e.wg.Done()
+	rank, nodes, err := readHandshake(c)
+	if err != nil || nodes != e.nodes || rank < 0 || rank >= e.nodes || rank == e.self {
+		e.forgetConn(c, -1)
+		return
+	}
+	e.mu.Lock()
+	if e.out[rank] == nil {
+		e.out[rank] = &peerConn{c: c, bw: bufio.NewWriter(c)}
+	}
+	e.mu.Unlock()
+	e.wg.Add(1)
+	e.readLoop(c, rank)
+}
+
+// readLoop decodes frames from one peer stream into the inbox until the
+// stream fails or the endpoint closes.
+func (e *Endpoint) readLoop(c net.Conn, rank int) {
+	defer e.wg.Done()
+	br := bufio.NewReader(c)
+	for {
+		p, err := fabric.ReadPacket(br)
+		if err != nil {
+			e.forgetConn(c, rank)
+			return
+		}
+		// A peer cannot speak for another rank: the stream's handshake
+		// identity wins over the frame header.
+		p.Src = rank
+		e.inbox.push(p)
+	}
+}
+
+// forgetConn closes c and unregisters it from the teardown set and, when
+// it was rank's send path, from the routing table.
+func (e *Endpoint) forgetConn(c net.Conn, rank int) {
+	e.mu.Lock()
+	delete(e.open, c)
+	if rank >= 0 {
+		if pc := e.out[rank]; pc != nil && pc.c == c {
+			delete(e.out, rank)
+		}
+	}
+	e.mu.Unlock()
+	c.Close()
+}
+
+func (e *Endpoint) closed() bool { return e.state.Load() != 0 }
+
+// Close implements fabric.Endpoint: stop accepting, tear down every
+// stream, wake blocked receivers, and wait for the reader goroutines.
+// Packets already received remain pollable. Idempotent.
+func (e *Endpoint) Close() error {
+	if !e.state.CompareAndSwap(0, 1) {
+		return nil
+	}
+	if e.ln != nil {
+		e.ln.Close()
+	}
+	e.mu.Lock()
+	conns := make([]net.Conn, 0, len(e.open))
+	for c := range e.open {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	close(e.done)
+	e.wg.Wait()
+	return nil
+}
+
+// writeHandshake sends the one-time stream preamble.
+func writeHandshake(c net.Conn, self, nodes int) error {
+	var b [hsBytes]byte
+	put := func(off int, v uint32) {
+		b[off] = byte(v)
+		b[off+1] = byte(v >> 8)
+		b[off+2] = byte(v >> 16)
+		b[off+3] = byte(v >> 24)
+	}
+	put(0, hsMagic)
+	put(4, hsVersion)
+	put(8, uint32(self))
+	put(12, uint32(nodes))
+	_, err := c.Write(b[:])
+	return err
+}
+
+// readHandshake validates a stream preamble and returns the peer identity.
+func readHandshake(c net.Conn) (rank, nodes int, err error) {
+	var b [hsBytes]byte
+	c.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	defer c.SetReadDeadline(time.Time{})
+	if _, err = io.ReadFull(c, b[:]); err != nil {
+		return 0, 0, err
+	}
+	get := func(off int) uint32 {
+		return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+	}
+	if get(0) != hsMagic {
+		return 0, 0, fmt.Errorf("tcpfab: bad handshake magic %#x", get(0))
+	}
+	if get(4) != hsVersion {
+		return 0, 0, fmt.Errorf("tcpfab: handshake version %d, want %d", get(4), hsVersion)
+	}
+	return int(int32(get(8))), int(int32(get(12))), nil
+}

@@ -1,0 +1,167 @@
+package tcpfab_test
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"pioman/internal/core"
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/conformance"
+	"pioman/internal/fabric/tcpfab"
+	"pioman/internal/mpi"
+	"pioman/internal/nic"
+	"pioman/internal/topo"
+	"pioman/internal/wire"
+)
+
+func TestEndpointConformance(t *testing.T) {
+	conformance.RunEndpoint(t, func(t *testing.T, nodes int) fabric.Fabric {
+		l, err := tcpfab.NewLocal(nodes)
+		if err != nil {
+			t.Fatalf("NewLocal(%d): %v", nodes, err)
+		}
+		return l
+	})
+}
+
+// realWorld builds a 2-node engine world whose inter-node rail runs over
+// real localhost sockets.
+func realWorld(t *testing.T) *mpi.World {
+	t.Helper()
+	l, err := tcpfab.NewLocal(2)
+	if err != nil {
+		t.Fatalf("NewLocal: %v", err)
+	}
+	rail := nic.RealParams()
+	return mpi.NewWorld(mpi.Config{
+		Nodes:          2,
+		Machine:        topo.Machine{Sockets: 1, CoresPerSocket: 2},
+		Mode:           core.Multithreaded,
+		OffloadEager:   true,
+		EnableBlocking: true,
+		MX:             rail,
+		Fabrics:        map[string]fabric.Fabric{rail.Name: l},
+	})
+}
+
+func TestWorldConformance(t *testing.T) {
+	conformance.RunWorld(t, realWorld)
+}
+
+// TestStrictFIFO pins the stronger ordering tcpfab provides beyond the
+// portable contract: one sender's stream arrives in exact send order.
+func TestStrictFIFO(t *testing.T) {
+	l, err := tcpfab.NewLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	src, _ := l.Endpoint(0)
+	dst, _ := l.Endpoint(1)
+	const n = 500
+	for i := 1; i <= n; i++ {
+		size := 8
+		if i%9 == 0 {
+			size = 32 << 10
+		}
+		if err := src.Send(&wire.Packet{
+			Kind: wire.PktEager, Src: 0, Dst: 1, Seq: uint64(i),
+			Payload: bytes.Repeat([]byte{byte(i)}, size),
+		}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		p := dst.BlockingRecv(30 * time.Second)
+		if p == nil {
+			t.Fatalf("stream dried up at packet %d", i)
+		}
+		if p.Seq != uint64(i) {
+			t.Fatalf("packet %d arrived as %d: TCP stream reordered", i, p.Seq)
+		}
+	}
+}
+
+// TestAsymmetricTopology exercises the pingpong deployment shape: rank 0
+// listens, rank 1 knows rank 0's address, rank 0 learns rank 1 only from
+// its accepted connection — and must still be able to send back.
+func TestAsymmetricTopology(t *testing.T) {
+	ep0, err := tcpfab.New(tcpfab.Config{Self: 0, Nodes: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep0.Close()
+	ep1, err := tcpfab.New(tcpfab.Config{
+		Self: 1, Nodes: 2,
+		Peers: map[int]string{0: ep0.Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep1.Close()
+
+	// Rank 0 cannot reach rank 1 yet: no address, no connection.
+	if err := ep0.Send(&wire.Packet{Kind: wire.PktCtrl, Src: 0, Dst: 1}); err == nil {
+		t.Fatal("send to unknown unconnected peer did not error")
+	}
+	// Rank 1 speaks first; its connection becomes rank 0's return path.
+	if err := ep1.Send(&wire.Packet{Kind: wire.PktCtrl, Src: 1, Dst: 0, Payload: []byte("hi")}); err != nil {
+		t.Fatalf("dial-side send: %v", err)
+	}
+	if p := ep0.BlockingRecv(30 * time.Second); p == nil || string(p.Payload) != "hi" {
+		t.Fatalf("listen side received %+v", p)
+	}
+	if err := ep0.Send(&wire.Packet{Kind: wire.PktCtrl, Src: 0, Dst: 1, Payload: []byte("yo")}); err != nil {
+		t.Fatalf("reply over adopted connection: %v", err)
+	}
+	if p := ep1.BlockingRecv(30 * time.Second); p == nil || string(p.Payload) != "yo" {
+		t.Fatalf("dial side received %+v", p)
+	}
+}
+
+// TestSourceAuthenticity: the receiving endpoint stamps packets with the
+// stream's handshake identity, so a frame cannot impersonate another rank.
+func TestSourceAuthenticity(t *testing.T) {
+	l, err := tcpfab.NewLocal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	src, _ := l.Endpoint(2)
+	dst, _ := l.Endpoint(0)
+	src.Send(&wire.Packet{Kind: wire.PktEager, Src: 1 /* lie */, Dst: 0, Payload: []byte("x")})
+	p := dst.BlockingRecv(30 * time.Second)
+	if p == nil {
+		t.Fatal("packet lost")
+	}
+	if p.Src != 2 {
+		t.Fatalf("packet claims src %d, stream identity is 2", p.Src)
+	}
+}
+
+// TestRejectsBadHandshake: garbage connections are dropped without
+// disturbing the endpoint.
+func TestRejectsBadHandshake(t *testing.T) {
+	ep, err := tcpfab.New(tcpfab.Config{Self: 0, Nodes: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	c, err := net.Dial("tcp", ep.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("GET / HTTP/1.1\r\n\r\n padding padding"))
+	// The endpoint must drop the stream: read returns EOF reasonably soon.
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Error("endpoint kept a garbage connection open and spoke on it")
+	}
+	c.Close()
+	if ep.Pending() {
+		t.Error("garbage connection injected packets")
+	}
+}

@@ -1,5 +1,15 @@
 package mpi
 
+// This file is the MPI layer's datatype codec: the encodings of the
+// values collectives carry inside packet payloads (float64 for the reduce
+// family today; vector datatypes are an open item).
+//
+// The packet-level wire codec — the length-prefixed binary framing of
+// wire.Packet that real transports put on sockets — lives one layer down
+// in internal/fabric (codec.go): the transport cannot import this package
+// (mpi sits at the top of the stack), and framing is a property of the
+// fabric, not of MPI datatypes.
+
 import (
 	"encoding/binary"
 	"math"
@@ -15,4 +25,17 @@ func f64ToBytes(x float64) []byte {
 // bytesToF64 decodes a float64 from a reduce payload.
 func bytesToF64(b []byte) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// i64ToBytes encodes a signed count (message lengths, element counts) for
+// control payloads.
+func i64ToBytes(x int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(x))
+	return b[:]
+}
+
+// bytesToI64 decodes a signed count from a control payload.
+func bytesToI64(b []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(b))
 }

@@ -195,6 +195,27 @@ func TestAllReduceSum(t *testing.T) {
 	}
 }
 
+func TestAllReduceSumI64(t *testing.T) {
+	w := fastWorld(t, 4, core.Multithreaded)
+	var want int64
+	for r := 0; r < 4; r++ {
+		want += int64(r)*1_000_000_007 + 1
+	}
+	var mu sync.Mutex
+	got := map[int]int64{}
+	w.RunAll(func(p *Proc) {
+		s := p.AllReduceSumI64(int64(p.Rank())*1_000_000_007 + 1)
+		mu.Lock()
+		got[p.Rank()] = s
+		mu.Unlock()
+	})
+	for r, s := range got {
+		if s != want {
+			t.Errorf("rank %d sum = %d, want %d", r, s, want)
+		}
+	}
+}
+
 func TestIntraNodeThreads(t *testing.T) {
 	// Two threads on the same node exchange through the shm rail.
 	w := fastWorld(t, 2, core.Multithreaded)

@@ -176,30 +176,47 @@ func (p *Proc) Gather(root int, contrib []byte, parts [][]byte) {
 	}
 }
 
-// AllReduceSum sums one float64 across all nodes and returns the total on
-// every node (gather-to-0 then broadcast).
-func (p *Proc) AllReduceSum(x float64) float64 {
+// allReduce8 is the shared exchange of the scalar reduce family: every
+// node contributes one 8-byte value, rank 0 folds them with add, and the
+// result is broadcast back (gather-to-0 then broadcast).
+func (p *Proc) allReduce8(mine []byte, add func(acc, v []byte) []byte) []byte {
 	gen := p.Node.barrierGen.Add(1)
 	tag := collTag(tagReduce, gen)
 	size := p.Size()
 	if size == 1 {
-		return x
+		return mine
 	}
 	if p.Rank() == 0 {
-		sum := x
+		acc := mine
 		for i := 1; i < size; i++ {
 			var b [8]byte
 			p.Recv(core.AnySource, tag, b[:])
-			sum += bytesToF64(b[:])
+			acc = add(acc, b[:])
 		}
-		out := f64ToBytes(sum)
 		for i := 1; i < size; i++ {
-			p.Send(i, tag, out)
+			p.Send(i, tag, acc)
 		}
-		return sum
+		return acc
 	}
-	p.Send(0, tag, f64ToBytes(x))
-	var b [8]byte
-	p.Recv(0, tag, b[:])
-	return bytesToF64(b[:])
+	p.Send(0, tag, mine)
+	b := make([]byte, 8)
+	p.Recv(0, tag, b)
+	return b
+}
+
+// AllReduceSum sums one float64 across all nodes and returns the total on
+// every node.
+func (p *Proc) AllReduceSum(x float64) float64 {
+	return bytesToF64(p.allReduce8(f64ToBytes(x), func(acc, v []byte) []byte {
+		return f64ToBytes(bytesToF64(acc) + bytesToF64(v))
+	}))
+}
+
+// AllReduceSumI64 sums one int64 across all nodes and returns the total
+// on every node — the exact-count companion of AllReduceSum (bytes moved,
+// packets seen, iterations completed).
+func (p *Proc) AllReduceSumI64(x int64) int64 {
+	return bytesToI64(p.allReduce8(i64ToBytes(x), func(acc, v []byte) []byte {
+		return i64ToBytes(bytesToI64(acc) + bytesToI64(v))
+	}))
 }

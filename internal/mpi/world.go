@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"pioman/internal/core"
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/simfab"
 	"pioman/internal/nic"
 	"pioman/internal/piom"
 	"pioman/internal/sched"
@@ -42,8 +44,19 @@ type Config struct {
 	SHM nic.Params
 	// ExtraRails adds more inter-node rails (multirail setups).
 	ExtraRails []nic.Params
+	// Fabrics overrides the packet transport per rail name: a rail with
+	// an entry runs over that fabric (e.g. tcpfab.NewLocal for real
+	// sockets), one without runs over an in-process wire simulator built
+	// from its link model. The world closes supplied fabrics on Close.
+	Fabrics map[string]fabric.Fabric
 	// EnableBlocking starts the blocking-call fallback watchers.
 	EnableBlocking bool
+	// NoIdlePolling keeps idle cores out of the active-polling loop, so
+	// progress rides on explicit waits, timer tasklets and the blocking
+	// watchers alone. The right mode for real transports on hosts
+	// without cores to burn: busy-polling against a socket only starves
+	// the kernel of the CPU it needs to deliver the packet.
+	NoIdlePolling bool
 	// TimerPeriod drives the scheduler timer trigger (0 disables).
 	TimerPeriod time.Duration
 	// TraceCapacity, if positive, attaches an event recorder per node.
@@ -74,104 +87,176 @@ func DefaultSequential(n int) Config {
 	}
 }
 
-// World is a running simulated cluster.
+// World is a running cluster: every rank in-process over simulated or
+// real fabrics (NewWorld), or one local rank of a multi-process cluster
+// whose peers live in other OS processes (NewDistributed).
 type World struct {
 	cfg   Config
-	nodes []*Node
+	size  int
+	nodes []*Node // indexed by rank; remote ranks are nil
+	fabs  []fabric.Fabric
 }
 
-// NewWorld builds and starts a cluster.
-func NewWorld(cfg Config) *World {
-	if cfg.Nodes <= 0 {
-		cfg.Nodes = 2
-	}
-	if cfg.Machine.NumCores() == 0 {
-		cfg.Machine = topo.DualQuadXeon()
-	}
+// railSet resolves the configured rail parameter list.
+func railSet(cfg *Config) []nic.Params {
 	if cfg.MX.Name == "" {
 		cfg.MX = nic.MXParams()
 	}
-	w := &World{cfg: cfg}
-
 	railParams := []nic.Params{cfg.MX}
 	if cfg.SHM.Name != "" {
 		railParams = append(railParams, cfg.SHM)
 	}
-	railParams = append(railParams, cfg.ExtraRails...)
-	fabrics := make(map[string]*wire.Fabric, len(railParams))
+	return append(railParams, cfg.ExtraRails...)
+}
+
+// NewWorld builds and starts a cluster with every rank in this process.
+func NewWorld(cfg Config) *World {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	railParams := railSet(&cfg)
+	fabrics := make(map[string]fabric.Fabric, len(railParams))
 	for _, rp := range railParams {
 		if _, dup := fabrics[rp.Name]; dup {
 			panic(fmt.Sprintf("mpi: duplicate rail name %q", rp.Name))
 		}
-		fabrics[rp.Name] = wire.NewFabric(cfg.Nodes, rp.Link)
+		if f := cfg.Fabrics[rp.Name]; f != nil {
+			if f.Nodes() < cfg.Nodes {
+				panic(fmt.Sprintf("mpi: fabric for rail %q spans %d nodes, world needs %d", rp.Name, f.Nodes(), cfg.Nodes))
+			}
+			fabrics[rp.Name] = f
+		} else {
+			fabrics[rp.Name] = simfab.New(wire.NewFabric(cfg.Nodes, rp.Link))
+		}
 	}
 
+	// A Fabrics key matching no rail would silently fall back to the
+	// simulator — every "real transport" measurement would quietly run
+	// simulated, and the supplied fabric's listeners would leak.
+	for name := range cfg.Fabrics {
+		if _, ok := fabrics[name]; !ok {
+			panic(fmt.Sprintf("mpi: Fabrics entry %q matches no configured rail", name))
+		}
+	}
+
+	w := &World{cfg: cfg, size: cfg.Nodes, nodes: make([]*Node, cfg.Nodes)}
+	for _, rp := range railParams {
+		w.fabs = append(w.fabs, fabrics[rp.Name])
+	}
 	for rank := 0; rank < cfg.Nodes; rank++ {
-		sch := sched.New(sched.Config{
-			Machine:     cfg.Machine,
-			TimerPeriod: cfg.TimerPeriod,
-		})
-		var srv *piom.Server
-		if cfg.Mode == core.Multithreaded {
-			srv = piom.NewServer(sch, piom.Config{
-				EnableIdleHook: true,
-				EnableBlocking: cfg.EnableBlocking,
-			})
-		}
-		var rec *trace.Recorder
-		if cfg.TraceCapacity > 0 {
-			rec = trace.NewRecorder(cfg.TraceCapacity)
-		}
 		rails := make([]*nic.Driver, 0, len(railParams))
 		for _, rp := range railParams {
-			rails = append(rails, nic.New(rp, fabrics[rp.Name], rank))
+			ep, err := fabrics[rp.Name].Endpoint(rank)
+			if err != nil {
+				panic(fmt.Sprintf("mpi: rail %q endpoint %d: %v", rp.Name, rank, err))
+			}
+			rails = append(rails, nic.New(rp, ep))
 		}
-		eng := core.New(rank, sch, srv, rails, core.Config{
-			Mode:            cfg.Mode,
-			OffloadEager:    cfg.OffloadEager,
-			AdaptiveOffload: cfg.AdaptiveOffload,
-			Strategy:        cfg.Strategy,
-			Trace:           rec,
-		})
-		n := &Node{world: w, rank: rank, Sch: sch, Srv: srv, Eng: eng, Trace: rec}
-		if srv != nil {
-			srv.Start()
-		}
-		w.nodes = append(w.nodes, n)
+		w.nodes[rank] = w.startNode(rank, rails)
 	}
 	return w
 }
 
-// Size returns the number of nodes.
-func (w *World) Size() int { return len(w.nodes) }
+// NewDistributed builds the local rank of a cluster whose other ranks run
+// in separate OS processes: a single rail over ep (a real transport such
+// as fabric/tcpfab). The world's size is ep.Nodes(); Node(r) for a remote
+// rank returns nil, and collectives work purely through the transport.
+func NewDistributed(cfg Config, rail nic.Params, ep fabric.Endpoint) *World {
+	if rail.Name == "" {
+		rail = nic.RealParams()
+	}
+	cfg.Nodes = ep.Nodes()
+	cfg.MX = rail
+	cfg.SHM = nic.Params{}
+	cfg.ExtraRails = nil
+	w := &World{cfg: cfg, size: ep.Nodes(), nodes: make([]*Node, ep.Nodes())}
+	w.nodes[ep.Self()] = w.startNode(ep.Self(), []*nic.Driver{nic.New(rail, ep)})
+	return w
+}
 
-// Node returns the node with the given rank.
+// startNode assembles and starts one node: Marcel scheduler, PIOMan event
+// server (Multithreaded mode), NewMadeleine engine over rails.
+func (w *World) startNode(rank int, rails []*nic.Driver) *Node {
+	cfg := &w.cfg
+	if cfg.Machine.NumCores() == 0 {
+		cfg.Machine = topo.DualQuadXeon()
+	}
+	sch := sched.New(sched.Config{
+		Machine:     cfg.Machine,
+		TimerPeriod: cfg.TimerPeriod,
+	})
+	var srv *piom.Server
+	if cfg.Mode == core.Multithreaded {
+		srv = piom.NewServer(sch, piom.Config{
+			EnableIdleHook: !cfg.NoIdlePolling,
+			EnableBlocking: cfg.EnableBlocking,
+		})
+	}
+	var rec *trace.Recorder
+	if cfg.TraceCapacity > 0 {
+		rec = trace.NewRecorder(cfg.TraceCapacity)
+	}
+	eng := core.New(rank, sch, srv, rails, core.Config{
+		Mode:            cfg.Mode,
+		OffloadEager:    cfg.OffloadEager,
+		AdaptiveOffload: cfg.AdaptiveOffload,
+		Strategy:        cfg.Strategy,
+		Trace:           rec,
+	})
+	n := &Node{world: w, rank: rank, Sch: sch, Srv: srv, Eng: eng, Trace: rec}
+	if srv != nil {
+		srv.Start()
+	}
+	return n
+}
+
+// Size returns the number of nodes in the cluster (including, for a
+// distributed world, ranks hosted by other processes).
+func (w *World) Size() int { return w.size }
+
+// Node returns the node with the given rank, or nil when that rank lives
+// in another process (distributed worlds).
 func (w *World) Node(rank int) *Node { return w.nodes[rank] }
 
 // Mode reports the engine mode of the world.
 func (w *World) Mode() core.Mode { return w.cfg.Mode }
 
-// RunAll spawns fn as one thread on every node and joins them all. The
-// rank is available via Proc.Rank.
+// RunAll spawns fn as one thread on every local node and joins them all.
+// The rank is available via Proc.Rank.
 func (w *World) RunAll(fn func(*Proc)) {
-	ths := make([]*sched.Thread, len(w.nodes))
-	for i, n := range w.nodes {
+	ths := make([]*sched.Thread, 0, len(w.nodes))
+	for _, n := range w.nodes {
+		if n == nil {
+			continue
+		}
 		node := n
-		ths[i] = node.Sch.Spawn(fmt.Sprintf("rank%d", node.rank), func(th *sched.Thread) {
+		ths = append(ths, node.Sch.Spawn(fmt.Sprintf("rank%d", node.rank), func(th *sched.Thread) {
 			fn(&Proc{Node: node, Th: th})
-		})
+		}))
 	}
 	for _, th := range ths {
 		th.Join()
 	}
 }
 
-// Close shuts the cluster down. All spawned threads must have completed.
+// Close shuts the cluster down: event servers stop, rail transports close
+// (waking anything blocked on a socket), schedulers wind down. All
+// spawned threads must have completed.
 func (w *World) Close() {
 	for _, n := range w.nodes {
+		if n == nil {
+			continue
+		}
 		if n.Srv != nil {
 			n.Srv.Stop()
 		}
+		n.Eng.Close()
 		n.Sch.Shutdown()
+	}
+	// Close the fabrics themselves: Engine.Close only reached the
+	// endpoints this world's ranks own, and a supplied fabric may span
+	// more ranks (whose listeners would otherwise leak).
+	for _, f := range w.fabs {
+		f.Close()
 	}
 }

@@ -1,8 +1,9 @@
 // Package nic implements the rail drivers the engine submits requests to.
-// A driver pairs a simulated fabric (internal/wire) with a host cost model
-// (internal/ptime): submission burns CPU on whichever goroutine calls it —
-// that is the property PIOMan's offloading exploits — while propagation is
-// charged as wire time.
+// A driver pairs a packet transport (a fabric.Endpoint) with a host cost
+// model (internal/ptime): submission burns CPU on whichever goroutine
+// calls it — that is the property PIOMan's offloading exploits — while
+// propagation is the transport's business: modeled wire time on the
+// simulator (fabric/simfab) or real sockets (fabric/tcpfab).
 //
 // Three presets model the rails the paper's NewMadeleine supports:
 //
@@ -14,6 +15,10 @@
 //     high bandwidth but a copy on both sides.
 //   - TCP: a lossless in-order TCP/Ethernet-class rail with much higher
 //     latency, used by the multirail strategy tests.
+//
+// A fourth preset, RealParams, carries no simulated costs at all: it is
+// the driver for rails whose endpoint is a real transport, where sockets
+// and syscalls cost genuine time.
 package nic
 
 import (
@@ -21,6 +26,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/simfab"
 	"pioman/internal/ptime"
 	"pioman/internal/wire"
 )
@@ -88,6 +95,18 @@ func SHMParams() Params {
 	}
 }
 
+// RealParams describes a rail whose endpoint is a real transport
+// (fabric/tcpfab): no modeled CPU costs and no PIO path — the socket stack
+// charges genuine time instead. The 32 KiB rendezvous threshold matches
+// the MX preset so protocol selection behaves identically on both.
+func RealParams() Params {
+	return Params{
+		Name:     "real",
+		EagerMax: 32 << 10,
+		MTU:      1 << 20,
+	}
+}
+
 // TCPParams models a TCP/10GbE rail.
 func TCPParams() Params {
 	return Params{
@@ -116,12 +135,15 @@ type Stats struct {
 	DataBytes  uint64
 	Polls      uint64
 	Recvs      uint64
+	// SendErrs counts submissions the transport rejected (endpoint
+	// closed or peer unreachable) — always zero on the simulator.
+	SendErrs uint64
 }
 
-// Driver is one endpoint of a rail: node `self` on fabric `fab`.
+// Driver is one endpoint of a rail: the node ep.Self() on ep's fabric.
 type Driver struct {
 	p    Params
-	fab  *wire.Fabric
+	ep   fabric.Endpoint
 	self int
 
 	eagerSent  atomic.Uint64
@@ -133,20 +155,37 @@ type Driver struct {
 	dataBytes  atomic.Uint64
 	polls      atomic.Uint64
 	recvs      atomic.Uint64
+	sendErrs   atomic.Uint64
 }
 
-// New returns node self's endpoint on fab with rail parameters p.
-func New(p Params, fab *wire.Fabric, self int) *Driver {
-	if fab == nil {
-		panic("nic: nil fabric")
-	}
-	if self < 0 || self >= fab.Nodes() {
-		panic(fmt.Sprintf("nic: node %d outside fabric of %d", self, fab.Nodes()))
+// New returns a driver submitting to ep with rail parameters p.
+func New(p Params, ep fabric.Endpoint) *Driver {
+	if ep == nil {
+		panic("nic: nil endpoint")
 	}
 	if p.MTU <= 0 {
 		p.MTU = 64 << 10
 	}
-	return &Driver{p: p, fab: fab, self: self}
+	return &Driver{p: p, ep: ep, self: ep.Self()}
+}
+
+// NewSim returns node self's driver on the wire simulator fab — the
+// pre-fabric constructor, kept for the simulation tests and benches.
+func NewSim(p Params, fab *wire.Fabric, self int) *Driver {
+	if fab == nil {
+		panic("nic: nil fabric")
+	}
+	return New(p, simfab.NewEndpoint(fab, self))
+}
+
+// send submits p to the transport, counting rejections. Send failures are
+// absorbed here: the engine's protocols treat a dead transport like a
+// silent wire (requests stay pending until shutdown), and SendErrs makes
+// the loss observable.
+func (d *Driver) send(p *wire.Packet) {
+	if err := d.ep.Send(p); err != nil {
+		d.sendErrs.Add(1)
+	}
 }
 
 // Name returns the rail name.
@@ -183,7 +222,7 @@ func (d *Driver) SendEager(h Header, payload []byte) {
 	}
 	d.eagerSent.Add(1)
 	d.eagerBytes.Add(uint64(n))
-	d.fab.Send(&wire.Packet{
+	d.send(&wire.Packet{
 		Kind: wire.PktEager, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
 		Seq: h.Seq, MsgID: h.MsgID, Payload: payload,
 		WireLen: n + HeaderBytes,
@@ -194,7 +233,7 @@ func (d *Driver) SendEager(h Header, payload []byte) {
 func (d *Driver) SendRTS(h Header, msgLen int) {
 	ptime.SpinFor(d.p.Cost.SubmitOverhead)
 	d.rtsSent.Add(1)
-	d.fab.Send(&wire.Packet{
+	d.send(&wire.Packet{
 		Kind: wire.PktRTS, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
 		Seq: h.Seq, MsgID: h.MsgID,
 		Payload: encodeLen(msgLen), WireLen: HeaderBytes,
@@ -205,7 +244,7 @@ func (d *Driver) SendRTS(h Header, msgLen int) {
 func (d *Driver) SendCTS(h Header) {
 	ptime.SpinFor(d.p.Cost.SubmitOverhead)
 	d.ctsSent.Add(1)
-	d.fab.Send(&wire.Packet{
+	d.send(&wire.Packet{
 		Kind: wire.PktCTS, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
 		Seq: h.Seq, MsgID: h.MsgID, WireLen: HeaderBytes,
 	})
@@ -220,7 +259,7 @@ func (d *Driver) SendData(h Header, offset int, payload []byte) {
 	ptime.SpinFor(d.p.Cost.DMASetup)
 	d.dataSent.Add(1)
 	d.dataBytes.Add(uint64(len(payload)))
-	d.fab.Send(&wire.Packet{
+	d.send(&wire.Packet{
 		Kind: wire.PktData, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
 		Seq: h.Seq, MsgID: h.MsgID, Offset: offset, Payload: payload,
 		WireLen: len(payload) + HeaderBytes,
@@ -237,7 +276,7 @@ func (d *Driver) SendAggr(h Header, payload []byte) {
 	ptime.SpinFor(d.p.Cost.DMASetup)
 	d.eagerSent.Add(1)
 	d.eagerBytes.Add(uint64(len(payload)))
-	d.fab.Send(&wire.Packet{
+	d.send(&wire.Packet{
 		Kind: wire.PktAggr, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
 		Seq: h.Seq, MsgID: h.MsgID, Payload: payload,
 		WireLen: len(payload) + HeaderBytes,
@@ -247,7 +286,7 @@ func (d *Driver) SendAggr(h Header, payload []byte) {
 // SendCtrl transmits an engine control packet (barriers, tests).
 func (d *Driver) SendCtrl(h Header, payload []byte) {
 	ptime.SpinFor(d.p.Cost.SubmitOverhead)
-	d.fab.Send(&wire.Packet{
+	d.send(&wire.Packet{
 		Kind: wire.PktCtrl, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
 		Seq: h.Seq, MsgID: h.MsgID, Payload: payload,
 		WireLen: len(payload) + HeaderBytes,
@@ -258,7 +297,7 @@ func (d *Driver) SendCtrl(h Header, payload []byte) {
 // costs a copy (SHM), the caller's core pays it here.
 func (d *Driver) Poll() *wire.Packet {
 	d.polls.Add(1)
-	p := d.fab.Poll(d.self)
+	p := d.ep.Poll()
 	if p != nil {
 		d.recvs.Add(1)
 		if d.p.RecvCopies && len(p.Payload) > 0 {
@@ -272,7 +311,7 @@ func (d *Driver) Poll() *wire.Packet {
 // spinning. It models the interrupt-based blocking call used when no core
 // is idle (§3.2 "Rendezvous management").
 func (d *Driver) BlockingPoll(timeout time.Duration) *wire.Packet {
-	p := d.fab.BlockingRecv(d.self, timeout)
+	p := d.ep.BlockingRecv(timeout)
 	if p != nil {
 		d.recvs.Add(1)
 		if d.p.RecvCopies && len(p.Payload) > 0 {
@@ -285,8 +324,7 @@ func (d *Driver) BlockingPoll(timeout time.Duration) *wire.Packet {
 // HasPending reports whether any packet is queued (arrived or in flight)
 // for this endpoint.
 func (d *Driver) HasPending() bool {
-	_, ok := d.fab.PendingAt(d.self)
-	return ok
+	return d.ep.Pending()
 }
 
 // CanSubmit reports whether the rail toward dst can accept another eager
@@ -296,11 +334,18 @@ func (d *Driver) HasPending() bool {
 // the waiting list — which is exactly when the aggregation strategy forms
 // trains.
 func (d *Driver) CanSubmit(dst int) bool {
-	return d.fab.LinkBacklog(d.self, dst) <= d.p.Link.FragSlot()+d.p.Link.PacketGap
+	return d.ep.Backlog(dst) <= d.p.Link.FragSlot()+d.p.Link.PacketGap
 }
 
-// NextSeq allocates a fabric-unique sequence number.
-func (d *Driver) NextSeq() uint64 { return d.fab.NextSeq() }
+// NextSeq allocates a sequence number unique on this endpoint's streams.
+func (d *Driver) NextSeq() uint64 { return d.ep.NextSeq() }
+
+// Endpoint returns the transport the driver submits to.
+func (d *Driver) Endpoint() fabric.Endpoint { return d.ep }
+
+// Close shuts the rail's transport down. Sends after Close are counted in
+// Stats.SendErrs and dropped.
+func (d *Driver) Close() error { return d.ep.Close() }
 
 // ChargeMatchCopy charges the cost of copying an unexpected message from
 // the library's unexpected-message pool into the application buffer. The
@@ -320,6 +365,7 @@ func (d *Driver) Stats() Stats {
 		DataBytes:  d.dataBytes.Load(),
 		Polls:      d.polls.Load(),
 		Recvs:      d.recvs.Load(),
+		SendErrs:   d.sendErrs.Load(),
 	}
 }
 

@@ -22,7 +22,7 @@ func fastParams() Params {
 func pair(t *testing.T, p Params) (*Driver, *Driver) {
 	t.Helper()
 	fab := wire.NewFabric(2, p.Link)
-	return New(p, fab, 0), New(p, fab, 1)
+	return NewSim(p, fab, 0), NewSim(p, fab, 1)
 }
 
 func pollUntil(t *testing.T, d *Driver, timeout time.Duration) *wire.Packet {
@@ -231,7 +231,7 @@ func TestNewValidation(t *testing.T) {
 					t.Errorf("New(self=%d) did not panic", bad)
 				}
 			}()
-			New(MXParams(), fab, bad)
+			NewSim(MXParams(), fab, bad)
 		}()
 	}
 	func() {
@@ -240,14 +240,14 @@ func TestNewValidation(t *testing.T) {
 				t.Error("New(nil fabric) did not panic")
 			}
 		}()
-		New(MXParams(), nil, 0)
+		New(MXParams(), nil)
 	}()
 }
 
 func TestDefaultMTU(t *testing.T) {
 	fab := wire.NewFabric(1, wire.MYRI10G())
 	p := Params{Name: "x", Link: wire.MYRI10G()}
-	d := New(p, fab, 0)
+	d := NewSim(p, fab, 0)
 	if d.MTU() <= 0 {
 		t.Fatalf("MTU = %d, want positive default", d.MTU())
 	}
