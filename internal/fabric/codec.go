@@ -40,6 +40,11 @@ const (
 	// corrupt or hostile length prefix must not attempt an unbounded
 	// allocation.
 	MaxFrameBytes = 128 << 20
+
+	// MaxPayloadBytes is the largest payload one frame can carry.
+	// Transports should refuse bigger payloads in Send, where the caller
+	// still gets a synchronous error.
+	MaxPayloadBytes = MaxFrameBytes - headerBytes
 )
 
 // EncodedSize returns the full frame size of p, length prefix included.
@@ -48,7 +53,15 @@ func EncodedSize(p *wire.Packet) int {
 }
 
 // AppendPacket appends p's frame to dst and returns the extended slice.
+// It panics on a payload too large for one frame: every encode path must
+// refuse such packets on the sender, because past 4 GiB the u32 length
+// prefix wraps and desyncs the whole stream, and even below that the
+// receiver's MaxFrameBytes guard would kill the connection. WritePacket
+// performs the same check up front and reports it as an error.
 func AppendPacket(dst []byte, p *wire.Packet) []byte {
+	if len(p.Payload) > MaxPayloadBytes {
+		panic(fmt.Sprintf("fabric: %d-byte payload exceeds frame limit %d", len(p.Payload), MaxPayloadBytes))
+	}
 	var flags byte
 	if p.Payload != nil {
 		flags = flagPayload
@@ -123,12 +136,11 @@ func decodeBody(b []byte) (*wire.Packet, error) {
 }
 
 // WritePacket writes p as one frame to w. Oversized payloads are refused
-// here, on the sender: encoding them anyway would either be rejected by
-// the receiver's MaxFrameBytes guard (killing the connection) or, past
-// 4 GiB, wrap the u32 length prefix and desync the whole stream.
+// as an error before reaching AppendPacket's panic: a stream writer wants
+// a rejected send, not a crashed process.
 func WritePacket(w io.Writer, p *wire.Packet) error {
-	if len(p.Payload) > MaxFrameBytes-headerBytes {
-		return fmt.Errorf("fabric: %d-byte payload exceeds frame limit %d", len(p.Payload), MaxFrameBytes-headerBytes)
+	if len(p.Payload) > MaxPayloadBytes {
+		return fmt.Errorf("fabric: %d-byte payload exceeds frame limit %d", len(p.Payload), MaxPayloadBytes)
 	}
 	_, err := w.Write(EncodePacket(p))
 	return err

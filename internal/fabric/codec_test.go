@@ -143,6 +143,24 @@ func TestCodecRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestCodecRefusesOversizedPayloads: every encode entry point must stop
+// an over-limit payload on the sender — WritePacket as an error, the raw
+// encoders as a panic — because an encoded oversize frame either kills
+// the receiving connection or (past 4 GiB) wraps the length prefix and
+// desyncs the stream.
+func TestCodecRefusesOversizedPayloads(t *testing.T) {
+	p := &wire.Packet{Kind: wire.PktData, Payload: make([]byte, MaxFrameBytes-headerBytes+1)}
+	if err := WritePacket(io.Discard, p); err == nil {
+		t.Error("WritePacket accepted an over-limit payload")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendPacket encoded an over-limit payload without panicking")
+		}
+	}()
+	EncodePacket(p)
+}
+
 func TestCodecRejectsCorruptFrames(t *testing.T) {
 	good := EncodePacket(&wire.Packet{Kind: wire.PktEager, Payload: []byte("abc")})
 	cases := map[string][]byte{

@@ -49,8 +49,14 @@ type Endpoint interface {
 	// BlockingRecv waits up to timeout for a packet, sleeping rather than
 	// spinning. Nil means timeout or endpoint closed (after draining).
 	BlockingRecv(timeout time.Duration) *wire.Packet
-	// Pending reports whether any packet is queued for this endpoint,
-	// arrived or still in flight.
+	// Pending reports whether any packet is known to be queued for this
+	// endpoint. The simulator also counts packets still in flight on the
+	// modeled wire; a real transport only sees what it has already read
+	// off its sockets, so a false return does not rule out bytes in a
+	// kernel buffer. Pollers must therefore treat false as "nothing
+	// visible right now", not "nothing outstanding", and rely on
+	// Poll/BlockingRecv — whose wakeups real transports do drive from
+	// socket arrival — to observe late packets.
 	Pending() bool
 	// Backlog reports how far into the future the transmit path toward
 	// dst is occupied — zero when idle. Real transports with their own

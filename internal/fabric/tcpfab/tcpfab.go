@@ -7,9 +7,17 @@
 // known, and an accepted connection is adopted as the send path when no
 // dialed one exists yet — so an asymmetric setup (only one side knows an
 // address, as in pingpong's -listen/-connect pair) still yields two-way
-// traffic. Each direction of a pair owns its own TCP stream, which gives
-// the per-sender FIFO delivery the engine's sequence-ordering layer
+// traffic. Each endpoint writes to a peer on exactly one stream, which
+// gives the per-sender FIFO delivery the engine's sequence-ordering layer
 // assumes, with no cross-size reordering at all.
+//
+// Simultaneous connect (both sides of a cold pair dial at once) can leave
+// a pair with two live streams: each side may adopt the other's dialed
+// connection as its send path before its own dial completes. Once a
+// handshake has been written on a dialed stream the peer may legitimately
+// answer on it, so the loser of the race is never closed — it stays open
+// and read, it just carries no outbound traffic from this side. Closing
+// it instead would RST frames the peer already wrote into it.
 package tcpfab
 
 import (
@@ -34,6 +42,14 @@ const (
 
 	dialTimeout      = 10 * time.Second
 	handshakeTimeout = 10 * time.Second
+
+	// closeDrainTimeout bounds how long Close lets writers flush queued
+	// frames toward a peer that has stopped reading.
+	closeDrainTimeout = 5 * time.Second
+
+	// maxRecycledBuf caps the outbound buffer capacity a writer keeps
+	// for reuse between batches (a few MTU-sized frames' worth).
+	maxRecycledBuf = 256 << 10
 )
 
 // Config describes one process's attachment to a TCP fabric.
@@ -65,28 +81,85 @@ type Endpoint struct {
 	dialing map[int]chan struct{} // in-flight dial per peer; closed when done
 	open    map[net.Conn]struct{} // every live conn, for teardown
 
-	seq    atomic.Uint64
-	state  atomic.Int32  // 0 open, 1 closed
-	done   chan struct{} // closed on Close; wakes every blocked receiver
-	inbox  inbox
-	wg     sync.WaitGroup
+	seq   atomic.Uint64
+	lost  atomic.Uint64 // frames accepted by Send, then lost with a stream
+	state atomic.Int32  // 0 open, 1 closed
+	done  chan struct{} // closed on Close; wakes every blocked receiver
+	inbox inbox
+	wg    sync.WaitGroup
+	// wwg tracks writer goroutines separately: Close waits for their
+	// queues to drain before it may close the connections under them.
+	wwg sync.WaitGroup
 }
 
-// peerConn serializes frame writes onto one TCP stream.
+// peerConn owns the outbound half of one peer stream: Send serializes
+// frames into an unbounded buffer, a dedicated writer goroutine drains
+// it onto the socket. The buffering is what lets Send keep the Endpoint
+// contract ("Send never blocks on the receiver making progress") even
+// when the kernel send buffer has filled against a receiver that isn't
+// draining — the synchronous-write alternative distributed-deadlocks two
+// ranks that flood eager traffic at each other before polling.
 type peerConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	bw *bufio.Writer
+	c net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []byte // serialized frames awaiting the writer
+	nframes int    // frames in buf, for loss accounting
+	dead    bool   // stop now, discard the buffer: the conn failed
+	closing bool   // stop once the buffer is drained: endpoint closing
 }
 
-// writePacket frames p onto the stream.
-func (pc *peerConn) writePacket(p *wire.Packet) error {
+func newPeerConn(c net.Conn) *peerConn {
+	pc := &peerConn{c: c}
+	pc.cond = sync.NewCond(&pc.mu)
+	return pc
+}
+
+// enqueue frames p for the writer goroutine. It reports false when the
+// stream no longer accepts frames, in which case the caller must redial.
+//
+// Serialization happens here, before Send returns, not in the writer:
+// the engine may complete the request — telling the application its
+// buffer is reusable — the moment Send returns, so the payload bytes
+// must be captured first. The caller has bounds-checked the payload, so
+// AppendPacket cannot panic.
+func (pc *peerConn) enqueue(p *wire.Packet) bool {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if err := fabric.WritePacket(pc.bw, p); err != nil {
-		return err
+	if pc.dead || pc.closing {
+		return false
 	}
-	return pc.bw.Flush()
+	pc.buf = fabric.AppendPacket(pc.buf, p)
+	pc.nframes++
+	pc.cond.Signal()
+	return true
+}
+
+// kill marks the stream dead and wakes the writer so it exits, discarding
+// anything still buffered. It returns the number of frames discarded, so
+// every unregistration path can feed the endpoint's loss count; repeat
+// kills return zero.
+func (pc *peerConn) kill() int {
+	pc.mu.Lock()
+	pc.dead = true
+	n := pc.nframes
+	pc.buf, pc.nframes = nil, 0
+	pc.cond.Signal()
+	pc.mu.Unlock()
+	return n
+}
+
+// drain asks the writer to finish the queue and then exit. A frame the
+// engine sent before Close must still reach the kernel buffer: with the
+// old synchronous Send it already had, and the shutdown sequencing of
+// both ranks' protocols (the closer's last ack completes the peer's
+// final request) depends on it.
+func (pc *peerConn) drain() {
+	pc.mu.Lock()
+	pc.closing = true
+	pc.cond.Signal()
+	pc.mu.Unlock()
 }
 
 // inbox is the arrival queue: FIFO, one notify edge for blocking
@@ -189,7 +262,12 @@ func (e *Endpoint) NextSeq() uint64 { return e.seq.Add(1) }
 // submission gate is always open.
 func (e *Endpoint) Backlog(int) time.Duration { return 0 }
 
-// Pending implements fabric.Endpoint.
+// Pending implements fabric.Endpoint. Only packets already decoded into
+// the inbox count: bytes still in a socket buffer or mid-read in a
+// readLoop are invisible here — the weaker Pending semantics the
+// fabric.Endpoint contract documents for real transports. The reader
+// goroutines push such packets and fire the notify edge on their own, so
+// a BlockingRecv waiter wakes regardless of what Pending reported.
 func (e *Endpoint) Pending() bool { return !e.inbox.empty() }
 
 // Poll implements fabric.Endpoint.
@@ -244,19 +322,30 @@ func (e *Endpoint) Send(p *wire.Packet) error {
 	if p.WireLen <= 0 {
 		p.WireLen = len(p.Payload)
 	}
+	// Refuse here, synchronously, what the codec cannot frame: detected
+	// any later, the writer could only treat it as a stream failure and
+	// kill a healthy connection. Self-delivery skips the codec but is
+	// held to the same limit, so a payload does not pass rank-local
+	// testing only to fail on its first cross-rank trip.
+	if len(p.Payload) > fabric.MaxPayloadBytes {
+		return fmt.Errorf("tcpfab: %d-byte payload exceeds frame limit %d", len(p.Payload), fabric.MaxPayloadBytes)
+	}
 	if p.Dst == e.self {
 		e.inbox.push(p)
 		return nil
 	}
-	pc, err := e.connTo(p.Dst)
-	if err != nil {
-		return err
+	for {
+		pc, err := e.connTo(p.Dst)
+		if err != nil {
+			return err
+		}
+		if pc.enqueue(p) {
+			return nil
+		}
+		// The stream died between lookup and enqueue and its writer
+		// has unregistered it; redial and try again. A peer that is
+		// truly gone ends the loop with a dial error.
 	}
-	if err := pc.writePacket(p); err != nil {
-		e.dropConn(p.Dst, pc)
-		return fmt.Errorf("tcpfab: send to rank %d: %w", p.Dst, err)
-	}
-	return nil
 }
 
 // connTo returns the send path toward rank, dialing it if needed. The
@@ -312,18 +401,17 @@ func (e *Endpoint) connTo(rank int) (*peerConn, error) {
 			c.Close()
 			return nil, fabric.ErrClosed
 		}
-		if pc := e.out[rank]; pc != nil {
-			// An accepted connection was adopted while we dialed; use
-			// it and drop ours.
-			e.mu.Unlock()
-			c.Close()
-			return pc, nil
-		}
-		pc := &peerConn{c: c, bw: bufio.NewWriter(c)}
-		e.out[rank] = pc
 		e.open[c] = struct{}{}
-		// The dialed stream is bidirectional: the peer may answer on it
-		// instead of dialing back (it adopted it), so always read it.
+		pc := e.out[rank]
+		if pc == nil {
+			pc = e.adoptConn(rank, c)
+		}
+		// Whether or not an accepted connection won the send-path slot
+		// while we dialed (simultaneous connect), the dialed stream
+		// stays open and read: our handshake is out, so the peer may
+		// have adopted this stream as ITS send path and written frames
+		// to it already — closing it here would RST those frames away.
+		// A stream that lost the race on both ends just idles.
 		e.wg.Add(1)
 		go e.readLoop(c, rank)
 		e.mu.Unlock()
@@ -331,7 +419,60 @@ func (e *Endpoint) connTo(rank int) (*peerConn, error) {
 	}
 }
 
-// dropConn removes a failed send path so the next send redials.
+// adoptConn registers c as the send path toward rank and starts its
+// writer goroutine. Caller holds e.mu and has ruled out Close having
+// started (closed() false under this same lock hold).
+func (e *Endpoint) adoptConn(rank int, c net.Conn) *peerConn {
+	pc := newPeerConn(c)
+	e.out[rank] = pc
+	e.wwg.Add(1)
+	go e.writeLoop(pc, rank)
+	return pc
+}
+
+// writeLoop drains rank's outbound buffer onto the socket until the
+// stream dies. On a write error it unregisters the conn so the next Send
+// redials; frames still buffered on it are lost with the connection,
+// like any bytes in flight on a failed TCP stream — the loss is counted
+// in LostFrames.
+func (e *Endpoint) writeLoop(pc *peerConn, rank int) {
+	defer e.wwg.Done()
+	for {
+		pc.mu.Lock()
+		for len(pc.buf) == 0 && !pc.dead && !pc.closing {
+			pc.cond.Wait()
+		}
+		if pc.dead || (pc.closing && len(pc.buf) == 0) {
+			pc.mu.Unlock()
+			return
+		}
+		batch, n := pc.buf, pc.nframes
+		pc.buf, pc.nframes = nil, 0
+		pc.mu.Unlock()
+		_, err := pc.c.Write(batch)
+		if err != nil {
+			// dropConn counts frames that raced in behind the swap; this
+			// batch, possibly partially written, is counted on top.
+			e.dropConn(rank, pc)
+			e.lost.Add(uint64(n))
+			return
+		}
+		// Hand the written buffer back for reuse unless new frames
+		// already started a fresh one. Burst-sized arrays go to the GC
+		// instead: recycling them would pin every connection at its
+		// historical peak backlog.
+		if cap(batch) <= maxRecycledBuf {
+			pc.mu.Lock()
+			if pc.buf == nil {
+				pc.buf = batch[:0]
+			}
+			pc.mu.Unlock()
+		}
+	}
+}
+
+// dropConn removes a failed send path so the next send redials, and
+// stops its writer.
 func (e *Endpoint) dropConn(rank int, pc *peerConn) {
 	e.mu.Lock()
 	if e.out[rank] == pc {
@@ -339,6 +480,7 @@ func (e *Endpoint) dropConn(rank int, pc *peerConn) {
 	}
 	delete(e.open, pc.c)
 	e.mu.Unlock()
+	e.lost.Add(uint64(pc.kill()))
 	pc.c.Close()
 }
 
@@ -375,8 +517,13 @@ func (e *Endpoint) serveConn(c net.Conn) {
 		return
 	}
 	e.mu.Lock()
+	if e.closed() {
+		e.mu.Unlock()
+		e.forgetConn(c, -1)
+		return
+	}
 	if e.out[rank] == nil {
-		e.out[rank] = &peerConn{c: c, bw: bufio.NewWriter(c)}
+		e.adoptConn(rank, c)
 	}
 	e.mu.Unlock()
 	e.wg.Add(1)
@@ -402,24 +549,39 @@ func (e *Endpoint) readLoop(c net.Conn, rank int) {
 }
 
 // forgetConn closes c and unregisters it from the teardown set and, when
-// it was rank's send path, from the routing table.
+// it was rank's send path, from the routing table (stopping its writer).
 func (e *Endpoint) forgetConn(c net.Conn, rank int) {
 	e.mu.Lock()
 	delete(e.open, c)
+	var pc *peerConn
 	if rank >= 0 {
-		if pc := e.out[rank]; pc != nil && pc.c == c {
+		if cur := e.out[rank]; cur != nil && cur.c == c {
 			delete(e.out, rank)
+			pc = cur
 		}
 	}
 	e.mu.Unlock()
+	if pc != nil {
+		e.lost.Add(uint64(pc.kill()))
+	}
 	c.Close()
 }
 
+// LostFrames counts frames Send accepted that were later abandoned with
+// a failed stream (or by Close's bounded drain timing out). The transport
+// cannot return these as Send errors — they fail after Send has returned —
+// so a nonzero count here is the loss signal operators should watch.
+// Writes racing a stream failure may be counted even if their bytes made
+// it out: the count is an upper bound on loss, never an undercount.
+func (e *Endpoint) LostFrames() uint64 { return e.lost.Load() }
+
 func (e *Endpoint) closed() bool { return e.state.Load() != 0 }
 
-// Close implements fabric.Endpoint: stop accepting, tear down every
-// stream, wake blocked receivers, and wait for the reader goroutines.
-// Packets already received remain pollable. Idempotent.
+// Close implements fabric.Endpoint: stop accepting, drain the writer
+// queues so frames sent before Close still reach their peers (bounded by
+// closeDrainTimeout against a peer that stopped reading), then tear down
+// every stream, wake blocked receivers, and wait for the reader
+// goroutines. Packets already received remain pollable. Idempotent.
 func (e *Endpoint) Close() error {
 	if !e.state.CompareAndSwap(0, 1) {
 		return nil
@@ -432,7 +594,19 @@ func (e *Endpoint) Close() error {
 	for c := range e.open {
 		conns = append(conns, c)
 	}
+	pcs := make([]*peerConn, 0, len(e.out))
+	for _, pc := range e.out {
+		pcs = append(pcs, pc)
+	}
 	e.mu.Unlock()
+	deadline := time.Now().Add(closeDrainTimeout)
+	for _, c := range conns {
+		c.SetWriteDeadline(deadline)
+	}
+	for _, pc := range pcs {
+		pc.drain()
+	}
+	e.wwg.Wait()
 	for _, c := range conns {
 		c.Close()
 	}

@@ -3,6 +3,7 @@ package tcpfab_test
 import (
 	"bytes"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -118,6 +119,206 @@ func TestAsymmetricTopology(t *testing.T) {
 	}
 	if p := ep1.BlockingRecv(30 * time.Second); p == nil || string(p.Payload) != "yo" {
 		t.Fatalf("dial side received %+v", p)
+	}
+}
+
+// TestSimultaneousConnect drives both sides of a cold pair into dialing
+// each other at once — the race where each endpoint can adopt the peer's
+// dialed stream as its send path while its own dial is still in flight.
+// Whatever streams the race leaves standing, no packet may be lost:
+// frames written to an adopted stream must never be RST away by the
+// other side discarding its "redundant" dialed connection.
+func TestSimultaneousConnect(t *testing.T) {
+	const rounds = 40
+	const burst = 20
+	for round := 0; round < rounds; round++ {
+		ep0, err := tcpfab.New(tcpfab.Config{Self: 0, Nodes: 2, Listen: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep1, err := tcpfab.New(tcpfab.Config{Self: 1, Nodes: 2, Listen: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep0.SetPeerAddr(1, ep1.Addr().String())
+		ep1.SetPeerAddr(0, ep0.Addr().String())
+
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		send := func(ep fabric.Endpoint, src, dst int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < burst; i++ {
+				if err := ep.Send(&wire.Packet{
+					Kind: wire.PktEager, Src: src, Dst: dst, Seq: uint64(i + 1),
+					Payload: []byte{byte(i)},
+				}); err != nil {
+					t.Errorf("round %d: send %d->%d: %v", round, src, dst, err)
+					return
+				}
+			}
+		}
+		wg.Add(2)
+		go send(ep0, 0, 1)
+		go send(ep1, 1, 0)
+		close(start)
+		wg.Wait()
+
+		for name, ep := range map[string]*tcpfab.Endpoint{"rank 0": ep0, "rank 1": ep1} {
+			for i := 0; i < burst; i++ {
+				if p := ep.BlockingRecv(30 * time.Second); p == nil {
+					t.Fatalf("round %d: %s lost a packet to the simultaneous-connect race (%d/%d arrived)",
+						round, name, i, burst)
+				}
+			}
+		}
+		ep0.Close()
+		ep1.Close()
+	}
+}
+
+// TestSendNeverBlocksOnStalledReceiver pins the Endpoint contract that
+// Send buffers rather than blocking on the receiver making progress: a
+// sender must be able to queue far more than the kernel socket buffers
+// hold while the receiver polls nothing at all. (With a synchronous
+// socket write under the hood, two ranks flooding eager traffic at each
+// other before polling would distributed-deadlock.)
+func TestSendNeverBlocksOnStalledReceiver(t *testing.T) {
+	l, err := tcpfab.NewLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	src, _ := l.Endpoint(0)
+	dst, _ := l.Endpoint(1)
+	const n = 1024
+	payload := bytes.Repeat([]byte{0xAB}, 64<<10) // 64 MiB total, beyond any default socket buffer
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := src.Send(&wire.Packet{
+				Kind: wire.PktData, Src: 0, Dst: 1, Seq: uint64(i + 1), Payload: payload,
+			}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Send blocked against a receiver that was not draining")
+	}
+	for i := 0; i < n; i++ {
+		if p := dst.BlockingRecv(30 * time.Second); p == nil {
+			t.Fatalf("drain stalled at packet %d/%d", i, n)
+		}
+	}
+}
+
+// TestSendCapturesPayloadBeforeReturn: the engine may complete an eager
+// request — telling the application its buffer is reusable — the moment
+// Send returns, so Send must capture the payload bytes before returning.
+// An app that scribbles over the buffer right after Send must not
+// corrupt what arrives.
+func TestSendCapturesPayloadBeforeReturn(t *testing.T) {
+	l, err := tcpfab.NewLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	src, _ := l.Endpoint(0)
+	dst, _ := l.Endpoint(1)
+	const n = 100
+	buf := make([]byte, 32<<10)
+	for i := 0; i < n; i++ {
+		for j := range buf {
+			buf[j] = byte(i)
+		}
+		if err := src.Send(&wire.Packet{
+			Kind: wire.PktEager, Src: 0, Dst: 1, Seq: uint64(i + 1), Payload: buf,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for j := range buf { // legal reuse the moment Send returned
+			buf[j] = 0xFF
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := dst.BlockingRecv(30 * time.Second)
+		if p == nil {
+			t.Fatalf("packet %d lost", i)
+		}
+		want := byte(p.Seq - 1)
+		for j, b := range p.Payload {
+			if b != want {
+				t.Fatalf("packet seq %d byte %d corrupted to %#x by post-Send buffer reuse", p.Seq, j, b)
+			}
+		}
+	}
+}
+
+// TestSendRefusesOversizedPayload: a payload the codec cannot frame is a
+// synchronous Send error, and the refusal leaves the connection healthy.
+func TestSendRefusesOversizedPayload(t *testing.T) {
+	l, err := tcpfab.NewLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	src, _ := l.Endpoint(0)
+	dst, _ := l.Endpoint(1)
+	if err := src.Send(&wire.Packet{
+		Kind: wire.PktData, Src: 0, Dst: 1, Payload: make([]byte, fabric.MaxPayloadBytes+1),
+	}); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if err := src.Send(&wire.Packet{Kind: wire.PktEager, Src: 0, Dst: 1, Payload: []byte("ok")}); err != nil {
+		t.Fatalf("send after refusal: %v", err)
+	}
+	if p := dst.BlockingRecv(30 * time.Second); p == nil || string(p.Payload) != "ok" {
+		t.Fatalf("connection damaged by refused send: %+v", p)
+	}
+}
+
+// TestCloseDrainsQueuedSends: a packet accepted by Send before Close must
+// still reach the peer — Close drains the writer queues into the sockets
+// before tearing the streams down. Both ranks' shutdown protocols depend
+// on this: the closing side's last ack completes the peer's final
+// request, and discarding it strands the peer in a wait forever.
+func TestCloseDrainsQueuedSends(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		ep0, err := tcpfab.New(tcpfab.Config{Self: 0, Nodes: 2, Listen: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep1, err := tcpfab.New(tcpfab.Config{
+			Self: 1, Nodes: 2,
+			Peers: map[int]string{0: ep0.Addr().String()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 50
+		for i := 1; i <= n; i++ {
+			if err := ep1.Send(&wire.Packet{
+				Kind: wire.PktEager, Src: 1, Dst: 0, Seq: uint64(i),
+				Payload: bytes.Repeat([]byte{byte(i)}, 4<<10),
+			}); err != nil {
+				t.Fatalf("round %d: send %d: %v", round, i, err)
+			}
+		}
+		ep1.Close() // immediately: the queue may not have hit the socket yet
+		for i := 1; i <= n; i++ {
+			if p := ep0.BlockingRecv(30 * time.Second); p == nil {
+				t.Fatalf("round %d: packet %d/%d discarded by Close instead of drained", round, i, n)
+			}
+		}
+		ep0.Close()
 	}
 }
 

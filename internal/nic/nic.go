@@ -135,8 +135,12 @@ type Stats struct {
 	DataBytes  uint64
 	Polls      uint64
 	Recvs      uint64
-	// SendErrs counts submissions the transport rejected (endpoint
-	// closed or peer unreachable) — always zero on the simulator.
+	// SendErrs counts submissions the transport rejected synchronously
+	// (endpoint closed, peer unreachable, payload too large) — always
+	// zero on the simulator. A real transport can also lose packets it
+	// accepted, when their stream later fails; that loss surfaces on the
+	// endpoint itself (tcpfab's LostFrames), not here, so SendErrs == 0
+	// alone does not prove nothing was dropped.
 	SendErrs uint64
 }
 
@@ -180,8 +184,9 @@ func NewSim(p Params, fab *wire.Fabric, self int) *Driver {
 
 // send submits p to the transport, counting rejections. Send failures are
 // absorbed here: the engine's protocols treat a dead transport like a
-// silent wire (requests stay pending until shutdown), and SendErrs makes
-// the loss observable.
+// silent wire (requests stay pending until shutdown), and SendErrs —
+// together with the transport's own asynchronous-loss counter, for
+// packets that fail after submission — makes the loss observable.
 func (d *Driver) send(p *wire.Packet) {
 	if err := d.ep.Send(p); err != nil {
 		d.sendErrs.Add(1)
@@ -321,8 +326,11 @@ func (d *Driver) BlockingPoll(timeout time.Duration) *wire.Packet {
 	return p
 }
 
-// HasPending reports whether any packet is queued (arrived or in flight)
-// for this endpoint.
+// HasPending reports whether any packet is known to be queued for this
+// endpoint. On the simulator that includes packets still in flight; a
+// real transport only counts packets already read off its sockets (see
+// fabric.Endpoint.Pending), so false is a polling hint, not proof the
+// wire is drained.
 func (d *Driver) HasPending() bool {
 	return d.ep.Pending()
 }
