@@ -1,14 +1,22 @@
 // Command pingpong runs the classic latency/bandwidth sweep.
 //
-// By default it sweeps the simulated MX fabric, for both the sequential
+// By default it sweeps a simulated fabric, for both the sequential
 // baseline and the PIOMan-enabled engine:
 //
-//	pingpong [-quick] [-max 1048576]
+//	pingpong [-quick] [-max 1048576] [-rails mx,shm]
 //
-// With -listen or -connect it instead runs the full engine stack between
-// two real OS processes over TCP (fabric/tcpfab), exercising the eager
-// protocol below 32 KiB and the RTS/CTS rendezvous protocol above it on
-// genuine sockets:
+// -rails selects which simulated rails the world gets: "mx,shm" (the
+// paper's testbed: Myrinet/MX between nodes plus the intra-node
+// shared-memory channel) or "mx" alone.
+//
+// With -listen, -connect or -shm it instead runs the full engine stack
+// between two real OS processes, exercising the eager protocol and the
+// RTS/CTS rendezvous protocol on a genuine transport. These flags replace
+// the simulated rail set entirely with a single real rail, so they cannot
+// be combined with -rails — and they select mutually exclusive
+// transports, so they cannot be combined with each other.
+//
+// Over TCP (fabric/tcpfab):
 //
 //	pingpong -listen 127.0.0.1:9777           # rank 0
 //	pingpong -connect 127.0.0.1:9777          # rank 1, other process
@@ -16,6 +24,16 @@
 // Rank 0 accepts with -listen (port 0 picks an ephemeral port, printed on
 // startup); rank 1 dials it. The connecting rank speaks first so the
 // listening rank learns its return path from the accepted connection.
+//
+// Over shared memory (fabric/shmfab), for two processes on the same host:
+//
+//	pingpong -shm /tmp/pp-rings -rank 0       # sweeps
+//	pingpong -shm /tmp/pp-rings -rank 1       # echoes, other process
+//
+// Both ranks name the same directory, which must be fresh for the run
+// (stale ring files from an earlier run would be spliced in mid-state);
+// either rank may start first — ring files are created by whoever
+// arrives first and adopted by the other.
 package main
 
 import (
@@ -28,6 +46,8 @@ import (
 
 	"pioman/internal/core"
 	"pioman/internal/exp"
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/shmfab"
 	"pioman/internal/fabric/tcpfab"
 	"pioman/internal/mpi"
 	"pioman/internal/nic"
@@ -37,23 +57,66 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts")
 	max := flag.Int("max", 1<<20, "largest message size")
-	listen := flag.String("listen", "", "run as rank 0 over real TCP, accepting on this address")
-	connect := flag.String("connect", "", "run as rank 1 over real TCP, dialing rank 0 at this address")
+	rails := flag.String("rails", "mx,shm", "simulated rails for the default sweep: \"mx\" or \"mx,shm\"; incompatible with -listen/-connect/-shm, which replace the simulated rails with one real transport")
+	listen := flag.String("listen", "", "run as rank 0 over real TCP, accepting on this address (replaces the simulated -rails set; excludes -connect/-shm)")
+	connect := flag.String("connect", "", "run as rank 1 over real TCP, dialing rank 0 at this address (replaces the simulated -rails set; excludes -listen/-shm)")
+	shmDir := flag.String("shm", "", "run one rank over real shared memory, ring files in this fresh directory (replaces the simulated -rails set; excludes -listen/-connect; needs -rank)")
+	rank := flag.Int("rank", 0, "with -shm: this process's rank (0 sweeps, 1 echoes)")
 	flag.Parse()
 	exp.Quick = *quick
 
-	if *listen != "" || *connect != "" {
-		os.Exit(runReal(*listen, *connect, *quick))
+	real := *listen != "" || *connect != "" || *shmDir != ""
+	rankSet, railsSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "rank":
+			rankSet = true
+		case "rails":
+			railsSet = true
+		}
+	})
+	if *shmDir != "" && (*listen != "" || *connect != "") {
+		fail("-shm selects the shared-memory transport and cannot be combined with -listen/-connect (the TCP transport); pick one transport per process")
+	}
+	if *listen != "" && *connect != "" {
+		fail("-listen and -connect are mutually exclusive: one process accepts, the other dials")
+	}
+	if real && railsSet {
+		fail("-rails configures the simulated sweep; -listen/-connect/-shm replace the simulated rails with one real transport, so the flags cannot be combined")
+	}
+	if rankSet && *shmDir == "" {
+		fail("-rank only selects a role under -shm (TCP infers the rank: -listen is 0, -connect is 1)")
+	}
+	if *shmDir != "" && (*rank < 0 || *rank > 1) {
+		fail(fmt.Sprintf("-rank %d: the shared-memory pingpong has ranks 0 and 1", *rank))
+	}
+	withSHM := true
+	switch *rails {
+	case "mx,shm":
+	case "mx":
+		withSHM = false
+	default:
+		fail(fmt.Sprintf("-rails %q: supported rail sets are \"mx\" and \"mx,shm\"", *rails))
+	}
+
+	if real {
+		os.Exit(runReal(*listen, *connect, *shmDir, *rank, *quick))
 	}
 
 	var sizes []int
 	for s := 8; s <= *max; s *= 2 {
 		sizes = append(sizes, s)
 	}
-	fmt.Println(exp.FormatPingpong(exp.RunPingpong(core.Sequential, sizes),
+	fmt.Println(exp.FormatPingpong(exp.RunPingpongRails(core.Sequential, sizes, withSHM),
 		"Pingpong, sequential baseline (original NewMadeleine)"))
-	fmt.Println(exp.FormatPingpong(exp.RunPingpong(core.Multithreaded, sizes),
+	fmt.Println(exp.FormatPingpong(exp.RunPingpongRails(core.Multithreaded, sizes, withSHM),
 		"Pingpong, multithreaded engine (NewMadeleine + PIOMan)"))
+}
+
+// fail prints a usage error and exits with the flag-error convention.
+func fail(msg string) {
+	fmt.Fprintf(os.Stderr, "pingpong: %s\n", msg)
+	os.Exit(2)
 }
 
 // Real-mode protocol tags.
@@ -67,13 +130,10 @@ const (
 // realSizes spans both protocols around the 32 KiB rendezvous threshold.
 var realSizes = []int{64, 1 << 10, 4 << 10, 32 << 10, 64 << 10, 256 << 10}
 
-// runReal executes one rank of the two-process pingpong and returns the
-// process exit code.
-func runReal(listen, connect string, quick bool) int {
-	if listen != "" && connect != "" {
-		fmt.Fprintln(os.Stderr, "pingpong: -listen and -connect are mutually exclusive")
-		return 2
-	}
+// runReal executes one rank of the two-process pingpong over a real
+// transport — TCP when listen/connect is set, shared-memory rings when
+// shmDir is — and returns the process exit code.
+func runReal(listen, connect, shmDir string, shmRank int, quick bool) int {
 	iters := 50
 	if quick {
 		iters = 5
@@ -88,23 +148,43 @@ func runReal(listen, connect string, quick bool) int {
 	}
 
 	var (
-		ep  *tcpfab.Endpoint
-		err error
+		ep   fabric.Endpoint
+		rail nic.Params
+		rank int
+		err  error
 	)
-	rank := 0
-	if listen != "" {
-		ep, err = tcpfab.New(tcpfab.Config{Self: 0, Nodes: 2, Listen: listen})
+	switch {
+	case shmDir != "":
+		rank = shmRank
+		rail = nic.ShmParams()
+		ep, err = shmfab.New(shmfab.Config{
+			Self: rank, Nodes: 2, Dir: shmDir,
+			// Matches the engine's NoIdlePolling below: on a host
+			// without spare cores, spinning on a ring starves the peer.
+			NoBusyPoll: true,
+		})
 		if err == nil {
-			fmt.Printf("pingpong: rank 0 listening on %s\n", ep.Addr())
+			fmt.Printf("pingpong: rank %d on shared-memory rings in %s\n", rank, shmDir)
 		}
-	} else {
+	case listen != "":
+		rail = nic.RealParams()
+		var tep *tcpfab.Endpoint
+		tep, err = tcpfab.New(tcpfab.Config{Self: 0, Nodes: 2, Listen: listen})
+		if err == nil {
+			fmt.Printf("pingpong: rank 0 listening on %s\n", tep.Addr())
+			ep = tep
+		}
+	default:
 		rank = 1
-		ep, err = tcpfab.New(tcpfab.Config{Self: 1, Nodes: 2, Peers: map[int]string{0: connect}})
+		rail = nic.RealParams()
+		var tep *tcpfab.Endpoint
+		tep, err = tcpfab.New(tcpfab.Config{Self: 1, Nodes: 2, Peers: map[int]string{0: connect}})
 		if err == nil {
 			// Fail fast on a bad address: without this the dial error
 			// only surfaces as a silently dropped packet deep in the
 			// engine, and the process hangs waiting for a reply.
-			err = ep.Dial(0)
+			err = tep.Dial(0)
+			ep = tep
 		}
 	}
 	if err != nil {
@@ -116,15 +196,26 @@ func runReal(listen, connect string, quick bool) int {
 		Mode:           core.Multithreaded,
 		OffloadEager:   true,
 		EnableBlocking: true,
-		// Real sockets progress through the §3.2 blocking fallback:
-		// active polling would only steal CPU from the kernel's own
-		// packet delivery on small hosts.
+		// Real transports progress through the §3.2 blocking fallback:
+		// active polling would only steal CPU from the kernel (TCP) or
+		// the peer process (shm) on small hosts.
 		NoIdlePolling: true,
 		Machine:       topo.Machine{Sockets: 1, CoresPerSocket: 2},
-	}, nic.RealParams(), ep)
+	}, rail, ep)
 	defer w.Close()
 
-	failed := false
+	if !runSweep(w, rank, iters, rail.EagerMax) {
+		return 1
+	}
+	fmt.Printf("pingpong: rank %d ok\n", rank)
+	return 0
+}
+
+// runSweep drives the warm-up plus timed eager/rendezvous exchanges on a
+// two-rank distributed world and reports success. Rank 0 sweeps and
+// prints; rank 1 echoes until the bye marker.
+func runSweep(w *mpi.World, rank, iters, eagerMax int) bool {
+	ok := true
 	w.Node(rank).Run(func(p *mpi.Proc) {
 		if rank == 1 {
 			// Speaking first gives rank 0 its return path.
@@ -140,7 +231,7 @@ func runReal(listen, connect string, quick bool) int {
 		defer p.Send(1, tagBye, []byte("bye"))
 		for _, size := range realSizes {
 			proto := "eager"
-			if size > 32<<10 {
+			if size > eagerMax {
 				proto = "rendezvous"
 			}
 			msg := patterned(size)
@@ -154,7 +245,7 @@ func runReal(listen, connect string, quick bool) int {
 				n, _ := p.Recv(1, tagPong, buf)
 				if n != size || !bytes.Equal(buf, msg) {
 					fmt.Fprintf(os.Stderr, "pingpong: echo of %d bytes corrupted\n", size)
-					failed = true
+					ok = false
 					return
 				}
 			}
@@ -163,11 +254,7 @@ func runReal(listen, connect string, quick bool) int {
 				proto, size, rtt, 2*float64(size)/rtt.Seconds()/1e6)
 		}
 	})
-	if failed {
-		return 1
-	}
-	fmt.Printf("pingpong: rank %d ok\n", rank)
-	return 0
+	return ok
 }
 
 // echoUntilBye bounces pings back until the bye marker arrives.

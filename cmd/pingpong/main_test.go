@@ -100,7 +100,7 @@ func TestHelperRank0(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "rank0" {
 		t.Skip("helper entry point")
 	}
-	if code := runReal("127.0.0.1:0", "", true); code != 0 {
+	if code := runReal("127.0.0.1:0", "", "", 0, true); code != 0 {
 		t.Fatalf("rank 0 exited %d", code)
 	}
 }
@@ -110,7 +110,78 @@ func TestHelperRank1(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "rank1" {
 		t.Skip("helper entry point")
 	}
-	if code := runReal("", os.Getenv("PINGPONG_CONNECT"), true); code != 0 {
+	if code := runReal("", os.Getenv("PINGPONG_CONNECT"), "", 0, true); code != 0 {
+		t.Fatalf("rank 1 exited %d", code)
+	}
+}
+
+// TestTwoProcessPingpongShm is the shared-memory acceptance exchange: two
+// separate OS processes complete the full eager and rendezvous sweep over
+// fabric/shmfab ring files in a shared fresh directory. Unlike the TCP
+// variant there is no address to scrape — both ranks start concurrently
+// and whichever arrives first creates the rings.
+func TestTwoProcessPingpongShm(t *testing.T) {
+	if os.Getenv("PINGPONG_HELPER") != "" {
+		t.Skip("helper invocation")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	spawn := func(rank string) *exec.Cmd {
+		cmd := exec.CommandContext(ctx, exe, "-test.run", "TestHelperShmRank"+rank, "-test.v")
+		cmd.Env = append(os.Environ(), "PINGPONG_HELPER=shmrank"+rank, "PINGPONG_SHM="+dir)
+		return cmd
+	}
+	rank1 := spawn("1")
+	out1 := &strings.Builder{}
+	rank1.Stdout, rank1.Stderr = out1, out1
+	if err := rank1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rank1.Process.Kill()
+
+	rank0 := spawn("0")
+	out0, err := rank0.CombinedOutput()
+	if err != nil {
+		t.Fatalf("rank 0 process failed (ctx: %v): %v\n%s", ctx.Err(), err, out0)
+	}
+	if err := rank1.Wait(); err != nil {
+		t.Fatalf("rank 1 process failed: %v\n%s", err, out1.String())
+	}
+	if !strings.Contains(string(out0), "rank 0 ok") {
+		t.Fatalf("rank 0 did not report success:\n%s", out0)
+	}
+	if !strings.Contains(out1.String(), "rank 1 ok") {
+		t.Fatalf("rank 1 did not report success:\n%s", out1.String())
+	}
+	// The sweep must have crossed both protocols.
+	if all := string(out0); !strings.Contains(all, "eager") || !strings.Contains(all, "rendezvous") {
+		t.Fatalf("sweep missing a protocol:\n%s", all)
+	}
+}
+
+// TestHelperShmRank0 is the re-exec body of the sweeping shared-memory
+// rank; it only runs inside TestTwoProcessPingpongShm's child process.
+func TestHelperShmRank0(t *testing.T) {
+	if os.Getenv("PINGPONG_HELPER") != "shmrank0" {
+		t.Skip("helper entry point")
+	}
+	if code := runReal("", "", os.Getenv("PINGPONG_SHM"), 0, true); code != 0 {
+		t.Fatalf("rank 0 exited %d", code)
+	}
+}
+
+// TestHelperShmRank1 is the re-exec body of the echoing shared-memory rank.
+func TestHelperShmRank1(t *testing.T) {
+	if os.Getenv("PINGPONG_HELPER") != "shmrank1" {
+		t.Skip("helper entry point")
+	}
+	if code := runReal("", "", os.Getenv("PINGPONG_SHM"), 1, true); code != 0 {
 		t.Fatalf("rank 1 exited %d", code)
 	}
 }

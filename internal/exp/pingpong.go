@@ -6,6 +6,7 @@ import (
 
 	"pioman/internal/core"
 	"pioman/internal/mpi"
+	"pioman/internal/nic"
 	"pioman/internal/ptime"
 	"pioman/internal/stats"
 )
@@ -18,14 +19,25 @@ type PingpongRow struct {
 }
 
 // RunPingpong measures half round-trip latency and effective bandwidth for
-// each size under the given engine mode.
+// each size under the given engine mode, on the default testbed rail set
+// (MX plus the intra-node shared-memory rail).
 func RunPingpong(mode core.Mode, sizes []int) []PingpongRow {
+	return RunPingpongRails(mode, sizes, true)
+}
+
+// RunPingpongRails is RunPingpong with the simulated rail set explicit:
+// withSHM keeps the intra-node shared-memory rail alongside MX, false
+// sweeps over MX alone (cmd/pingpong's -rails flag).
+func RunPingpongRails(mode core.Mode, sizes []int, withSHM bool) []PingpongRow {
 	warm, meas := iters(20, 200)
 	var cfg mpi.Config
 	if mode == core.Multithreaded {
 		cfg = mpi.DefaultMultithreaded(2)
 	} else {
 		cfg = mpi.DefaultSequential(2)
+	}
+	if !withSHM {
+		cfg.SHM = nic.Params{}
 	}
 	w := mpi.NewWorld(cfg)
 	defer w.Close()

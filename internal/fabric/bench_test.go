@@ -6,15 +6,18 @@ import (
 	"time"
 
 	"pioman/internal/fabric"
+	"pioman/internal/fabric/shmfab"
 	"pioman/internal/fabric/simfab"
 	"pioman/internal/fabric/tcpfab"
 	"pioman/internal/wire"
 )
 
-// Raw-endpoint round-trip latency, simulated wire vs real localhost TCP,
-// at the paper's three regimes: latency-bound (64 B), eager (4 KiB) and
-// rendezvous-class (64 KiB) messages. This is the number BENCH_*.json
-// tracks so the real transport's progress is measurable PR over PR.
+// Raw-endpoint round-trip latency, simulated wire vs real localhost TCP
+// vs real shared-memory rings, at the paper's three regimes:
+// latency-bound (64 B), eager (4 KiB) and rendezvous-class (64 KiB)
+// messages. This is the number BENCH_*.json tracks so the real
+// transports' progress is measurable PR over PR — and where the shm rail's
+// win over loopback TCP for co-located ranks shows up.
 
 var benchSizes = []int{64, 4 << 10, 64 << 10}
 
@@ -81,6 +84,19 @@ func BenchmarkRTTTcpfab(b *testing.B) {
 	for _, size := range benchSizes {
 		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
 			f, err := tcpfab.NewLocal(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			benchRTT(b, f, size)
+		})
+	}
+}
+
+func BenchmarkRTTShmfab(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			f, err := shmfab.NewLocal(2, b.TempDir())
 			if err != nil {
 				b.Fatal(err)
 			}

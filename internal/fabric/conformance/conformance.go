@@ -122,6 +122,30 @@ func RunEndpoint(t *testing.T, open OpenFabric) {
 		}
 	})
 
+	t.Run("ReversedOpenOrder", func(t *testing.T) {
+		// Endpoints must come up usable in any order. Backends that
+		// build per-endpoint resources lazily — shmfab creates its mmap'd
+		// ring files at attach time, the analog of tcpfab's simultaneous
+		// connect — must let whichever side arrives first create the
+		// shared state and the latecomer adopt it, in both directions.
+		f := open(t, 2)
+		defer f.Close()
+		later := mustEp(t, f, 1) // the "second" rank attaches first
+		first := mustEp(t, f, 0)
+		if err := first.Send(&wire.Packet{Kind: wire.PktCtrl, Src: 0, Dst: 1, Tag: 1, Payload: []byte("fwd")}); err != nil {
+			t.Fatalf("send toward the earlier-opened endpoint: %v", err)
+		}
+		if p := recvOne(t, later); p.Tag != 1 || string(p.Payload) != "fwd" {
+			t.Fatalf("earlier-opened endpoint received %+v", p)
+		}
+		if err := later.Send(&wire.Packet{Kind: wire.PktCtrl, Src: 1, Dst: 0, Tag: 2, Payload: []byte("rev")}); err != nil {
+			t.Fatalf("send toward the later-opened endpoint: %v", err)
+		}
+		if p := recvOne(t, first); p.Tag != 2 || string(p.Payload) != "rev" {
+			t.Fatalf("later-opened endpoint received %+v", p)
+		}
+	})
+
 	t.Run("SelfLoopback", func(t *testing.T) {
 		f := open(t, 2)
 		defer f.Close()

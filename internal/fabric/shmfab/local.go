@@ -1,0 +1,90 @@
+package shmfab
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"pioman/internal/fabric"
+)
+
+// Local is a fabric.Fabric spanning n in-process endpoints that still talk
+// through real mmap'd ring files — the single-binary analog of a
+// multi-process shared-memory deployment, for tests, benches and
+// in-process worlds. Endpoints are created lazily on first request, so
+// attachment order (and therefore the ring-file creation race) follows
+// whatever order the caller asks for ranks in; distributed deployments
+// build one Endpoint per process with New instead.
+type Local struct {
+	nodes  int
+	dir    string
+	ownDir bool // created by NewLocal: removed on Close
+
+	mu     sync.Mutex
+	eps    []*Endpoint
+	closed bool
+}
+
+// NewLocal prepares an n-rank fabric over dir. An empty dir allocates a
+// fresh temporary directory that Close removes; a caller-supplied dir
+// must be fresh for this run and is left in place.
+func NewLocal(n int, dir string) (*Local, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shmfab: local fabric needs at least one rank")
+	}
+	own := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "shmfab-*")
+		if err != nil {
+			return nil, fmt.Errorf("shmfab: ring directory: %w", err)
+		}
+		dir, own = d, true
+	}
+	return &Local{nodes: n, dir: dir, ownDir: own, eps: make([]*Endpoint, n)}, nil
+}
+
+// Dir returns the ring directory the fabric runs over.
+func (l *Local) Dir() string { return l.dir }
+
+// Nodes implements fabric.Fabric.
+func (l *Local) Nodes() int { return l.nodes }
+
+// Endpoint implements fabric.Fabric, creating rank's endpoint on first
+// request and returning the same instance thereafter (each ring must keep
+// a single producer and a single consumer).
+func (l *Local) Endpoint(rank int) (fabric.Endpoint, error) {
+	if rank < 0 || rank >= l.nodes {
+		return nil, fmt.Errorf("shmfab: rank %d outside local fabric of %d", rank, l.nodes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, fabric.ErrClosed
+	}
+	if l.eps[rank] == nil {
+		ep, err := New(Config{Self: rank, Nodes: l.nodes, Dir: l.dir})
+		if err != nil {
+			return nil, err
+		}
+		l.eps[rank] = ep
+	}
+	return l.eps[rank], nil
+}
+
+// Close implements fabric.Fabric: every created endpoint is closed, and a
+// directory NewLocal allocated itself is removed.
+func (l *Local) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	eps := l.eps
+	l.mu.Unlock()
+	for _, e := range eps {
+		if e != nil {
+			e.Close()
+		}
+	}
+	if l.ownDir {
+		os.RemoveAll(l.dir)
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package shmfab
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap reports that this platform has no shared-mapping support wired
+// up; shmfab is a unix transport.
+var errNoMmap = errors.New("shmfab: shared file mappings are only supported on unix platforms")
+
+// mmapFile is the non-unix stub: shmfab cannot run here.
+func mmapFile(*os.File, int) ([]byte, error) { return nil, errNoMmap }
+
+// munmapFile is the non-unix stub.
+func munmapFile([]byte) error { return errNoMmap }

@@ -1,0 +1,645 @@
+// Package shmfab is the shared-memory transport backend for the fabric
+// layer: ranks on the same host exchange packets through mmap'd files,
+// one fixed-slot single-producer/single-consumer ring per directed pair
+// of ranks. It replaces the *simulated* SHM rail (nic.SHMParams over the
+// wire simulator) with real inter-process shared memory — the paper's
+// intra-node channel of §4.3 — when ranks genuinely share a host.
+//
+// Topology is a full mesh over a shared directory: rank i sends to rank j
+// through the ring file "ring-i-to-j". Every endpoint creates or attaches
+// all of its rings, in both roles, at construction; the creation race
+// (both sides of a pair arriving at once, in either order) is resolved by
+// an O_EXCL create whose winner initializes the file and publishes a
+// magic word last, while the loser waits for that magic and validates the
+// geometry. A directory must serve exactly one run: reusing one across
+// runs would splice a new process into a half-consumed ring, so launchers
+// (cmd/pingpong -shm, Local) use a fresh directory per run.
+//
+// Frames are the fabric codec's length-prefixed packets, chunked across
+// consecutive slots as a byte stream, so a frame may be both far larger
+// than a slot and larger than the whole ring — the producer streams it
+// through as the consumer drains. Like tcpfab, Send never blocks on the
+// receiver: it serializes the frame before returning (the engine may
+// reuse the payload buffer the moment Send returns) and either writes the
+// slots directly when the ring has room or hands the bytes to a per-ring
+// pump goroutine with an unbounded overflow buffer. Ring waits busy-wait
+// with adaptive backoff — a short yield-spin phase that escalates into
+// sleeping — and the spin phase is disabled by Config.NoBusyPoll, the
+// transport-level counterpart of mpi.Config.NoIdlePolling for hosts
+// without cores to burn.
+//
+// Delivery within one ring is strict per-sender FIFO; across senders no
+// order is promised — exactly the portable fabric.Endpoint contract, see
+// docs/FABRIC.md. The conformance suite (fabric/conformance) runs against
+// this backend in shmfab_test.go.
+package shmfab
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pioman/internal/fabric"
+	"pioman/internal/wire"
+)
+
+const (
+	// defaultSlots is the per-ring slot count when Config leaves it zero.
+	defaultSlots = 128
+	// defaultSlotBytes is the per-slot data capacity when Config leaves
+	// it zero. 128 slots × 8 KiB gives each direction a 1 MiB window,
+	// several eager messages deep, before the pump path engages.
+	defaultSlotBytes = 8 << 10
+	// defaultAttachTimeout bounds how long an endpoint waits for a peer
+	// mid-creation before declaring the ring file abandoned.
+	defaultAttachTimeout = 10 * time.Second
+	// closeDrainTimeout bounds how long Close lets pumps flush queued
+	// frames into a ring whose consumer has stopped draining.
+	closeDrainTimeout = 5 * time.Second
+	// maxRecycledBuf caps the serialization buffer capacity kept for
+	// reuse between sends, so one burst does not pin its peak forever.
+	maxRecycledBuf = 256 << 10
+)
+
+// Config describes one process's attachment to a shared-memory fabric.
+type Config struct {
+	// Self is this endpoint's rank.
+	Self int
+	// Nodes is the cluster size.
+	Nodes int
+	// Dir is the shared directory holding the ring files. Every rank of
+	// one run must use the same directory, and the directory must be
+	// fresh for the run (stale rings from a previous run would be
+	// spliced into this one mid-state).
+	Dir string
+	// Slots is the per-ring slot count (default 128). All ranks must
+	// agree; attachment fails otherwise.
+	Slots int
+	// SlotBytes is the per-slot data capacity (default 8 KiB, rounded up
+	// to a multiple of 8). All ranks must agree.
+	SlotBytes int
+	// NoBusyPoll disables the yield-spin phase of ring waits: waiters go
+	// straight to sleeping backoff. Set it when the engine runs with
+	// mpi.Config.NoIdlePolling — on a host without spare cores, spinning
+	// on a ring only starves the peer of the CPU it needs to make the
+	// awaited progress.
+	NoBusyPoll bool
+	// AttachTimeout bounds waiting for a peer that won the creation race
+	// but has not finished initializing a ring (default 10s).
+	AttachTimeout time.Duration
+}
+
+// Endpoint is one process's port on a shared-memory fabric. It implements
+// fabric.Endpoint.
+type Endpoint struct {
+	self, nodes int
+	cfg         Config
+
+	out []*outRing // producer side, indexed by destination rank; nil at self
+	in  []*inRing  // consumer side, indexed by source rank; nil at self
+
+	seq  atomic.Uint64
+	lost atomic.Uint64 // frames accepted by Send, then abandoned at Close
+
+	state         atomic.Int32 // 0 open, 1 closed
+	drainDeadline atomic.Int64 // unix nanos; set by Close before pumps drain
+	inbox         inbox
+	wwg           sync.WaitGroup // pump goroutines
+
+	// recvMu serializes the consumer role: ring cursors and frame
+	// reassembly are single-consumer state, and Close unmaps under this
+	// lock so no scanner can touch freed memory.
+	recvMu sync.Mutex
+	rr     int // round-robin scan start, for fairness across senders
+}
+
+// outRing owns the producer half of one ring: Send serializes frames
+// under mu — directly into the ring when it has room, otherwise into an
+// unbounded overflow buffer drained by a pump goroutine. The pumping flag
+// keeps the single-producer invariant: the direct path writes slots only
+// while the pump is parked with an empty buffer.
+type outRing struct {
+	r    *ring
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	buf     []byte // serialized frames awaiting the pump
+	nframes int    // frames in buf, for loss accounting
+	scratch []byte // recycled serialization buffer for the direct path
+	pumping bool   // pump holds bytes it has not finished writing
+	closing bool   // endpoint closing: drain, then stop
+}
+
+// inRing owns the consumer half of one ring plus the byte-stream decoder
+// that reassembles frames spanning slots.
+type inRing struct {
+	r    *ring
+	dec  []byte // bytes drained from slots, not yet a complete frame
+	dead bool   // decoder hit a corrupt frame; ring abandoned
+}
+
+// inbox is the arrival queue shared by ring deliveries and self-sends.
+type inbox struct {
+	mu   sync.Mutex
+	pkts []*wire.Packet
+}
+
+func (ib *inbox) push(p *wire.Packet) {
+	ib.mu.Lock()
+	ib.pkts = append(ib.pkts, p)
+	ib.mu.Unlock()
+}
+
+func (ib *inbox) pop() *wire.Packet {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if len(ib.pkts) == 0 {
+		return nil
+	}
+	p := ib.pkts[0]
+	ib.pkts = ib.pkts[1:]
+	return p
+}
+
+func (ib *inbox) empty() bool {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return len(ib.pkts) == 0
+}
+
+// ringPath names the ring file carrying src's traffic toward dst.
+func ringPath(dir string, src, dst int) string {
+	return filepath.Join(dir, fmt.Sprintf("ring-%d-to-%d", src, dst))
+}
+
+// claimRank marks rank as attached in dir, failing loudly when something
+// already holds that rank so two producers can never share a ring.
+func claimRank(dir string, rank int) error {
+	path := filepath.Join(dir, fmt.Sprintf("rank-%d.claim", rank))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return fmt.Errorf("shmfab: rank %d is already attached to %s — duplicate rank flag, or a stale directory from an earlier run (each run needs a fresh directory)", rank, dir)
+		}
+		return fmt.Errorf("shmfab: claim rank %d: %w", rank, err)
+	}
+	fmt.Fprintf(f, "%d\n", os.Getpid()) // who holds it, for debugging
+	f.Close()
+	return nil
+}
+
+// New opens rank cfg.Self's endpoint on the shared directory, creating or
+// attaching every ring it produces into and consumes from. It returns
+// once all rings are mapped; a peer need not have started yet — whoever
+// arrives first creates the pair's files.
+func New(cfg Config) (*Endpoint, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("shmfab: cluster needs at least one node")
+	}
+	if cfg.Self < 0 || cfg.Self >= cfg.Nodes {
+		return nil, fmt.Errorf("shmfab: rank %d outside cluster of %d", cfg.Self, cfg.Nodes)
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("shmfab: Config.Dir is required")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = defaultSlots
+	}
+	if cfg.SlotBytes <= 0 {
+		cfg.SlotBytes = defaultSlotBytes
+	}
+	cfg.SlotBytes = (cfg.SlotBytes + 7) &^ 7 // keep slot seq fields 8-aligned
+	if cfg.AttachTimeout <= 0 {
+		cfg.AttachTimeout = defaultAttachTimeout
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shmfab: ring directory: %w", err)
+	}
+	// Claim the rank before touching any ring: a second process attaching
+	// as the same rank would put two producers on SPSC rings, desyncing
+	// the byte stream into silent loss. The claim is an O_EXCL file, the
+	// same guard shape as the ring-creation race, and it is deliberately
+	// never removed — a directory serves exactly one run, so a stale
+	// claim means a stale directory.
+	if err := claimRank(cfg.Dir, cfg.Self); err != nil {
+		return nil, err
+	}
+	e := &Endpoint{
+		self:  cfg.Self,
+		nodes: cfg.Nodes,
+		cfg:   cfg,
+		out:   make([]*outRing, cfg.Nodes),
+		in:    make([]*inRing, cfg.Nodes),
+	}
+	deadline := time.Now().Add(cfg.AttachTimeout)
+	for peer := 0; peer < cfg.Nodes; peer++ {
+		if peer == cfg.Self {
+			continue
+		}
+		or, err := openRing(ringPath(cfg.Dir, cfg.Self, peer), cfg.Slots, cfg.SlotBytes, deadline)
+		if err != nil {
+			e.abortNew()
+			return nil, err
+		}
+		o := &outRing{r: or}
+		o.cond = sync.NewCond(&o.mu)
+		e.out[peer] = o
+		ir, err := openRing(ringPath(cfg.Dir, peer, cfg.Self), cfg.Slots, cfg.SlotBytes, deadline)
+		if err != nil {
+			e.abortNew()
+			return nil, err
+		}
+		e.in[peer] = &inRing{r: ir}
+	}
+	for peer := 0; peer < cfg.Nodes; peer++ {
+		if o := e.out[peer]; o != nil {
+			e.wwg.Add(1)
+			go e.pumpLoop(o)
+		}
+	}
+	return e, nil
+}
+
+// Self implements fabric.Endpoint.
+func (e *Endpoint) Self() int { return e.self }
+
+// Nodes implements fabric.Endpoint.
+func (e *Endpoint) Nodes() int { return e.nodes }
+
+// NextSeq implements fabric.Endpoint. Sequence numbers only need to be
+// unique per origin endpoint: receivers order per-sender streams.
+func (e *Endpoint) NextSeq() uint64 { return e.seq.Add(1) }
+
+// Backlog implements fabric.Endpoint: ring occupancy is the transport's
+// own flow control, the submission gate is always open.
+func (e *Endpoint) Backlog(int) time.Duration { return 0 }
+
+// LostFrames counts frames Send accepted that were later abandoned by
+// Close's bounded drain against a ring whose consumer stopped draining.
+// These cannot surface as Send errors — they fail after Send returned —
+// so a nonzero count here is the loss signal to watch. The count is an
+// upper bound: aborting a partially written batch counts every frame the
+// batch held.
+func (e *Endpoint) LostFrames() uint64 { return e.lost.Load() }
+
+func (e *Endpoint) closed() bool { return e.state.Load() != 0 }
+
+// Send implements fabric.Endpoint. The frame is serialized before Send
+// returns — the engine may reuse the payload buffer immediately — and is
+// written straight into the ring when it has room, deferred to the pump
+// otherwise. Send never waits on the consumer.
+func (e *Endpoint) Send(p *wire.Packet) error {
+	if e.closed() {
+		return fabric.ErrClosed
+	}
+	if p.Dst < 0 || p.Dst >= e.nodes {
+		return fmt.Errorf("shmfab: send to rank %d outside cluster of %d", p.Dst, e.nodes)
+	}
+	if p.WireLen <= 0 {
+		p.WireLen = len(p.Payload)
+	}
+	// Refuse synchronously what the codec cannot frame; self-delivery
+	// skips the codec but is held to the same limit so a payload does not
+	// pass rank-local testing only to fail on its first cross-rank trip.
+	if len(p.Payload) > fabric.MaxPayloadBytes {
+		return fmt.Errorf("shmfab: %d-byte payload exceeds frame limit %d", len(p.Payload), fabric.MaxPayloadBytes)
+	}
+	if p.Dst == e.self {
+		// Self-delivery skips the ring but not the capture rule: the
+		// engine may reuse the payload buffer the moment Send returns, so
+		// the packet must stop aliasing it before entering the inbox.
+		q := *p
+		if p.Payload != nil {
+			q.Payload = make([]byte, len(p.Payload))
+			copy(q.Payload, p.Payload)
+		}
+		e.inbox.push(&q)
+		return nil
+	}
+	o := e.out[p.Dst]
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closing {
+		return fabric.ErrClosed
+	}
+	// Direct path: with the pump parked and nothing queued ahead of us,
+	// write the slots here and skip the handoff latency — but only when
+	// the whole frame fits right now, because this path must not wait.
+	if !o.pumping && len(o.buf) == 0 {
+		enc := fabric.AppendPacket(o.scratch[:0], p)
+		if o.r.freeSlots() >= slotsFor(len(enc), o.r.slotBytes) {
+			for off := 0; off < len(enc); off += o.r.slotBytes {
+				end := off + o.r.slotBytes
+				if end > len(enc) {
+					end = len(enc)
+				}
+				o.r.writeSlot(enc[off:end])
+			}
+			if cap(enc) <= maxRecycledBuf {
+				o.scratch = enc[:0]
+			}
+			return nil
+		}
+		// No room: the bytes are already serialized, queue them as the
+		// pump's next batch.
+		if cap(enc) > cap(o.buf) {
+			o.buf = enc
+			o.scratch = nil
+		} else {
+			o.buf = append(o.buf, enc...)
+		}
+		o.nframes++
+		o.cond.Signal()
+		return nil
+	}
+	o.buf = fabric.AppendPacket(o.buf, p)
+	o.nframes++
+	o.cond.Signal()
+	return nil
+}
+
+// slotsFor returns how many slots a frame of n bytes occupies.
+func slotsFor(n, slotBytes int) int {
+	return (n + slotBytes - 1) / slotBytes
+}
+
+// pumpLoop drains o's overflow buffer into the ring until Close has both
+// requested shutdown and the buffer is empty (or the drain deadline has
+// passed). While the pump holds bytes, the direct path stays disabled, so
+// the ring keeps a single producer and frames keep their send order.
+func (e *Endpoint) pumpLoop(o *outRing) {
+	defer e.wwg.Done()
+	for {
+		o.mu.Lock()
+		for len(o.buf) == 0 && !o.closing {
+			o.pumping = false
+			o.cond.Wait()
+		}
+		if len(o.buf) == 0 {
+			o.pumping = false
+			o.mu.Unlock()
+			return // closing and drained
+		}
+		batch, n := o.buf, o.nframes
+		o.buf, o.nframes = nil, 0
+		o.pumping = true
+		o.mu.Unlock()
+		if !e.pumpBatch(o, batch) {
+			// Drain deadline passed with the consumer stuck: this batch
+			// (possibly partially written) is abandoned, plus whatever
+			// raced into the buffer behind it.
+			e.lost.Add(uint64(n))
+			o.mu.Lock()
+			e.lost.Add(uint64(o.nframes))
+			o.buf, o.nframes = nil, 0
+			o.pumping = false
+			o.mu.Unlock()
+			return
+		}
+	}
+}
+
+// pumpBatch streams one serialized batch into the ring, waiting for the
+// consumer with adaptive backoff. It reports false when the endpoint is
+// closing and the drain deadline has passed before the batch fit.
+func (e *Endpoint) pumpBatch(o *outRing, batch []byte) bool {
+	b := backoff{noBusy: e.cfg.NoBusyPoll}
+	for off := 0; off < len(batch); {
+		for o.r.freeSlots() == 0 {
+			if dl := e.drainDeadline.Load(); dl != 0 && time.Now().UnixNano() > dl {
+				return false
+			}
+			b.pause()
+		}
+		b.reset()
+		end := off + o.r.slotBytes
+		if end > len(batch) {
+			end = len(batch)
+		}
+		o.r.writeSlot(batch[off:end])
+		off = end
+	}
+	return true
+}
+
+// Poll implements fabric.Endpoint: it drains whatever slots the senders
+// have published, reassembles complete frames into the inbox, and returns
+// the oldest packet, or nil when nothing has fully arrived.
+func (e *Endpoint) Poll() *wire.Packet {
+	if p := e.inbox.pop(); p != nil {
+		return p
+	}
+	e.recvMu.Lock()
+	if !e.closed() { // after Close the rings are unmapped; inbox only
+		e.scanRings()
+	}
+	e.recvMu.Unlock()
+	return e.inbox.pop()
+}
+
+// scanRings consumes published slots from every inbound ring, round-robin
+// for cross-sender fairness, decoding complete frames into the inbox.
+// Caller holds recvMu.
+func (e *Endpoint) scanRings() {
+	for i := 0; i < e.nodes; i++ {
+		peer := (e.rr + i) % e.nodes
+		ir := e.in[peer]
+		if ir == nil || ir.dead {
+			continue
+		}
+		drained := false
+		for ir.r.readable() {
+			ir.dec = ir.r.readSlot(ir.dec)
+			drained = true
+		}
+		if drained {
+			e.decodeFrames(ir, peer)
+		}
+	}
+	e.rr = (e.rr + 1) % e.nodes
+}
+
+// decodeFrames splits ir's byte stream into the codec's length-prefixed
+// frames and delivers each as a packet stamped with the ring's producer
+// identity — a frame cannot impersonate another rank, the ring it arrived
+// on wins over its header.
+func (e *Endpoint) decodeFrames(ir *inRing, peer int) {
+	buf := ir.dec
+	for len(buf) >= 4 {
+		n := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+		if n > fabric.MaxFrameBytes {
+			ir.dead = true // corrupt stream: abandon the ring, keep the endpoint
+			ir.dec = nil
+			return
+		}
+		if len(buf) < 4+n {
+			break // frame still streaming through the ring
+		}
+		p, err := fabric.DecodePacket(buf[:4+n])
+		if err != nil {
+			ir.dead = true
+			ir.dec = nil
+			return
+		}
+		p.Src = peer
+		e.inbox.push(p)
+		buf = buf[4+n:]
+	}
+	// Compact so the backing array does not grow with history, and stop
+	// recycling an array a giant frame once ballooned — keeping it would
+	// pin peak-frame memory per peer for the endpoint's lifetime.
+	if cap(ir.dec) > maxRecycledBuf && len(buf) <= maxRecycledBuf {
+		ir.dec = append([]byte(nil), buf...)
+	} else {
+		ir.dec = append(ir.dec[:0], buf...)
+	}
+}
+
+// Pending implements fabric.Endpoint. A packet counts once its slots are
+// published in a ring or it sits decoded in the inbox; bytes a sender has
+// serialized but not yet pushed through a full ring are invisible — the
+// weaker Pending semantics the fabric.Endpoint contract documents for
+// real transports.
+func (e *Endpoint) Pending() bool {
+	if !e.inbox.empty() {
+		return true
+	}
+	if e.closed() {
+		return false
+	}
+	e.recvMu.Lock()
+	defer e.recvMu.Unlock()
+	if e.closed() {
+		return false
+	}
+	for _, ir := range e.in {
+		if ir != nil && !ir.dead && (len(ir.dec) > 0 || ir.r.readable()) {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockingRecv implements fabric.Endpoint: it waits up to timeout for a
+// packet with adaptive backoff — briefly yield-spinning (skipped under
+// NoBusyPoll), then sleeping at escalating intervals — so an idle waiter
+// costs little CPU while a loaded one wakes fast.
+func (e *Endpoint) BlockingRecv(timeout time.Duration) *wire.Packet {
+	deadline := time.Now().Add(timeout)
+	b := backoff{noBusy: e.cfg.NoBusyPoll}
+	for {
+		if p := e.Poll(); p != nil {
+			return p
+		}
+		if e.closed() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		b.pause()
+	}
+}
+
+// Close implements fabric.Endpoint: refuse new sends, let the pumps drain
+// queued frames into the rings (bounded by closeDrainTimeout against a
+// consumer that stopped draining, with the shortfall counted in
+// LostFrames), then unmap everything and wake blocked receivers. Packets
+// already decoded into the inbox remain pollable; slots never consumed
+// are dropped, like bytes on a closed socket. Idempotent.
+func (e *Endpoint) Close() error {
+	if !e.state.CompareAndSwap(0, 1) {
+		return nil
+	}
+	e.drainDeadline.Store(time.Now().Add(closeDrainTimeout).UnixNano())
+	for _, o := range e.out {
+		if o == nil {
+			continue
+		}
+		o.mu.Lock()
+		o.closing = true
+		o.cond.Broadcast()
+		o.mu.Unlock()
+	}
+	e.wwg.Wait()
+	// recvMu fences racing scanners; the per-ring locks fence a direct
+	// Send that won its closing check before we set the flag.
+	e.recvMu.Lock()
+	for _, o := range e.out {
+		if o == nil {
+			continue
+		}
+		o.mu.Lock()
+		o.mu.Unlock() //nolint:staticcheck // lock/unlock is the fence
+	}
+	e.unmapAll()
+	e.recvMu.Unlock()
+	return nil
+}
+
+// abortNew unwinds a failed construction: mappings are released and the
+// rank claim is withdrawn so a corrected retry (say, after a geometry
+// mismatch) is not misreported as a duplicate rank.
+func (e *Endpoint) abortNew() {
+	e.unmapAll()
+	os.Remove(filepath.Join(e.cfg.Dir, fmt.Sprintf("rank-%d.claim", e.self)))
+}
+
+// unmapAll releases every ring mapping (construction-failure and Close
+// paths).
+func (e *Endpoint) unmapAll() {
+	for _, o := range e.out {
+		if o != nil && o.r != nil {
+			o.r.close()
+			o.r = nil
+		}
+	}
+	for i, ir := range e.in {
+		if ir != nil {
+			ir.r.close()
+			e.in[i] = nil
+		}
+	}
+}
+
+// backoff is the adaptive wait used whenever a ring is full (producer
+// side) or empty (consumer side): a bounded yield-spin phase for the
+// common case where the peer is actively moving, then sleeps that double
+// up to a cap so a stalled peer costs little CPU. noBusy skips the spin
+// phase entirely — the NoIdlePolling-compatible mode.
+type backoff struct {
+	noBusy bool
+	spins  int
+	sleep  time.Duration
+}
+
+const (
+	backoffSpins    = 128
+	backoffMinSleep = time.Microsecond
+	backoffMaxSleep = 500 * time.Microsecond
+)
+
+// pause waits one adaptive step.
+func (b *backoff) pause() {
+	if !b.noBusy && b.spins < backoffSpins {
+		b.spins++
+		runtime.Gosched()
+		return
+	}
+	if b.sleep == 0 {
+		b.sleep = backoffMinSleep
+	}
+	time.Sleep(b.sleep)
+	if b.sleep < backoffMaxSleep {
+		b.sleep *= 2
+	}
+}
+
+// reset re-arms the spin phase after progress was made.
+func (b *backoff) reset() {
+	b.spins, b.sleep = 0, 0
+}

@@ -331,7 +331,16 @@ func (e *Endpoint) Send(p *wire.Packet) error {
 		return fmt.Errorf("tcpfab: %d-byte payload exceeds frame limit %d", len(p.Payload), fabric.MaxPayloadBytes)
 	}
 	if p.Dst == e.self {
-		e.inbox.push(p)
+		// Self-delivery skips the codec but not the capture rule: the
+		// engine may reuse the payload buffer the moment Send returns, so
+		// the packet must stop aliasing it before entering the inbox —
+		// cross-rank sends capture by serializing in enqueue.
+		q := *p
+		if p.Payload != nil {
+			q.Payload = make([]byte, len(p.Payload))
+			copy(q.Payload, p.Payload)
+		}
+		e.inbox.push(&q)
 		return nil
 	}
 	for {

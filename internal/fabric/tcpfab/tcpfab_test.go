@@ -262,6 +262,30 @@ func TestSendCapturesPayloadBeforeReturn(t *testing.T) {
 	}
 }
 
+// TestSelfSendCapturesPayload: the capture-before-return rule holds on
+// the self-delivery path too — it skips the codec serialization, so it
+// must copy explicitly.
+func TestSelfSendCapturesPayload(t *testing.T) {
+	l, err := tcpfab.NewLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ep, _ := l.Endpoint(0)
+	buf := []byte("before")
+	if err := ep.Send(&wire.Packet{Kind: wire.PktEager, Src: 0, Dst: 0, Payload: buf}); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "after!") // legal reuse the moment Send returned
+	p := ep.BlockingRecv(30 * time.Second)
+	if p == nil {
+		t.Fatal("self-send lost")
+	}
+	if string(p.Payload) != "before" {
+		t.Fatalf("self-delivered payload aliased the caller's buffer: %q", p.Payload)
+	}
+}
+
 // TestSendRefusesOversizedPayload: a payload the codec cannot frame is a
 // synchronous Send error, and the refusal leaves the connection healthy.
 func TestSendRefusesOversizedPayload(t *testing.T) {

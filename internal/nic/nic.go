@@ -107,6 +107,24 @@ func RealParams() Params {
 	}
 }
 
+// ShmParams describes a rail whose endpoint is a real shared-memory
+// transport (fabric/shmfab): ranks on the same host exchanging packets
+// through mmap'd ring files. Unlike SHMParams — the *simulated* intra-node
+// channel, which charges modeled copy costs against virtual links — this
+// preset carries no simulated costs at all: the genuine ring copies and
+// cache traffic cost real time, exactly as RealParams does for sockets.
+// The rail keeps the name "shm" so mpi.Config.Fabrics can swap the real
+// transport in for the simulated SHM rail under the same key, and the
+// 32 KiB rendezvous threshold matches RealParams so protocol selection
+// behaves identically across the real transports.
+func ShmParams() Params {
+	return Params{
+		Name:     "shm",
+		EagerMax: 32 << 10,
+		MTU:      1 << 20,
+	}
+}
+
 // TCPParams models a TCP/10GbE rail.
 func TCPParams() Params {
 	return Params{

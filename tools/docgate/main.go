@@ -1,0 +1,44 @@
+// Command docgate runs the repo's godoc-coverage gate (see
+// internal/docgate) over package directories given as arguments,
+// printing one line per exported identifier missing a doc comment and
+// exiting nonzero when any gated package fails:
+//
+//	go run ./tools/docgate internal/fabric internal/nic internal/mpi
+//
+// With no arguments it gates the same package set the docgate test
+// suite does.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pioman/internal/docgate"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		for _, d := range docgate.GatedDirsFromRoot() {
+			dirs = append(dirs, d)
+		}
+	}
+	failed := false
+	for _, dir := range dirs {
+		missing, err := docgate.Missing(filepath.Clean(dir))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+			continue
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("docgate: %d packages fully documented\n", len(dirs))
+}
