@@ -1,0 +1,229 @@
+package main
+
+// The -json mode: the three-backend RTT/allocation benchmark behind
+// BENCH_pingpong.json. One process opens each fabric backend in turn —
+// the wire simulator, real loopback TCP sockets, real mmap'd
+// shared-memory rings — and measures raw-endpoint eager round trips at
+// the paper's three regimes, recording RTT percentiles and the
+// steady-state allocation cost per exchange. CI runs it on every build
+// and uploads the file as an artifact, so the transports' latency and
+// the zero-allocation hot path are tracked PR over PR instead of
+// regressing silently.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/shmfab"
+	"pioman/internal/fabric/simfab"
+	"pioman/internal/fabric/tcpfab"
+	"pioman/internal/wire"
+)
+
+// benchRow is one BENCH_pingpong.json record.
+type benchRow struct {
+	Bench       string  `json:"bench"`
+	Backend     string  `json:"backend"`
+	SizeBytes   int     `json:"size_bytes"`
+	Iters       int     `json:"iters"`
+	RTTP50Ns    int64   `json:"rtt_p50_ns"`
+	RTTP99Ns    int64   `json:"rtt_p99_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchJSONSizes spans the latency-bound, eager and rendezvous-class
+// regimes, matching internal/fabric's RTT benchmarks.
+var benchJSONSizes = []int{64, 4 << 10, 64 << 10}
+
+// runBenchJSON measures every backend and writes the rows to path,
+// returning the process exit code.
+func runBenchJSON(path string, quick bool) int {
+	iters, warm := 1000, 100
+	if quick {
+		iters, warm = 200, 20
+	}
+	type backend struct {
+		name string
+		open func() (fabric.Fabric, error)
+		// spinWait polls for replies instead of blocking — the wait
+		// shape the engine itself uses on this backend. Simulator
+		// worlds busy-poll (the idle hook); real transports run
+		// NoIdlePolling and block, leaving the CPU to the kernel and
+		// the runtime's network poller.
+		spinWait bool
+	}
+	backends := []backend{
+		{"sim", func() (fabric.Fabric, error) {
+			return simfab.New(wire.NewFabric(2, wire.MYRI10G())), nil
+		}, true},
+		{"tcp", func() (fabric.Fabric, error) { return tcpfab.NewLocal(2) }, false},
+		{"shm", func() (fabric.Fabric, error) { return shmfab.NewLocal(2, "") }, false},
+	}
+	var rows []benchRow
+	for _, be := range backends {
+		for _, size := range benchJSONSizes {
+			f, err := be.open()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pingpong: open %s fabric: %v\n", be.name, err)
+				return 1
+			}
+			row, err := benchOneRTT(f, be.name, size, warm, iters, be.spinWait)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pingpong: bench %s/%dB: %v\n", be.name, size, err)
+				return 1
+			}
+			rows = append(rows, row)
+			fmt.Printf("pingpong: %-4s %8d B  rtt p50 %9v  p99 %9v  %6.2f allocs/op\n",
+				be.name, size, time.Duration(row.RTTP50Ns), time.Duration(row.RTTP99Ns), row.AllocsPerOp)
+		}
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pingpong: encode rows: %v\n", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pingpong: write %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("pingpong: wrote %d rows to %s\n", len(rows), path)
+	return 0
+}
+
+// captures reports the endpoint's fabric.SendCapturer capability, which
+// decides whether the bench recycles outbound packet structs itself
+// (captured sends) or leaves them to the receiving side (the simulator
+// delivers the injected packet object).
+func captures(ep fabric.Endpoint) bool {
+	c, ok := ep.(fabric.SendCapturer)
+	return ok && c.SendCaptures()
+}
+
+// benchOneRTT runs one backend/size cell: endpoint 0 sweeps, endpoint 1
+// echoes from a goroutine, both recycling packets through the fabric
+// pools — the same discipline the engine's hot path follows, so the
+// allocs-per-op column reflects what the engine would pay.
+func benchOneRTT(f fabric.Fabric, name string, size, warm, iters int, spinWait bool) (benchRow, error) {
+	ep0, err := f.Endpoint(0)
+	if err != nil {
+		return benchRow{}, err
+	}
+	ep1, err := f.Endpoint(1)
+	if err != nil {
+		return benchRow{}, err
+	}
+	quit := make(chan struct{})
+	defer close(quit)
+	go echoPooled(ep1, quit, spinWait)
+
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i*7 + 13)
+	}
+	capt := captures(ep0)
+	samples := make([]time.Duration, iters)
+	var seq uint64
+	roundTrip := func() error {
+		seq++
+		out := fabric.GetPacket()
+		out.Kind, out.Src, out.Dst, out.Seq, out.Payload = wire.PktEager, 0, 1, seq, payload
+		if err := ep0.Send(out); err != nil {
+			return err
+		}
+		if capt {
+			fabric.ReleasePacket(out)
+		}
+		// Wait the way the engine waits on this backend: cooperative
+		// polling on the simulator (its µs-scale modeled arrivals sit
+		// below timer resolution, and blocking would measure the timer),
+		// genuine blocking on real transports (a poll loop starves the
+		// echo goroutine and the runtime's network poller into multi-ms
+		// pathology). The wait is bounded: a reply that never comes (a
+		// lost frame, a dead echo peer) must fail the benchmark with a
+		// diagnosable error, not hang CI until its job timeout.
+		var p *wire.Packet
+		lost := time.Now().Add(10 * time.Second)
+		for p == nil {
+			if spinWait {
+				if p = ep0.Poll(); p == nil {
+					runtime.Gosched()
+				}
+			} else {
+				p = ep0.BlockingRecv(time.Second)
+			}
+			if p == nil && time.Now().After(lost) {
+				return fmt.Errorf("no echo for seq %d within 10s (frame lost or echo peer dead)", seq)
+			}
+		}
+		fabric.ReleasePacket(p)
+		return nil
+	}
+	for i := 0; i < warm; i++ {
+		if err := roundTrip(); err != nil {
+			return benchRow{}, err
+		}
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if err := roundTrip(); err != nil {
+			return benchRow{}, err
+		}
+		samples[i] = time.Since(t0)
+	}
+	runtime.ReadMemStats(&m1)
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return benchRow{
+		Bench:       "pingpong_rtt",
+		Backend:     name,
+		SizeBytes:   size,
+		Iters:       iters,
+		RTTP50Ns:    samples[iters/2].Nanoseconds(),
+		RTTP99Ns:    samples[iters*99/100].Nanoseconds(),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+	}, nil
+}
+
+// echoPooled bounces every packet on ep back to its source, recycling
+// inbound packets (and, on capturing transports, outbound structs)
+// through the fabric pools. spinWait mirrors benchOneRTT's wait shape.
+func echoPooled(ep fabric.Endpoint, quit <-chan struct{}, spinWait bool) {
+	capt := captures(ep)
+	for {
+		select {
+		case <-quit:
+			return
+		default:
+		}
+		var p *wire.Packet
+		if spinWait {
+			if p = ep.Poll(); p == nil {
+				runtime.Gosched()
+				continue
+			}
+		} else if p = ep.BlockingRecv(50 * time.Millisecond); p == nil {
+			continue
+		}
+		out := fabric.GetPacket()
+		out.Kind, out.Src, out.Dst, out.Seq, out.Payload = wire.PktEager, ep.Self(), p.Src, p.Seq, p.Payload
+		err := ep.Send(out)
+		if capt {
+			fabric.ReleasePacket(out)
+		}
+		fabric.ReleasePacket(p)
+		if err != nil {
+			// The sweep side will miss this reply, hit its bounded wait
+			// and report the failure; echoing on a broken endpoint would
+			// only repeat the error.
+			return
+		}
+	}
+}

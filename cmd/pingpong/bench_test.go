@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchJSON runs the -json mode end to end in quick form and
+// validates the BENCH_pingpong.json rows: all three backends, all
+// sizes, sane percentiles. This is the bench-trajectory artifact CI
+// uploads, so its shape is pinned here.
+func TestBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs hundreds of timed round trips per backend")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if code := runBenchJSON(path, true); code != 0 {
+		t.Fatalf("runBenchJSON exit code %d", code)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("rows are not valid JSON: %v", err)
+	}
+	want := map[string]int{"sim": 0, "tcp": 0, "shm": 0}
+	for _, r := range rows {
+		if _, ok := want[r.Backend]; !ok {
+			t.Errorf("unknown backend %q", r.Backend)
+			continue
+		}
+		want[r.Backend]++
+		if r.Bench != "pingpong_rtt" || r.Iters <= 0 {
+			t.Errorf("malformed row: %+v", r)
+		}
+		if r.RTTP50Ns <= 0 || r.RTTP99Ns < r.RTTP50Ns {
+			t.Errorf("backend %s size %d: implausible percentiles p50=%d p99=%d",
+				r.Backend, r.SizeBytes, r.RTTP50Ns, r.RTTP99Ns)
+		}
+		if r.AllocsPerOp < 0 {
+			t.Errorf("backend %s size %d: negative allocs/op", r.Backend, r.SizeBytes)
+		}
+	}
+	for be, n := range want {
+		if n != len(benchJSONSizes) {
+			t.Errorf("backend %s has %d rows, want %d", be, n, len(benchJSONSizes))
+		}
+	}
+}

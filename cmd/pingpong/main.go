@@ -34,6 +34,13 @@
 // (stale ring files from an earlier run would be spliced in mid-state);
 // either rank may start first — ring files are created by whoever
 // arrives first and adopted by the other.
+//
+// With -json it instead runs the in-process three-backend benchmark —
+// raw-endpoint eager round trips over the wire simulator, loopback TCP
+// and shared-memory rings — and writes BENCH_pingpong.json rows
+// (backend, size, RTT p50/p99, allocs/op), the file CI tracks per build:
+//
+//	pingpong -json BENCH_pingpong.json
 package main
 
 import (
@@ -62,6 +69,7 @@ func main() {
 	connect := flag.String("connect", "", "run as rank 1 over real TCP, dialing rank 0 at this address (replaces the simulated -rails set; excludes -listen/-shm)")
 	shmDir := flag.String("shm", "", "run one rank over real shared memory, ring files in this fresh directory (replaces the simulated -rails set; excludes -listen/-connect; needs -rank)")
 	rank := flag.Int("rank", 0, "with -shm: this process's rank (0 sweeps, 1 echoes)")
+	jsonPath := flag.String("json", "", "write the three-backend (sim, tcp loopback, shm) RTT/allocation rows to this file and exit; excludes every other mode flag")
 	flag.Parse()
 	exp.Quick = *quick
 
@@ -75,6 +83,12 @@ func main() {
 			railsSet = true
 		}
 	})
+	if *jsonPath != "" {
+		if real || rankSet || railsSet {
+			fail("-json runs its own in-process three-backend benchmark and cannot be combined with -listen/-connect/-shm/-rank/-rails")
+		}
+		os.Exit(runBenchJSON(*jsonPath, *quick))
+	}
 	if *shmDir != "" && (*listen != "" || *connect != "") {
 		fail("-shm selects the shared-memory transport and cannot be combined with -listen/-connect (the TCP transport); pick one transport per process")
 	}
@@ -257,16 +271,20 @@ func runSweep(w *mpi.World, rank, iters, eagerMax int) bool {
 	return ok
 }
 
-// echoUntilBye bounces pings back until the bye marker arrives.
+// echoUntilBye bounces pings back until the bye marker arrives. The
+// request recycles through the engine freelist each turn (results are
+// read out before Release), so the echo loop allocates nothing.
 func echoUntilBye(p *mpi.Proc) {
 	buf := make([]byte, realSizes[len(realSizes)-1])
 	for {
 		r := p.Irecv(0, core.AnyTag, buf)
 		p.WaitRecv(r)
-		if r.MatchedTag() == tagBye {
+		tag, n := r.MatchedTag(), r.Len()
+		r.Release()
+		if tag == tagBye {
 			return
 		}
-		p.Send(0, tagPong, buf[:r.Len()])
+		p.Send(0, tagPong, buf[:n])
 	}
 }
 

@@ -17,14 +17,17 @@ func BenchmarkIsendWaitEager(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			r := c.Nodes[1].Eng.Irecv(0, 1, buf)
 			c.Nodes[1].Eng.WaitRecv(r, th)
+			r.Release()
 		}
 		close(done)
 	})
 	c.run(0, func(th *sched.Thread) {
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			s := c.Nodes[0].Eng.Isend(1, 1, data)
 			c.Nodes[0].Eng.WaitSend(s, th)
+			s.Release()
 		}
 	})
 	<-done
@@ -41,14 +44,17 @@ func BenchmarkRendezvousRound(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			r := c.Nodes[1].Eng.Irecv(0, 1, buf)
 			c.Nodes[1].Eng.WaitRecv(r, th)
+			r.Release()
 		}
 		close(done)
 	})
 	c.run(0, func(th *sched.Thread) {
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			s := c.Nodes[0].Eng.Isend(1, 1, data)
 			c.Nodes[0].Eng.WaitSend(s, th)
+			s.Release()
 		}
 	})
 	<-done
@@ -59,6 +65,7 @@ func BenchmarkRendezvousRound(b *testing.B) {
 func BenchmarkProgressIdle(b *testing.B) {
 	c := newCluster(b, 2)
 	eng := c.Nodes[0].Eng
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Progress(0)

@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -78,7 +79,9 @@ type Config struct {
 	// strategy splits across rails.
 	MultirailMin int
 	// WaitSpin bounds inline polling in Wait before blocking on the
-	// completion flag.
+	// completion flag. Zero selects the host-tuned default,
+	// AutoWaitSpin(false); the mpi layer passes its NoIdlePolling flag
+	// through so real-transport worlds spin less.
 	WaitSpin time.Duration
 	// Trace, if non-nil, records engine events.
 	Trace *trace.Recorder
@@ -133,6 +136,15 @@ type Engine struct {
 	pollLock   sync2.SpinLock
 	submitLock sync2.SpinLock
 
+	// trainBuf is the reusable slice dequeueReady builds submission
+	// trains in; every user holds submitLock, so one buffer serves the
+	// engine and steady-state submission stays allocation-free.
+	trainBuf []*pack
+	// mtuOf is the per-destination MTU lookup handed to the strategy,
+	// built once: allocating the closure per dequeue would put one heap
+	// object on every polling pass.
+	mtuOf func(dst int) int
+
 	// biglock is the Sequential baseline's library-wide mutex: classical
 	// thread-safe engines serialize every library call behind one lock
 	// (§2: thread safety "except through a library-wide scope mutex"),
@@ -169,7 +181,7 @@ func New(node int, sch *sched.Scheduler, srv *piom.Server, rails []*nic.Driver, 
 		}
 	}
 	if cfg.WaitSpin <= 0 {
-		cfg.WaitSpin = 300 * time.Microsecond
+		cfg.WaitSpin = AutoWaitSpin(false)
 	}
 	if cfg.MultirailMin <= 0 {
 		cfg.MultirailMin = 128 << 10
@@ -187,11 +199,33 @@ func New(node int, sch *sched.Scheduler, srv *piom.Server, rails []*nic.Driver, 
 		stash:    make(map[int]map[uint64]*stashedEv),
 	}
 	e.strat = newStrategy(cfg.Strategy)
+	e.mtuOf = func(dst int) int { return e.railFor(dst).MTU() }
 	if srv != nil {
 		srv.Register(e)
 	}
 	return e
 }
+
+// AutoWaitSpin returns the Wait spin budget tuned to the host shape —
+// the "real-mode latency tuning" knob. On machines with cores to burn
+// (≥4 CPUs) a tight 300µs spin catches the common few-µs completion
+// without a scheduler round trip. On small hosts, or whenever the
+// caller runs with NoIdlePolling (real transports on machines where
+// busy-polling starves the kernel or the peer process of the CPU that
+// makes the awaited progress), waits yield early — 50µs — and lean on
+// the blocking path instead. mpi.Config.WaitSpin overrides it.
+func AutoWaitSpin(noIdlePolling bool) time.Duration {
+	if noIdlePolling || runtime.NumCPU() < 4 {
+		return 50 * time.Microsecond
+	}
+	return 300 * time.Microsecond
+}
+
+// tracing reports whether an event recorder is attached. Hot paths
+// check it before building Recordf arguments: with tracing off the
+// varargs boxing would be the only allocation left on the
+// steady-state path.
+func (e *Engine) tracing() bool { return e.cfg.Trace != nil }
 
 // Node returns the engine's node id.
 func (e *Engine) Node() int { return e.node }

@@ -800,12 +800,12 @@ func TestFifoDequeueOrder(t *testing.T) {
 		s.Enqueue(&pack{req: &SendReq{dst: 1, seq: uint64(i)}})
 	}
 	for i := 0; i < 5; i++ {
-		tr := s.Dequeue(func(int) int { return 1 << 20 })
+		tr := s.Dequeue(func(int) int { return 1 << 20 }, nil)
 		if len(tr) != 1 || tr[0].req.seq != uint64(i) {
 			t.Fatalf("dequeue %d: got %+v", i, tr)
 		}
 	}
-	if s.Pending() || s.Dequeue(func(int) int { return 1 }) != nil {
+	if s.Pending() || s.Dequeue(func(int) int { return 1 }, nil) != nil {
 		t.Fatal("drained queue still pending")
 	}
 }
@@ -818,11 +818,11 @@ func TestAggrDequeueRespectsMTUAndDst(t *testing.T) {
 	}
 	s.Enqueue(&pack{req: &SendReq{dst: 2, seq: 99, data: make([]byte, 100)}})
 	// Every entry costs 24B header + 100B payload; MTU fits exactly three.
-	tr := s.Dequeue(func(int) int { return 3 * (24 + 100) })
+	tr := s.Dequeue(func(int) int { return 3 * (24 + 100) }, nil)
 	if len(tr) != 3 {
 		t.Fatalf("train len = %d, want 3 same-dst packs", len(tr))
 	}
-	tr2 := s.Dequeue(func(int) int { return 1 << 20 })
+	tr2 := s.Dequeue(func(int) int { return 1 << 20 }, nil)
 	if len(tr2) != 1 || tr2[0].req.dst != 2 {
 		t.Fatalf("second train %+v, want the dst-2 pack", tr2)
 	}
@@ -833,11 +833,11 @@ func TestAggrStopsAtDifferentDst(t *testing.T) {
 	s.Enqueue(&pack{req: &SendReq{dst: 1, data: make([]byte, 10)}})
 	s.Enqueue(&pack{req: &SendReq{dst: 2, data: make([]byte, 10)}})
 	s.Enqueue(&pack{req: &SendReq{dst: 1, data: make([]byte, 10)}})
-	tr := s.Dequeue(func(int) int { return 1 << 20 })
+	tr := s.Dequeue(func(int) int { return 1 << 20 }, nil)
 	if len(tr) != 1 || tr[0].req.dst != 1 {
 		t.Fatalf("first train %+v", tr)
 	}
-	tr = s.Dequeue(func(int) int { return 1 << 20 })
+	tr = s.Dequeue(func(int) int { return 1 << 20 }, nil)
 	if len(tr) != 1 || tr[0].req.dst != 2 {
 		t.Fatalf("second train %+v", tr)
 	}

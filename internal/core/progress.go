@@ -1,8 +1,11 @@
 package core
 
 import (
+	"sync"
 	"time"
 
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/bufpool"
 	"pioman/internal/nic"
 	"pioman/internal/topo"
 	"pioman/internal/trace"
@@ -18,7 +21,7 @@ type unexMsg struct {
 	tag    int
 	seq    uint64
 	msgID  uint64
-	data   []byte // eager: pooled copy of the payload
+	data   []byte // eager: staging copy, borrowed from the fabric buffer pool
 	msgLen int    // RTS: announced message length
 	rail   *nic.Driver
 }
@@ -38,7 +41,13 @@ func railHeader(src, dst, tag int, seq, msgID uint64) nic.Header {
 }
 
 // stashedEv is a matchable arrival (eager payload or RTS) held back until
-// its predecessors in the sender's stream have been processed.
+// its predecessors in the sender's stream have been processed. Events
+// recycle through a freelist (getStash/putStash); pkt, when set, is the
+// inbound packet whose buffers the event borrows — it is handed back to
+// the fabric packet pool once the event has been fully processed, which
+// is the engine's half of the inbound-buffer ownership rule
+// (docs/FABRIC.md): the fabric owns arrival buffers, the engine returns
+// them after copying payloads to their final destination.
 type stashedEv struct {
 	isRTS   bool
 	src     int
@@ -48,12 +57,28 @@ type stashedEv struct {
 	payload []byte
 	msgLen  int
 	rail    *nic.Driver
+	pkt     *wire.Packet
+}
+
+// stashPool recycles matchable-event structs.
+var stashPool = sync.Pool{New: func() any { return new(stashedEv) }}
+
+// getStash draws a zeroed event from the freelist.
+func getStash() *stashedEv { return stashPool.Get().(*stashedEv) }
+
+// finishEv retires a fully processed event: the inbound packet (when the
+// event owned one) goes back to the fabric pools, the event struct to
+// the freelist. The caller must have copied the payload out first.
+func (e *Engine) finishEv(ev *stashedEv) {
+	fabric.ReleasePacket(ev.pkt)
+	*ev = stashedEv{}
+	stashPool.Put(ev)
 }
 
 // Progress is the engine's piom.Source implementation: one pass drains
 // arrived packets on every rail and submits pending eager packs. The two
 // activities take separate locks, so one core can drain arrivals while
-// another executes a (possibly long) submission copy; contending cores
+// another performs a (possibly long) submission copy; contending cores
 // bail out immediately, which keeps polling cheap under contention.
 func (e *Engine) Progress(core topo.CoreID) bool {
 	e.nProgress.Add(1)
@@ -121,7 +146,9 @@ func (e *Engine) BlockingWait(timeout time.Duration) bool {
 	if p == nil {
 		return false
 	}
-	e.cfg.Trace.Recordf(trace.KindBlockingCall, -1, p.Tag, len(p.Payload), "woke on %v", p.Kind)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindBlockingCall, -1, p.Tag, len(p.Payload), "woke on %v", p.Kind)
+	}
 	e.pollLock.Lock()
 	e.handlePacket(rail, -1, p)
 	e.pollLock.Unlock()
@@ -159,16 +186,21 @@ func (e *Engine) submitInline(r *SendReq) {
 // dequeueReady pops the next train whose destination rail can accept a
 // submission; it returns nil either when the queue is empty or when the
 // head's rail is still busy (the pack keeps waiting, per the feed-on-idle
-// design of Fig. 3).
+// design of Fig. 3). The train is built in the engine's reusable train
+// buffer — valid until the next dequeue, which every caller serializes
+// behind submitLock — so steady-state submission allocates nothing.
 func (e *Engine) dequeueReady() []*pack {
-	mtuOf := func(dst int) int { return e.railFor(dst).MTU() }
 	e.qlock.Lock()
 	defer e.qlock.Unlock()
 	head := e.strat.Head()
 	if head == nil || !e.railFor(head.req.dst).CanSubmit(head.req.dst) {
 		return nil
 	}
-	return e.strat.Dequeue(mtuOf)
+	train := e.strat.Dequeue(e.mtuOf, e.trainBuf)
+	if train != nil {
+		e.trainBuf = train
+	}
+	return train
 }
 
 // submitLocked drains the ready part of the strategy queue; caller holds
@@ -187,24 +219,33 @@ func (e *Engine) submitLocked(core topo.CoreID, fromApp bool) bool {
 
 // submitTrain puts one train on the wire and completes its requests.
 // Eager sends complete at submission: the payload has been copied out of
-// the application buffer (or PIO'd), so the buffer is reusable.
+// the application buffer (or PIO'd), so the buffer is reusable. The
+// completion loop runs last and the request is never touched after its
+// Complete: the application may Release it back to the freelist the
+// moment its wait returns.
 func (e *Engine) submitTrain(core topo.CoreID, train []*pack, fromApp bool) {
 	r0 := train[0].req
 	rail := e.railFor(r0.dst)
 	if !fromApp {
 		e.nOffload.Add(uint64(len(train)))
-		e.cfg.Trace.Recordf(trace.KindOffload, int(core), r0.tag, r0.Len(), "dst=%d train=%d", r0.dst, len(train))
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindOffload, int(core), r0.tag, r0.Len(), "dst=%d train=%d", r0.dst, len(train))
+		}
 	}
 	if len(train) == 1 {
 		rail.SendEager(railHeader(e.node, r0.dst, r0.tag, r0.seq, 0), r0.data)
 		e.nEager.Add(1)
-		e.cfg.Trace.Recordf(trace.KindSubmit, int(core), r0.tag, r0.Len(), "dst=%d seq=%d", r0.dst, r0.seq)
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindSubmit, int(core), r0.tag, r0.Len(), "dst=%d seq=%d", r0.dst, r0.seq)
+		}
 	} else {
 		payload := encodeAggr(train)
 		rail.SendAggr(railHeader(e.node, r0.dst, -1, r0.seq, 0), payload)
 		e.nEager.Add(uint64(len(train)))
 		e.nAggr.Add(uint64(len(train)))
-		e.cfg.Trace.Recordf(trace.KindSubmit, int(core), -1, len(payload), "dst=%d aggregated=%d", r0.dst, len(train))
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindSubmit, int(core), -1, len(payload), "dst=%d aggregated=%d", r0.dst, len(train))
+		}
 	}
 	e.qlock.Lock()
 	for _, p := range train {
@@ -213,37 +254,56 @@ func (e *Engine) submitTrain(core topo.CoreID, train []*pack, fromApp bool) {
 	e.qlock.Unlock()
 	for _, p := range train {
 		p.req.req.Complete()
+		putPack(p)
 	}
 }
 
 // handlePacket processes one arrived packet; caller holds pollLock,
 // which serializes all packet handling and preserves per-(src,tag) FIFO.
+//
+// Packet ownership ends here: eager and RTS frames ride a stashedEv and
+// are released once the event is processed (possibly later, out of the
+// stash); CTS and DATA frames are released as soon as their handler
+// returns; control frames pass to the installed handler, which becomes
+// their owner; an aggregated frame is left to the GC, because its
+// sub-events alias the shared payload and any of them may sit in the
+// stash indefinitely.
 func (e *Engine) handlePacket(rail *nic.Driver, core topo.CoreID, p *wire.Packet) {
-	e.cfg.Trace.Recordf(trace.KindWireRecv, int(core), p.Tag, len(p.Payload), "%v from %d", p.Kind, p.Src)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindWireRecv, int(core), p.Tag, len(p.Payload), "%v from %d", p.Kind, p.Src)
+	}
 	switch p.Kind {
 	case wire.PktEager:
-		e.handleMatchable(core, &stashedEv{
-			src: p.Src, tag: p.Tag, seq: p.Seq, payload: p.Payload, rail: rail,
-		})
+		ev := getStash()
+		ev.src, ev.tag, ev.seq = p.Src, p.Tag, p.Seq
+		ev.payload, ev.rail, ev.pkt = p.Payload, rail, p
+		e.handleMatchable(core, ev)
 	case wire.PktAggr:
 		subs := decodeAggr(p.Payload)
 		if subs == nil {
 			panic("core: corrupted aggregated train")
 		}
 		for _, s := range subs {
-			e.handleMatchable(core, &stashedEv{
-				src: p.Src, tag: s.tag, seq: s.seq, payload: s.data, rail: rail,
-			})
+			ev := getStash()
+			ev.src, ev.tag, ev.seq = p.Src, s.tag, s.seq
+			ev.payload, ev.rail = s.data, rail
+			e.handleMatchable(core, ev)
 		}
 	case wire.PktRTS:
-		e.handleMatchable(core, &stashedEv{
-			isRTS: true, src: p.Src, tag: p.Tag, seq: p.Seq, msgID: p.MsgID,
-			msgLen: nic.DecodeLen(p.Payload), rail: rail,
-		})
+		ev := getStash()
+		ev.isRTS = true
+		ev.src, ev.tag, ev.seq, ev.msgID = p.Src, p.Tag, p.Seq, p.MsgID
+		ev.msgLen, ev.rail = nic.DecodeLen(p.Payload), rail
+		e.handleMatchable(core, ev)
+		// The announced length was decoded above; nothing aliases the
+		// RTS frame anymore.
+		fabric.ReleasePacket(p)
 	case wire.PktCTS:
 		e.handleCTS(core, p)
+		fabric.ReleasePacket(p)
 	case wire.PktData:
 		e.handleData(core, p)
+		fabric.ReleasePacket(p)
 	case wire.PktCtrl:
 		if h := e.ctrlHandler.Load(); h != nil {
 			(*h)(p)
@@ -256,41 +316,45 @@ func (e *Engine) handlePacket(rail *nic.Driver, core topo.CoreID, p *wire.Packet
 // handleMatchable enforces per-sender stream order: the event is processed
 // only when every lower-sequence event from the same sender has been; a
 // gap (small packet overtook a bulk one on the wire) parks it in the stash
-// until the gap fills.
+// until the gap fills. Processed events are retired through finishEv,
+// which recycles the event and its inbound packet buffers.
 func (e *Engine) handleMatchable(core topo.CoreID, ev *stashedEv) {
+	src := ev.src
 	e.qlock.Lock()
-	next := e.orderIn[ev.src] + 1
+	next := e.orderIn[src] + 1
 	if ev.seq != next {
 		if ev.seq < next {
 			e.qlock.Unlock()
 			panic("core: duplicate sequence number in sender stream")
 		}
-		m := e.stash[ev.src]
+		m := e.stash[src]
 		if m == nil {
 			m = make(map[uint64]*stashedEv)
-			e.stash[ev.src] = m
+			e.stash[src] = m
 		}
 		m[ev.seq] = ev
 		e.qlock.Unlock()
 		return
 	}
-	e.orderIn[ev.src] = next
+	e.orderIn[src] = next
 	e.qlock.Unlock()
 	e.processMatchable(core, ev)
+	e.finishEv(ev)
 	// Drain any stashed successors the gap was blocking.
 	for {
 		e.qlock.Lock()
-		next = e.orderIn[ev.src] + 1
-		buffered := e.stash[ev.src][next]
+		next = e.orderIn[src] + 1
+		buffered := e.stash[src][next]
 		if buffered != nil {
-			delete(e.stash[ev.src], next)
-			e.orderIn[ev.src] = next
+			delete(e.stash[src], next)
+			e.orderIn[src] = next
 		}
 		e.qlock.Unlock()
 		if buffered == nil {
 			return
 		}
 		e.processMatchable(core, buffered)
+		e.finishEv(buffered)
 	}
 }
 
@@ -306,7 +370,9 @@ func (e *Engine) processMatchable(core topo.CoreID, ev *stashedEv) {
 // handleEager delivers one eager payload: straight into the posted buffer
 // when expected (the NIC DMA'd it there — no CPU charge beyond the
 // physical copy), or into the unexpected pool otherwise (a real copy,
-// charged to the polling core, §2.2).
+// charged to the polling core, §2.2). Unexpected staging borrows from
+// the fabric buffer pool and is returned after the pool-to-application
+// copy, so even the unexpected path recycles its buffers.
 func (e *Engine) handleEager(rail *nic.Driver, core topo.CoreID, src, tag int, seq uint64, payload []byte) {
 	e.qlock.Lock()
 	r := e.matchPostedLocked(src, tag)
@@ -317,17 +383,20 @@ func (e *Engine) handleEager(rail *nic.Driver, core topo.CoreID, src, tag int, s
 	}
 	// Unexpected: pay the pool copy, then re-check — a receive may have
 	// been posted while we copied.
-	pooled := make([]byte, len(payload))
+	pooled := bufpool.Get(len(payload))
 	copy(pooled, payload)
 	rail.ChargeMatchCopy(len(payload))
 	e.nUnexp.Add(1)
-	e.cfg.Trace.Recordf(trace.KindUnexpected, int(core), tag, len(payload), "src=%d", src)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindUnexpected, int(core), tag, len(payload), "src=%d", src)
+	}
 	e.qlock.Lock()
 	if r := e.matchPostedLocked(src, tag); r != nil {
 		e.qlock.Unlock()
 		// Second copy, pool to application buffer.
 		rail.ChargeMatchCopy(len(pooled))
 		e.deliverEager(core, r, src, tag, pooled)
+		bufpool.Put(pooled)
 		return
 	}
 	e.unexpected = append(e.unexpected, &unexMsg{
@@ -336,14 +405,18 @@ func (e *Engine) handleEager(rail *nic.Driver, core topo.CoreID, src, tag int, s
 	e.qlock.Unlock()
 }
 
-// deliverEager finishes an expected eager reception.
+// deliverEager finishes an expected eager reception. Complete runs last;
+// the request is not touched afterwards (the application may already be
+// releasing it to the freelist).
 func (e *Engine) deliverEager(core topo.CoreID, r *RecvReq, src, tag int, payload []byte) {
 	n := copy(r.buf, payload)
 	r.n, r.from, r.truncated = n, src, len(payload) > len(r.buf)
 	r.gotTag = tag
-	e.cfg.Trace.Recordf(trace.KindMatch, int(core), r.tag, n, "src=%d", src)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindMatch, int(core), r.tag, n, "src=%d", src)
+		e.cfg.Trace.Recordf(trace.KindComplete, int(core), r.tag, n, "recv")
+	}
 	r.req.Complete()
-	e.cfg.Trace.Recordf(trace.KindComplete, int(core), r.tag, n, "recv")
 }
 
 // handleRTS reacts to a rendezvous request: if a matching receive is
@@ -359,18 +432,23 @@ func (e *Engine) handleRTS(rail *nic.Driver, core topo.CoreID, ev *stashedEv) {
 		})
 		e.qlock.Unlock()
 		e.nUnexp.Add(1)
-		e.cfg.Trace.Recordf(trace.KindUnexpected, int(core), ev.tag, ev.msgLen, "rts msgid=%d", ev.msgID)
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindUnexpected, int(core), ev.tag, ev.msgLen, "rts msgid=%d", ev.msgID)
+		}
 		return
 	}
 	r.gotTag = ev.tag
 	e.rdvRecv[ev.msgID] = &rdvRecvState{req: r, src: ev.src, msgLen: ev.msgLen, remaining: ev.msgLen}
 	e.qlock.Unlock()
 	rail.SendCTS(railHeader(e.node, ev.src, ev.tag, ev.seq, ev.msgID))
-	e.cfg.Trace.Recordf(trace.KindCTS, int(core), ev.tag, ev.msgLen, "msgid=%d", ev.msgID)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindCTS, int(core), ev.tag, ev.msgLen, "msgid=%d", ev.msgID)
+	}
 }
 
 // handleCTS reacts to a rendezvous acknowledgement: the receiver is ready,
-// post the zero-copy data transfer.
+// post the zero-copy data transfer. Complete runs last; the request is
+// not touched afterwards.
 func (e *Engine) handleCTS(core topo.CoreID, p *wire.Packet) {
 	e.qlock.Lock()
 	s := e.rdvSend[p.MsgID]
@@ -383,8 +461,10 @@ func (e *Engine) handleCTS(core topo.CoreID, p *wire.Packet) {
 		return // duplicate CTS; already handled
 	}
 	e.sendRdvData(core, s)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindComplete, int(core), s.tag, s.Len(), "rdv send msgid=%d", s.msgID)
+	}
 	s.req.Complete()
-	e.cfg.Trace.Recordf(trace.KindComplete, int(core), s.tag, s.Len(), "rdv send msgid=%d", s.msgID)
 }
 
 // sendRdvData posts the DATA transfer, split across rails when the
@@ -392,7 +472,9 @@ func (e *Engine) handleCTS(core topo.CoreID, p *wire.Packet) {
 func (e *Engine) sendRdvData(core topo.CoreID, s *SendReq) {
 	h := railHeader(e.node, s.dst, s.tag, s.seq, s.msgID)
 	rails := e.dataRails(s.dst, s.Len())
-	e.cfg.Trace.Recordf(trace.KindData, int(core), s.tag, s.Len(), "msgid=%d rails=%d", s.msgID, len(rails))
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindData, int(core), s.tag, s.Len(), "msgid=%d rails=%d", s.msgID, len(rails))
+	}
 	if len(rails) == 1 {
 		rails[0].SendData(h, 0, s.data)
 		return
@@ -431,7 +513,8 @@ func (e *Engine) dataRails(dst, size int) []*nic.Driver {
 }
 
 // handleData consumes a rendezvous payload chunk: it lands directly in the
-// application buffer (zero copy).
+// application buffer (zero copy). On the final chunk Complete runs last;
+// the request is not touched afterwards.
 func (e *Engine) handleData(core topo.CoreID, p *wire.Packet) {
 	e.qlock.Lock()
 	st := e.rdvRecv[p.MsgID]
@@ -457,8 +540,10 @@ func (e *Engine) handleData(core topo.CoreID, p *wire.Packet) {
 		n = len(r.buf)
 	}
 	r.n, r.from = n, st.src
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindComplete, int(core), r.tag, n, "rdv recv msgid=%d", p.MsgID)
+	}
 	r.req.Complete()
-	e.cfg.Trace.Recordf(trace.KindComplete, int(core), r.tag, n, "rdv recv msgid=%d", p.MsgID)
 }
 
 // matchPostedLocked removes and returns the oldest posted receive matching
@@ -489,7 +574,9 @@ func (e *Engine) takeUnexpected(src, tag int) *unexMsg {
 
 // deliverUnexpected completes an Irecv against a buffered unexpected
 // message: eager data pays the pool-to-application copy on the calling
-// core; a pending RTS is answered with a CTS.
+// core and the staging buffer goes back to the fabric buffer pool; a
+// pending RTS is answered with a CTS. Complete runs last; the request is
+// not touched afterwards.
 func (e *Engine) deliverUnexpected(r *RecvReq, u *unexMsg) {
 	if u.isRTS {
 		e.qlock.Lock()
@@ -497,7 +584,9 @@ func (e *Engine) deliverUnexpected(r *RecvReq, u *unexMsg) {
 		e.rdvRecv[u.msgID] = &rdvRecvState{req: r, src: u.src, msgLen: u.msgLen, remaining: u.msgLen}
 		e.qlock.Unlock()
 		u.rail.SendCTS(railHeader(e.node, u.src, u.tag, u.seq, u.msgID))
-		e.cfg.Trace.Recordf(trace.KindCTS, -1, u.tag, u.msgLen, "late msgid=%d", u.msgID)
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindCTS, -1, u.tag, u.msgLen, "late msgid=%d", u.msgID)
+		}
 		e.kick()
 		return
 	}
@@ -505,6 +594,10 @@ func (e *Engine) deliverUnexpected(r *RecvReq, u *unexMsg) {
 	n := copy(r.buf, u.data)
 	r.n, r.from, r.truncated = n, u.src, len(u.data) > len(r.buf)
 	r.gotTag = u.tag
-	e.cfg.Trace.Recordf(trace.KindMatch, -1, r.tag, n, "unexpected src=%d", u.src)
+	bufpool.Put(u.data)
+	u.data = nil
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindMatch, -1, r.tag, n, "unexpected src=%d", u.src)
+	}
 	r.req.Complete()
 }

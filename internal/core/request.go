@@ -1,12 +1,37 @@
 package core
 
 import (
+	"runtime"
+	"sync"
 	"time"
 
 	"pioman/internal/piom"
 	"pioman/internal/sched"
 	"pioman/internal/trace"
 )
+
+// Request freelists. Isend/Irecv draw their request structs here so the
+// steady-state communication path allocates nothing per operation; a
+// request flows back via its Release method once the owner is done with
+// it. Release is an optimization, not an obligation: requests that are
+// never released are reclaimed by the GC exactly as before, so only
+// callers that own the full lifecycle (the mpi layer's blocking
+// wrappers, benchmark loops) need bother.
+var (
+	sendReqPool = sync.Pool{New: func() any { return new(SendReq) }}
+	recvReqPool = sync.Pool{New: func() any { return new(RecvReq) }}
+)
+
+// recycleWait spins until the request's completion flag has settled: a
+// waiter can observe completion while the completing core is still
+// inside the flag's wakeup (a few instructions behind), and recycling
+// the struct under it would hand those instructions another request's
+// memory. The window is nanoseconds; Gosched keeps the spin polite.
+func recycleWait(req *piom.Request) {
+	for !req.Flag().Settled() {
+		runtime.Gosched()
+	}
+}
 
 // SendReq is an asynchronous send request. Completion semantics follow the
 // paper's benchmarks: an eager send completes when its payload has been
@@ -48,6 +73,19 @@ func (r *SendReq) Completed() bool { return r.req.Completed() }
 // Req exposes the underlying event-server request.
 func (r *SendReq) Req() *piom.Request { return &r.req }
 
+// Release returns a completed request to the engine's freelist. The
+// caller must be the request's sole owner and must not touch r again:
+// the next Isend anywhere in the process may reuse the struct.
+// Releasing an incomplete request panics — the engine still holds it.
+func (r *SendReq) Release() {
+	if !r.req.Completed() {
+		panic("core: Release of an incomplete SendReq")
+	}
+	recycleWait(&r.req)
+	*r = SendReq{}
+	sendReqPool.Put(r)
+}
+
 // RecvReq is an asynchronous receive request.
 type RecvReq struct {
 	req piom.Request
@@ -82,6 +120,19 @@ func (r *RecvReq) MatchedTag() int { return r.gotTag }
 // after completion).
 func (r *RecvReq) Truncated() bool { return r.truncated }
 
+// Release returns a completed request to the engine's freelist. The
+// caller must have read every result it needs (Len, From, MatchedTag,
+// Truncated) and must not touch r again: the next Irecv anywhere in the
+// process may reuse the struct. Releasing an incomplete request panics.
+func (r *RecvReq) Release() {
+	if !r.req.Completed() {
+		panic("core: Release of an incomplete RecvReq")
+	}
+	recycleWait(&r.req)
+	*r = RecvReq{}
+	recvReqPool.Put(r)
+}
+
 // Isend posts an asynchronous send of data to dst under tag.
 //
 // In Multithreaded mode with offloading, this only registers the request
@@ -101,13 +152,9 @@ func (e *Engine) Isend(dst, tag int, data []byte) *SendReq {
 		defer e.biglock.Unlock()
 	}
 	rail := e.railFor(dst)
-	r := &SendReq{
-		eng:  e,
-		dst:  dst,
-		tag:  tag,
-		data: data,
-		rdv:  len(data) > rail.EagerMax(),
-	}
+	r := sendReqPool.Get().(*SendReq)
+	r.eng, r.dst, r.tag, r.data = e, dst, tag, data
+	r.rdv = len(data) > rail.EagerMax()
 	e.sendSeq.Add(1)
 	e.nSends.Add(1)
 
@@ -118,13 +165,17 @@ func (e *Engine) Isend(dst, tag int, data []byte) *SendReq {
 		e.orderOut[dst] = r.seq
 		e.rdvSend[r.msgID] = r
 		e.qlock.Unlock()
-		e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(data), "isend dst=%d seq=%d", dst, r.seq)
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(data), "isend dst=%d seq=%d", dst, r.seq)
+		}
 		e.nRdv.Add(1)
 		// The RTS is cheap; posting it immediately starts the handshake
 		// with no loss of asynchrony (the expensive part is reacting to
 		// the CTS, which background progression handles).
 		rail.SendRTS(railHeader(e.node, dst, tag, r.seq, r.msgID), len(data))
-		e.cfg.Trace.Recordf(trace.KindRTS, -1, tag, len(data), "msgid=%d", r.msgID)
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindRTS, -1, tag, len(data), "msgid=%d", r.msgID)
+		}
 		e.kick()
 		return r
 	}
@@ -132,9 +183,11 @@ func (e *Engine) Isend(dst, tag int, data []byte) *SendReq {
 	e.qlock.Lock()
 	r.seq = e.orderOut[dst] + 1
 	e.orderOut[dst] = r.seq
-	e.strat.Enqueue(&pack{req: r})
+	e.strat.Enqueue(getPack(r))
 	e.qlock.Unlock()
-	e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(data), "isend dst=%d seq=%d", dst, r.seq)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(data), "isend dst=%d seq=%d", dst, r.seq)
+	}
 
 	if e.cfg.Mode == Multithreaded {
 		if e.cfg.OffloadEager {
@@ -147,7 +200,9 @@ func (e *Engine) Isend(dst, tag int, data []byte) *SendReq {
 				return r
 			}
 			// Registration only: an idle core picks up the submission.
-			e.cfg.Trace.Recordf(trace.KindEventCreate, -1, tag, len(data), "offload pending")
+			if e.tracing() {
+				e.cfg.Trace.Recordf(trace.KindEventCreate, -1, tag, len(data), "offload pending")
+			}
 			e.kick()
 			return r
 		}
@@ -175,9 +230,12 @@ func (e *Engine) Irecv(src, tag int, buf []byte) *RecvReq {
 		e.biglock.Lock()
 		defer e.biglock.Unlock()
 	}
-	r := &RecvReq{eng: e, src: src, tag: tag, buf: buf}
+	r := recvReqPool.Get().(*RecvReq)
+	r.eng, r.src, r.tag, r.buf = e, src, tag, buf
 	e.nRecvs.Add(1)
-	e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(buf), "irecv src=%d", src)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(buf), "irecv src=%d", src)
+	}
 
 	e.qlock.Lock()
 	u := e.takeUnexpected(src, tag)
@@ -236,7 +294,9 @@ func (e *Engine) Wait(req *piom.Request, th *sched.Thread) {
 				yieldAt = time.Now().Add(sequentialYieldQuantum)
 			}
 		}
-		e.cfg.Trace.Recordf(trace.KindWakeup, int(core), -1, 0, "inline")
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindWakeup, int(core), -1, 0, "inline")
+		}
 		return
 	}
 	deadline := time.Now().Add(e.cfg.WaitSpin)
@@ -250,7 +310,9 @@ func (e *Engine) Wait(req *piom.Request, th *sched.Thread) {
 			break
 		}
 	}
-	e.cfg.Trace.Recordf(trace.KindWakeup, int(core), -1, 0, "event")
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindWakeup, int(core), -1, 0, "event")
+	}
 }
 
 // sequentialYieldQuantum bounds how long a sequential wait monopolizes a

@@ -3,12 +3,34 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+
+	"pioman/internal/sync2"
 )
 
 // pack is one eager send waiting in the optimizer's queue (the "waiting
-// packs" layer of Fig. 3).
+// packs" layer of Fig. 3). Packs are engine-internal — allocated in
+// Isend, consumed in submitTrain — so they recycle through a freelist:
+// one fewer allocation per eager send on the steady-state path.
 type pack struct {
 	req *SendReq
+}
+
+// packPool recycles packs; see getPack/putPack.
+var packPool = sync.Pool{New: func() any { return new(pack) }}
+
+// getPack draws a pack for r from the freelist.
+func getPack(r *SendReq) *pack {
+	p := packPool.Get().(*pack)
+	p.req = r
+	return p
+}
+
+// putPack hands a consumed pack back. The caller must have dropped the
+// pack from every queue and train first.
+func putPack(p *pack) {
+	p.req = nil
+	packPool.Put(p)
 }
 
 // strategy is the optimizer of Fig. 3: it owns the queue of waiting packs
@@ -23,10 +45,13 @@ type strategy interface {
 	// or nil when empty. The engine peeks it to check whether the
 	// destination rail can accept a submission before dequeuing.
 	Head() *pack
-	// Dequeue returns the next train to submit — one or more packs for
-	// the same destination — or nil when the queue is empty. mtuOf
-	// reports the payload budget of the rail serving a destination.
-	Dequeue(mtuOf func(dst int) int) []*pack
+	// Dequeue appends the next train to submit — one or more packs for
+	// the same destination — to into (reset to length zero first) and
+	// returns it, or nil when the queue is empty. The caller owns the
+	// returned slice until the next Dequeue, so a reused train buffer
+	// makes steady-state submission allocation-free. mtuOf reports the
+	// payload budget of the rail serving a destination.
+	Dequeue(mtuOf func(dst int) int, into []*pack) []*pack
 	// Pending reports whether packs are queued.
 	Pending() bool
 }
@@ -47,9 +72,13 @@ func newStrategy(name string) strategy {
 	}
 }
 
-// fifoStrategy submits packs one at a time in post order.
+// fifoStrategy submits packs one at a time in post order. The head
+// index (rather than re-slicing q[1:]) keeps the backing array's
+// capacity across enqueue/dequeue cycles, so a steady request stream
+// recycles one array instead of reallocating per send.
 type fifoStrategy struct {
 	q    []*pack
+	head int
 	name string
 }
 
@@ -60,54 +89,66 @@ func (s *fifoStrategy) Name() string {
 	return "fifo"
 }
 
-func (s *fifoStrategy) Enqueue(p *pack) { s.q = append(s.q, p) }
+func (s *fifoStrategy) Enqueue(p *pack) {
+	s.q, s.head = sync2.CompactQueue(s.q, s.head)
+	s.q = append(s.q, p)
+}
 
 func (s *fifoStrategy) Head() *pack {
-	if len(s.q) == 0 {
+	if s.head == len(s.q) {
 		return nil
 	}
-	return s.q[0]
+	return s.q[s.head]
 }
 
-func (s *fifoStrategy) Dequeue(mtuOf func(int) int) []*pack {
-	if len(s.q) == 0 {
+func (s *fifoStrategy) Dequeue(mtuOf func(int) int, into []*pack) []*pack {
+	if s.head == len(s.q) {
 		return nil
 	}
-	p := s.q[0]
-	s.q = s.q[1:]
-	return []*pack{p}
+	p := s.q[s.head]
+	s.q[s.head] = nil // the train owns it now; drop the queue's alias
+	s.head++
+	if s.head == len(s.q) {
+		s.q, s.head = s.q[:0], 0
+	}
+	return append(into[:0], p)
 }
 
-func (s *fifoStrategy) Pending() bool { return len(s.q) > 0 }
+func (s *fifoStrategy) Pending() bool { return s.head < len(s.q) }
 
 // aggrStrategy coalesces consecutive same-destination packs into one wire
 // packet up to the rail MTU — the data-aggregation optimization of [2].
 // Taking only a contiguous same-destination run preserves global post
 // order, so per-(src,tag) FIFO matching is unaffected.
 type aggrStrategy struct {
-	q []*pack
+	q    []*pack
+	head int
 }
 
 func (s *aggrStrategy) Name() string { return "aggreg" }
 
-func (s *aggrStrategy) Enqueue(p *pack) { s.q = append(s.q, p) }
-
-func (s *aggrStrategy) Head() *pack {
-	if len(s.q) == 0 {
-		return nil
-	}
-	return s.q[0]
+func (s *aggrStrategy) Enqueue(p *pack) {
+	s.q, s.head = sync2.CompactQueue(s.q, s.head)
+	s.q = append(s.q, p)
 }
 
-func (s *aggrStrategy) Dequeue(mtuOf func(int) int) []*pack {
-	if len(s.q) == 0 {
+func (s *aggrStrategy) Head() *pack {
+	if s.head == len(s.q) {
 		return nil
 	}
-	head := s.q[0]
-	dst := head.req.dst
-	budget := mtuOf(dst) - aggrEntryOverhead - len(head.req.data)
-	train := []*pack{head}
-	i := 1
+	return s.q[s.head]
+}
+
+func (s *aggrStrategy) Dequeue(mtuOf func(int) int, into []*pack) []*pack {
+	if s.head == len(s.q) {
+		return nil
+	}
+	hd := s.q[s.head]
+	dst := hd.req.dst
+	budget := mtuOf(dst) - aggrEntryOverhead - len(hd.req.data)
+	train := append(into[:0], hd)
+	s.q[s.head] = nil
+	i := s.head + 1
 	for i < len(s.q) {
 		p := s.q[i]
 		need := aggrEntryOverhead + len(p.req.data)
@@ -115,14 +156,18 @@ func (s *aggrStrategy) Dequeue(mtuOf func(int) int) []*pack {
 			break
 		}
 		train = append(train, p)
+		s.q[i] = nil
 		budget -= need
 		i++
 	}
-	s.q = s.q[i:]
+	s.head = i
+	if s.head == len(s.q) {
+		s.q, s.head = s.q[:0], 0
+	}
 	return train
 }
 
-func (s *aggrStrategy) Pending() bool { return len(s.q) > 0 }
+func (s *aggrStrategy) Pending() bool { return s.head < len(s.q) }
 
 // Aggregated train wire format: repeated entries of
 // [tag int64][seq uint64][len uint64][payload].

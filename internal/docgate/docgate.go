@@ -25,6 +25,7 @@ import (
 func GatedDirsFromRoot() []string {
 	return []string{
 		"internal/fabric",
+		"internal/fabric/bufpool",
 		"internal/fabric/conformance",
 		"internal/fabric/shmfab",
 		"internal/fabric/simfab",

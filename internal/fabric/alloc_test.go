@@ -1,0 +1,139 @@
+package fabric_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/shmfab"
+	"pioman/internal/testenv"
+	"pioman/internal/wire"
+)
+
+// Allocation-regression tests for the zero-allocation hot path: the
+// steady-state eager path — encode, carry, decode, release — must stay
+// at ≤2 allocations per operation, and in practice at zero once the
+// pools are warm. A regression here silently re-taxes every packet the
+// engine moves, which is exactly the engine overhead the paper's design
+// exists to avoid, so the budget is asserted in-tree.
+
+// maxSteadyStateAllocs is the budget the hot paths must stay within.
+const maxSteadyStateAllocs = 2
+
+// skipUnderRace skips alloc-count assertions under the race detector,
+// whose instrumentation allocates on its own schedule.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+}
+
+// TestCodecRoundTripAllocs pins the codec itself: appending a frame into
+// a reused buffer and decoding it through the pools, releasing the
+// result, allocates nothing in steady state.
+func TestCodecRoundTripAllocs(t *testing.T) {
+	skipUnderRace(t)
+	payload := make([]byte, 4<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	p := &wire.Packet{
+		Kind: wire.PktEager, Src: 0, Dst: 1, Tag: 7, Seq: 1,
+		Payload: payload,
+	}
+	enc := make([]byte, 0, fabric.EncodedSize(p))
+	var decodeErr error
+	roundTrip := func() {
+		enc = fabric.AppendPacket(enc[:0], p)
+		q, err := fabric.DecodePacketPooled(enc)
+		if err != nil {
+			decodeErr = err
+			return
+		}
+		fabric.ReleasePacket(q)
+	}
+	roundTrip() // warm the pools outside the measured window
+	allocs := testing.AllocsPerRun(200, roundTrip)
+	if decodeErr != nil {
+		t.Fatal(decodeErr)
+	}
+	if allocs > maxSteadyStateAllocs {
+		t.Errorf("codec 4KiB encode/decode round trip allocates %.1f/op, budget %d", allocs, maxSteadyStateAllocs)
+	}
+}
+
+// TestEagerRoundTripAllocs pins the full transport hot path: a 4 KiB
+// eager packet crossing real shared-memory rings and coming back —
+// serialize, ring slots, pooled decode, echo, release — within the
+// steady-state allocation budget. This is the per-message engine
+// overhead every eager exchange pays, asserted end to end at the
+// fabric layer.
+func TestEagerRoundTripAllocs(t *testing.T) {
+	skipUnderRace(t)
+	f, err := shmfab.NewLocal(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, err := f.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := f.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4<<10)
+	for i := range payload {
+		payload[i] = byte(i*7 + 13)
+	}
+	var seq uint64
+	var fail string
+	roundTrip := func() {
+		seq++
+		out := fabric.GetPacket()
+		out.Kind, out.Src, out.Dst, out.Seq, out.Payload = wire.PktEager, 0, 1, seq, payload
+		if err := ep0.Send(out); err != nil {
+			fail = "send: " + err.Error()
+			return
+		}
+		fabric.ReleasePacket(out) // shmfab captures sends
+		var in *wire.Packet
+		for in == nil {
+			in = ep1.Poll()
+		}
+		if !bytes.Equal(in.Payload, payload) {
+			fail = "ping payload corrupted"
+			return
+		}
+		// Echo it straight back out of the pooled inbound buffer.
+		back := fabric.GetPacket()
+		back.Kind, back.Src, back.Dst, back.Seq, back.Payload = wire.PktEager, 1, 0, seq, in.Payload
+		if err := ep1.Send(back); err != nil {
+			fail = "echo: " + err.Error()
+			return
+		}
+		fabric.ReleasePacket(back)
+		fabric.ReleasePacket(in)
+		var pong *wire.Packet
+		for pong == nil {
+			pong = ep0.Poll()
+		}
+		if !bytes.Equal(pong.Payload, payload) {
+			fail = "pong payload corrupted"
+			return
+		}
+		fabric.ReleasePacket(pong)
+	}
+	for i := 0; i < 10; i++ { // warm rings, scratch buffers and pools
+		roundTrip()
+	}
+	allocs := testing.AllocsPerRun(200, roundTrip)
+	if fail != "" {
+		t.Fatal(fail)
+	}
+	if allocs > maxSteadyStateAllocs {
+		t.Errorf("4KiB eager round trip allocates %.1f/op, budget %d", allocs, maxSteadyStateAllocs)
+	}
+}

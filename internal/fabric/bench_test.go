@@ -55,6 +55,7 @@ func benchRTT(b *testing.B, f fabric.Fabric, size int) {
 	defer close(quit)
 	payload := make([]byte, size)
 	b.SetBytes(int64(2 * size))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ep0.Send(&wire.Packet{

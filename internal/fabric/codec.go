@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"pioman/internal/fabric/bufpool"
 	"pioman/internal/wire"
 )
 
@@ -45,6 +46,11 @@ const (
 	// Transports should refuse bigger payloads in Send, where the caller
 	// still gets a synchronous error.
 	MaxPayloadBytes = MaxFrameBytes - headerBytes
+
+	// HeaderScratchBytes is the scratch a ReadPacketPooled caller
+	// provides: length prefix plus fixed header. One buffer per read
+	// loop keeps the steady-state read path allocation-free.
+	HeaderScratchBytes = 4 + headerBytes
 )
 
 // EncodedSize returns the full frame size of p, length prefix included.
@@ -88,51 +94,98 @@ func EncodePacket(p *wire.Packet) []byte {
 	return AppendPacket(make([]byte, 0, EncodedSize(p)), p)
 }
 
-// DecodePacket parses one complete frame produced by EncodePacket.
-func DecodePacket(b []byte) (*wire.Packet, error) {
+// checkFrame validates a complete frame's length prefix against the
+// frame bound and the actual byte count — the shared gate of
+// DecodePacket and DecodePacketPooled, so the two documented-identical
+// entry points cannot drift in what they accept.
+func checkFrame(b []byte) error {
 	if len(b) < 4 {
-		return nil, fmt.Errorf("fabric: frame truncated at length prefix (%d bytes)", len(b))
+		return fmt.Errorf("fabric: frame truncated at length prefix (%d bytes)", len(b))
 	}
 	n := binary.LittleEndian.Uint32(b)
 	if n > MaxFrameBytes {
-		return nil, fmt.Errorf("fabric: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+		return fmt.Errorf("fabric: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
 	}
 	if uint32(len(b)-4) != n {
-		return nil, fmt.Errorf("fabric: frame length %d does not match %d trailing bytes", n, len(b)-4)
+		return fmt.Errorf("fabric: frame length %d does not match %d trailing bytes", n, len(b)-4)
 	}
-	return decodeBody(b[4:])
+	return nil
 }
 
-// decodeBody parses a frame body (everything after the length prefix).
-func decodeBody(b []byte) (*wire.Packet, error) {
-	if len(b) < headerBytes {
-		return nil, fmt.Errorf("fabric: frame body of %d bytes below header size %d", len(b), headerBytes)
+// DecodePacket parses one complete frame produced by EncodePacket.
+func DecodePacket(b []byte) (*wire.Packet, error) {
+	if err := checkFrame(b); err != nil {
+		return nil, err
 	}
-	if v := b[0]; v != codecVersion {
-		return nil, fmt.Errorf("fabric: unknown codec version %d", v)
-	}
-	p := &wire.Packet{
-		Kind:    wire.PacketKind(b[1]),
-		Src:     int(int32(binary.LittleEndian.Uint32(b[4:]))),
-		Dst:     int(int32(binary.LittleEndian.Uint32(b[8:]))),
-		Tag:     int(int64(binary.LittleEndian.Uint64(b[12:]))),
-		Seq:     binary.LittleEndian.Uint64(b[20:]),
-		MsgID:   binary.LittleEndian.Uint64(b[28:]),
-		Offset:  int(int64(binary.LittleEndian.Uint64(b[36:]))),
-		WireLen: int(int64(binary.LittleEndian.Uint64(b[44:]))),
-	}
-	flags := b[2]
-	plen := binary.LittleEndian.Uint32(b[52:])
-	if uint32(len(b)-headerBytes) != plen {
-		return nil, fmt.Errorf("fabric: payload length %d does not match %d trailing bytes", plen, len(b)-headerBytes)
-	}
-	if flags&flagPayload != 0 {
-		p.Payload = make([]byte, plen)
-		copy(p.Payload, b[headerBytes:])
-	} else if plen != 0 {
-		return nil, fmt.Errorf("fabric: nil-payload frame carries %d payload bytes", plen)
+	p := &wire.Packet{}
+	if err := decodeBody(b[4:], p, func(n int) []byte { return make([]byte, n) }); err != nil {
+		return nil, err
 	}
 	return p, nil
+}
+
+// DecodePacketPooled is DecodePacket drawing from the recycling pools:
+// the packet struct comes from the packet freelist and the payload from
+// the fabric buffer pool (Packet.Pooled is set accordingly). The caller
+// chain must hand the result to ReleasePacket once done — transports use
+// this on their receive paths, and the engine releases after copying the
+// payload out, which is what keeps the steady-state eager path free of
+// per-packet allocation.
+func DecodePacketPooled(b []byte) (*wire.Packet, error) {
+	if err := checkFrame(b); err != nil {
+		return nil, err
+	}
+	p := GetPacket()
+	if err := decodeBody(b[4:], p, bufpool.Get); err != nil {
+		ReleasePacket(p)
+		return nil, err
+	}
+	p.Pooled = p.Payload != nil
+	return p, nil
+}
+
+// parseHeader fills p's header fields from hdr (exactly the fixed-size
+// portion after the length prefix) and returns the declared payload
+// length and whether a payload is present (the nil-vs-empty flag).
+func parseHeader(hdr []byte, p *wire.Packet) (plen uint32, withPayload bool, err error) {
+	if v := hdr[0]; v != codecVersion {
+		return 0, false, fmt.Errorf("fabric: unknown codec version %d", v)
+	}
+	p.Kind = wire.PacketKind(hdr[1])
+	p.Src = int(int32(binary.LittleEndian.Uint32(hdr[4:])))
+	p.Dst = int(int32(binary.LittleEndian.Uint32(hdr[8:])))
+	p.Tag = int(int64(binary.LittleEndian.Uint64(hdr[12:])))
+	p.Seq = binary.LittleEndian.Uint64(hdr[20:])
+	p.MsgID = binary.LittleEndian.Uint64(hdr[28:])
+	p.Offset = int(int64(binary.LittleEndian.Uint64(hdr[36:])))
+	p.WireLen = int(int64(binary.LittleEndian.Uint64(hdr[44:])))
+	plen = binary.LittleEndian.Uint32(hdr[52:])
+	withPayload = hdr[2]&flagPayload != 0
+	if !withPayload && plen != 0 {
+		return 0, false, fmt.Errorf("fabric: nil-payload frame carries %d payload bytes", plen)
+	}
+	return plen, withPayload, nil
+}
+
+// decodeBody parses a frame body (everything after the length prefix)
+// into dst, whose payload buffer is provided by alloc(n). A nil return
+// from parseHeader leaves dst half-filled; callers discard it on error.
+func decodeBody(b []byte, dst *wire.Packet, alloc func(int) []byte) error {
+	if len(b) < headerBytes {
+		return fmt.Errorf("fabric: frame body of %d bytes below header size %d", len(b), headerBytes)
+	}
+	plen, withPayload, err := parseHeader(b[:headerBytes], dst)
+	if err != nil {
+		return err
+	}
+	if uint32(len(b)-headerBytes) != plen {
+		return fmt.Errorf("fabric: payload length %d does not match %d trailing bytes", plen, len(b)-headerBytes)
+	}
+	if withPayload {
+		dst.Payload = alloc(int(plen))
+		copy(dst.Payload, b[headerBytes:])
+	}
+	return nil
 }
 
 // WritePacket writes p as one frame to w. Oversized payloads are refused
@@ -164,5 +217,62 @@ func ReadPacket(r io.Reader) (*wire.Packet, error) {
 		}
 		return nil, err
 	}
-	return decodeBody(body)
+	p := &wire.Packet{}
+	if err := decodeBody(body, p, func(n int) []byte { return make([]byte, n) }); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ReadPacketPooled reads exactly one frame from r like ReadPacket, but
+// with the zero-allocation layout the stream transports' read loops
+// want: the fixed-size header lands in hdr — caller-owned scratch of at
+// least HeaderScratchBytes, reused across calls — and the payload is
+// read directly into a buffer from the fabric buffer pool, so a frame
+// crosses from the stream into the engine with exactly one copy no
+// matter how large it is (no intermediate whole-frame buffer). The
+// packet struct comes from the packet freelist; the consumer returns
+// everything via ReleasePacket. EOF semantics match ReadPacket.
+func ReadPacketPooled(r io.Reader, hdr []byte) (*wire.Packet, error) {
+	if len(hdr) < HeaderScratchBytes {
+		hdr = make([]byte, HeaderScratchBytes)
+	}
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("fabric: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	if n < headerBytes {
+		return nil, fmt.Errorf("fabric: frame body of %d bytes below header size %d", n, headerBytes)
+	}
+	if _, err := io.ReadFull(r, hdr[4:4+headerBytes]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	p := GetPacket()
+	plen, withPayload, err := parseHeader(hdr[4:4+headerBytes], p)
+	if err != nil {
+		ReleasePacket(p)
+		return nil, err
+	}
+	if n-headerBytes != plen {
+		ReleasePacket(p)
+		return nil, fmt.Errorf("fabric: payload length %d does not match %d trailing bytes", plen, n-headerBytes)
+	}
+	if withPayload {
+		p.Payload = bufpool.Get(int(plen))
+		p.Pooled = true
+		if _, err := io.ReadFull(r, p.Payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			ReleasePacket(p)
+			return nil, err
+		}
+	}
+	return p, nil
 }

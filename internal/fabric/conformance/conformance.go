@@ -157,6 +157,43 @@ func RunEndpoint(t *testing.T, open OpenFabric) {
 		}
 	})
 
+	t.Run("ReleaseRecycles", func(t *testing.T) {
+		// The inbound-buffer ownership rule (docs/FABRIC.md): packets a
+		// backend delivers may be handed back through
+		// fabric.ReleasePacket once the consumer has copied what it
+		// needs, and the recycled buffers must never leak one packet's
+		// bytes into another. A backend that aliases delivered payloads
+		// with its own internal state, or double-delivers a released
+		// struct, corrupts the patterned payloads here.
+		f := open(t, 2)
+		defer f.Close()
+		src, dst := mustEp(t, f, 0), mustEp(t, f, 1)
+		sizes := []int{0, 1, 64, 512, 4 << 10, 60 << 10}
+		for round := 0; round < 40; round++ {
+			size := sizes[round%len(sizes)]
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i*3 + round)
+			}
+			if err := src.Send(&wire.Packet{
+				Kind: wire.PktEager, Src: 0, Dst: 1, Tag: round,
+				Seq: uint64(round + 1), Payload: payload,
+			}); err != nil {
+				t.Fatalf("send round %d: %v", round, err)
+			}
+			got := recvOne(t, dst)
+			if got.Tag != round || got.Seq != uint64(round+1) {
+				t.Fatalf("round %d: header mutated: %+v", round, got)
+			}
+			if !bytes.Equal(got.Payload, payload) {
+				t.Fatalf("round %d: payload corrupted (recycled buffer reused while aliased?)", round)
+			}
+			// Hand the buffers back; the next rounds must still arrive
+			// intact even though they may reuse this round's memory.
+			fabric.ReleasePacket(got)
+		}
+	})
+
 	t.Run("PendingAndPoll", func(t *testing.T) {
 		f := open(t, 2)
 		defer f.Close()

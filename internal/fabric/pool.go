@@ -1,0 +1,80 @@
+package fabric
+
+import (
+	"sync"
+
+	"pioman/internal/fabric/bufpool"
+	"pioman/internal/wire"
+)
+
+// The packet freelist pairs with bufpool to make the steady-state
+// receive path allocation-free: transports decode inbound frames into
+// pooled *wire.Packet structs (GetPacket) carrying pooled payload
+// buffers (bufpool.Get, flagged by Packet.Pooled), and the engine hands
+// both back through ReleasePacket once the payload has been copied into
+// its final destination. The ownership rule is written down in
+// docs/FABRIC.md ("Inbound buffer ownership") and docs/PERF.md.
+
+// pktPool recycles packet structs. Every packet in the pool is zeroed,
+// so GetPacket hands out clean state without paying a per-Get wipe.
+var pktPool = sync.Pool{New: func() any { return new(wire.Packet) }}
+
+// GetPacket returns a zeroed packet from the packet freelist. Producers
+// that fully relinquish their packets — transports decoding inbound
+// frames, drivers whose endpoint captures sends (see SendCapturer) —
+// draw from here so the structs circulate instead of churning the GC.
+func GetPacket() *wire.Packet {
+	return pktPool.Get().(*wire.Packet)
+}
+
+// ReleasePacket returns p to the packet freelist and, when p.Pooled is
+// set, its payload buffer to the fabric buffer pool. The caller must be
+// the packet's final owner and must drop every alias of p and p.Payload
+// first: after release the same memory may carry an unrelated stream's
+// frame. Releasing nil is a no-op. Packets that are never released are
+// reclaimed by the GC as before — release is an optimization with an
+// aliasing obligation, not a correctness requirement for consumers that
+// keep payloads around (tests, tracing tools).
+func ReleasePacket(p *wire.Packet) {
+	if p == nil {
+		return
+	}
+	if p.Pooled {
+		bufpool.Put(p.Payload)
+	}
+	*p = wire.Packet{}
+	pktPool.Put(p)
+}
+
+// CapturePacket returns a pooled deep copy of p: a packet-freelist
+// struct whose payload (when present) lives in a fabric buffer-pool
+// borrow, flagged Pooled so the consumer's ReleasePacket recycles it.
+// Transports use it on their self-delivery paths, where Send must stop
+// aliasing the caller's packet and payload before inboxing (the
+// capture-before-return rule of docs/FABRIC.md) — one shared helper so
+// the capture discipline cannot drift between backends.
+func CapturePacket(p *wire.Packet) *wire.Packet {
+	q := GetPacket()
+	*q = *p
+	q.Pooled = false
+	if p.Payload != nil {
+		q.Payload = bufpool.Get(len(p.Payload))
+		copy(q.Payload, p.Payload)
+		q.Pooled = true
+	}
+	return q
+}
+
+// SendCapturer is an optional Endpoint capability: SendCaptures reports
+// that Send fully captures every packet before returning — serializing
+// or copying it, retaining neither the *wire.Packet nor its Payload
+// slice. Submitters may then recycle the packet struct the moment Send
+// returns (the nic driver returns outbound packets to the packet
+// freelist). The wire-simulator backend deliberately does not implement
+// it: the modeled wire delivers the very packet object the sender
+// injected, so its receiver is the one who may release it.
+type SendCapturer interface {
+	// SendCaptures reports whether Send captures packets fully before
+	// returning.
+	SendCaptures() bool
+}

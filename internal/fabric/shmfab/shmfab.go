@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"pioman/internal/fabric"
+	"pioman/internal/sync2"
 	"pioman/internal/wire"
 )
 
@@ -143,13 +144,18 @@ type inRing struct {
 }
 
 // inbox is the arrival queue shared by ring deliveries and self-sends.
+// The head index (rather than re-slicing pkts[1:]) keeps the backing
+// array's full capacity across push/pop cycles, so steady-state traffic
+// recycles one array instead of reallocating per packet.
 type inbox struct {
 	mu   sync.Mutex
 	pkts []*wire.Packet
+	head int
 }
 
 func (ib *inbox) push(p *wire.Packet) {
 	ib.mu.Lock()
+	ib.pkts, ib.head = sync2.CompactQueue(ib.pkts, ib.head)
 	ib.pkts = append(ib.pkts, p)
 	ib.mu.Unlock()
 }
@@ -157,18 +163,22 @@ func (ib *inbox) push(p *wire.Packet) {
 func (ib *inbox) pop() *wire.Packet {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	if len(ib.pkts) == 0 {
+	if ib.head == len(ib.pkts) {
 		return nil
 	}
-	p := ib.pkts[0]
-	ib.pkts = ib.pkts[1:]
+	p := ib.pkts[ib.head]
+	ib.pkts[ib.head] = nil // the consumer owns it now; drop the queue's alias
+	ib.head++
+	if ib.head == len(ib.pkts) {
+		ib.pkts, ib.head = ib.pkts[:0], 0
+	}
 	return p
 }
 
 func (ib *inbox) empty() bool {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	return len(ib.pkts) == 0
+	return ib.head == len(ib.pkts)
 }
 
 // ringPath names the ring file carrying src's traffic toward dst.
@@ -278,6 +288,11 @@ func (e *Endpoint) NextSeq() uint64 { return e.seq.Add(1) }
 // own flow control, the submission gate is always open.
 func (e *Endpoint) Backlog(int) time.Duration { return 0 }
 
+// SendCaptures implements fabric.SendCapturer: Send serializes cross-rank
+// packets and copies self-deliveries before returning, so the caller may
+// recycle the packet struct immediately.
+func (e *Endpoint) SendCaptures() bool { return true }
+
 // LostFrames counts frames Send accepted that were later abandoned by
 // Close's bounded drain against a ring whose consumer stopped draining.
 // These cannot surface as Send errors — they fail after Send returned —
@@ -312,12 +327,9 @@ func (e *Endpoint) Send(p *wire.Packet) error {
 		// Self-delivery skips the ring but not the capture rule: the
 		// engine may reuse the payload buffer the moment Send returns, so
 		// the packet must stop aliasing it before entering the inbox.
-		q := *p
-		if p.Payload != nil {
-			q.Payload = make([]byte, len(p.Payload))
-			copy(q.Payload, p.Payload)
-		}
-		e.inbox.push(&q)
+		// The copy lives in pooled storage like any decoded arrival, so
+		// the consumer's ReleasePacket recycles it the same way.
+		e.inbox.push(fabric.CapturePacket(p))
 		return nil
 	}
 	o := e.out[p.Dst]
@@ -479,7 +491,7 @@ func (e *Endpoint) decodeFrames(ir *inRing, peer int) {
 		if len(buf) < 4+n {
 			break // frame still streaming through the ring
 		}
-		p, err := fabric.DecodePacket(buf[:4+n])
+		p, err := fabric.DecodePacketPooled(buf[:4+n])
 		if err != nil {
 			ir.dead = true
 			ir.dec = nil

@@ -77,7 +77,13 @@ func (e *Endpoint) Self() int { return e.self }
 // Nodes implements fabric.Endpoint.
 func (e *Endpoint) Nodes() int { return e.w.Nodes() }
 
-// Send implements fabric.Endpoint.
+// Send implements fabric.Endpoint. The simulator retains p itself: the
+// modeled wire queues the very packet object and delivers it to the
+// destination's Poll, so this backend deliberately does not implement
+// fabric.SendCapturer — the sender must not touch or recycle p after
+// Send, and the *receiver* is the packet's final owner (the engine
+// returns handled packets to the fabric packet pool, which is how
+// outbound structs circulate even over the simulator).
 func (e *Endpoint) Send(p *wire.Packet) error {
 	if e.closed.Load() {
 		return fabric.ErrClosed

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"pioman/internal/fabric"
+	"pioman/internal/sync2"
 	"pioman/internal/wire"
 )
 
@@ -50,6 +51,15 @@ const (
 	// maxRecycledBuf caps the outbound buffer capacity a writer keeps
 	// for reuse between batches (a few MTU-sized frames' worth).
 	maxRecycledBuf = 256 << 10
+
+	// readBufBytes sizes each stream's buffered reader. The old default
+	// 4096-byte bufio buffer made every frame above it cross two copies
+	// (socket→bufio, bufio→payload); 64 KiB batches small frames
+	// efficiently, and payloads larger than it bypass the buffer
+	// entirely — ReadPacketPooled's io.ReadFull drains the buffered
+	// prefix, then bufio delegates the large remainder straight into
+	// the pooled payload buffer.
+	readBufBytes = 64 << 10
 )
 
 // Config describes one process's attachment to a TCP fabric.
@@ -163,15 +173,20 @@ func (pc *peerConn) drain() {
 }
 
 // inbox is the arrival queue: FIFO, one notify edge for blocking
-// receivers.
+// receivers. The head index (rather than re-slicing pkts[1:]) keeps the
+// backing array's full capacity across push/pop cycles, so a steady
+// stream of packets recycles one array instead of reallocating — part
+// of the allocation-free receive path.
 type inbox struct {
 	mu     sync.Mutex
 	pkts   []*wire.Packet
+	head   int
 	notify chan struct{}
 }
 
 func (ib *inbox) push(p *wire.Packet) {
 	ib.mu.Lock()
+	ib.pkts, ib.head = sync2.CompactQueue(ib.pkts, ib.head)
 	ib.pkts = append(ib.pkts, p)
 	ib.mu.Unlock()
 	select {
@@ -183,18 +198,22 @@ func (ib *inbox) push(p *wire.Packet) {
 func (ib *inbox) pop() *wire.Packet {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	if len(ib.pkts) == 0 {
+	if ib.head == len(ib.pkts) {
 		return nil
 	}
-	p := ib.pkts[0]
-	ib.pkts = ib.pkts[1:]
+	p := ib.pkts[ib.head]
+	ib.pkts[ib.head] = nil // the consumer owns it now; drop the queue's alias
+	ib.head++
+	if ib.head == len(ib.pkts) {
+		ib.pkts, ib.head = ib.pkts[:0], 0
+	}
 	return p
 }
 
 func (ib *inbox) empty() bool {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	return len(ib.pkts) == 0
+	return ib.head == len(ib.pkts)
 }
 
 // New opens an endpoint per cfg. If cfg.Listen is set the returned
@@ -262,6 +281,11 @@ func (e *Endpoint) NextSeq() uint64 { return e.seq.Add(1) }
 // submission gate is always open.
 func (e *Endpoint) Backlog(int) time.Duration { return 0 }
 
+// SendCaptures implements fabric.SendCapturer: Send serializes cross-rank
+// packets (enqueue) and copies self-deliveries before returning, so the
+// caller may recycle the packet struct immediately.
+func (e *Endpoint) SendCaptures() bool { return true }
+
 // Pending implements fabric.Endpoint. Only packets already decoded into
 // the inbox count: bytes still in a socket buffer or mid-read in a
 // readLoop are invisible here — the weaker Pending semantics the
@@ -273,9 +297,17 @@ func (e *Endpoint) Pending() bool { return !e.inbox.empty() }
 // Poll implements fabric.Endpoint.
 func (e *Endpoint) Poll() *wire.Packet { return e.inbox.pop() }
 
-// BlockingRecv implements fabric.Endpoint.
+// BlockingRecv implements fabric.Endpoint. The deadline timer is drawn
+// from a pool and armed once for the whole wait, so a blocking receive
+// allocates nothing — spurious notify wakeups just re-poll while the
+// timer keeps running toward the deadline.
 func (e *Endpoint) BlockingRecv(timeout time.Duration) *wire.Packet {
-	deadline := time.Now().Add(timeout)
+	if p := e.inbox.pop(); p != nil {
+		return p
+	}
+	t := sync2.GetTimer(timeout)
+	fired := false
+	defer func() { sync2.PutTimer(t, fired) }()
 	for {
 		if p := e.inbox.pop(); p != nil {
 			return p
@@ -283,17 +315,13 @@ func (e *Endpoint) BlockingRecv(timeout time.Duration) *wire.Packet {
 		if e.closed() {
 			return nil
 		}
-		wait := time.Until(deadline)
-		if wait <= 0 {
-			return nil
-		}
-		t := time.NewTimer(wait)
 		select {
 		case <-e.inbox.notify:
 		case <-e.done:
 		case <-t.C:
+			fired = true
+			return e.inbox.pop()
 		}
-		t.Stop()
 	}
 }
 
@@ -334,13 +362,10 @@ func (e *Endpoint) Send(p *wire.Packet) error {
 		// Self-delivery skips the codec but not the capture rule: the
 		// engine may reuse the payload buffer the moment Send returns, so
 		// the packet must stop aliasing it before entering the inbox —
-		// cross-rank sends capture by serializing in enqueue.
-		q := *p
-		if p.Payload != nil {
-			q.Payload = make([]byte, len(p.Payload))
-			copy(q.Payload, p.Payload)
-		}
-		e.inbox.push(&q)
+		// cross-rank sends capture by serializing in enqueue. The copy
+		// lives in pooled storage like any decoded arrival, so the
+		// consumer's ReleasePacket recycles it the same way.
+		e.inbox.push(fabric.CapturePacket(p))
 		return nil
 	}
 	for {
@@ -540,12 +565,17 @@ func (e *Endpoint) serveConn(c net.Conn) {
 }
 
 // readLoop decodes frames from one peer stream into the inbox until the
-// stream fails or the endpoint closes.
+// stream fails or the endpoint closes. Frames are decoded through the
+// recycling pools — packet structs from the packet freelist, payloads
+// read in one copy into fabric buffer-pool storage — and ownership
+// passes to whoever polls them out of the inbox (the engine releases
+// them after copying payloads into application buffers).
 func (e *Endpoint) readLoop(c net.Conn, rank int) {
 	defer e.wg.Done()
-	br := bufio.NewReader(c)
+	br := bufio.NewReaderSize(c, readBufBytes)
+	hdr := make([]byte, fabric.HeaderScratchBytes)
 	for {
-		p, err := fabric.ReadPacket(br)
+		p, err := fabric.ReadPacketPooled(br, hdr)
 		if err != nil {
 			e.forgetConn(c, rank)
 			return

@@ -77,16 +77,23 @@ func (p *Proc) WaitRecv(r *core.RecvReq) { p.Node.Eng.WaitRecv(r, p.Th) }
 // Wait waits on any request.
 func (p *Proc) Wait(r *piom.Request) { p.Node.Eng.Wait(r, p.Th) }
 
-// Send is a blocking send.
+// Send is a blocking send. It owns the request's full lifecycle, so the
+// request recycles through the engine's freelist — a blocking exchange
+// allocates no request state in steady state.
 func (p *Proc) Send(dst, tag int, data []byte) {
-	p.WaitSend(p.Isend(dst, tag, data))
+	r := p.Isend(dst, tag, data)
+	p.WaitSend(r)
+	r.Release()
 }
 
-// Recv is a blocking receive; it returns the byte count and sender.
+// Recv is a blocking receive; it returns the byte count and sender. Like
+// Send it recycles its request through the engine's freelist.
 func (p *Proc) Recv(src, tag int, buf []byte) (int, int) {
 	r := p.Irecv(src, tag, buf)
 	p.WaitRecv(r)
-	return r.Len(), r.From()
+	n, from := r.Len(), r.From()
+	r.Release()
+	return n, from
 }
 
 // Collective tags live in a reserved negative range so they never collide
@@ -144,6 +151,7 @@ func (p *Proc) Bcast(root int, buf []byte) {
 		}
 		for _, r := range reqs {
 			p.WaitSend(r)
+			r.Release()
 		}
 		return
 	}
@@ -173,6 +181,7 @@ func (p *Proc) Gather(root int, contrib []byte, parts [][]byte) {
 	}
 	for _, r := range reqs {
 		p.WaitRecv(r)
+		r.Release()
 	}
 }
 

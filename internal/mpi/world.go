@@ -57,6 +57,16 @@ type Config struct {
 	// without cores to burn: busy-polling against a socket only starves
 	// the kernel of the CPU it needs to deliver the packet.
 	NoIdlePolling bool
+	// WaitSpin bounds how long a Wait polls inline before genuinely
+	// blocking on the completion flag. Zero auto-tunes from the host
+	// shape via core.AutoWaitSpin: a tight spin on machines with ≥4
+	// CPUs, an early yield on small hosts and whenever NoIdlePolling is
+	// set (spinning there only starves whoever must make the progress).
+	WaitSpin time.Duration
+	// WatcherCheck is the blocking watcher's cadence — the timeout of
+	// each blocking receive and how often the watcher re-evaluates
+	// idleness. Zero auto-tunes via piom.AutoBlockingCheck.
+	WatcherCheck time.Duration
 	// TimerPeriod drives the scheduler timer trigger (0 disables).
 	TimerPeriod time.Duration
 	// TraceCapacity, if positive, attaches an event recorder per node.
@@ -190,7 +200,12 @@ func (w *World) startNode(rank int, rails []*nic.Driver) *Node {
 		srv = piom.NewServer(sch, piom.Config{
 			EnableIdleHook: !cfg.NoIdlePolling,
 			EnableBlocking: cfg.EnableBlocking,
+			BlockingCheck:  cfg.WatcherCheck,
 		})
+	}
+	waitSpin := cfg.WaitSpin
+	if waitSpin <= 0 {
+		waitSpin = core.AutoWaitSpin(cfg.NoIdlePolling)
 	}
 	var rec *trace.Recorder
 	if cfg.TraceCapacity > 0 {
@@ -201,6 +216,7 @@ func (w *World) startNode(rank int, rails []*nic.Driver) *Node {
 		OffloadEager:    cfg.OffloadEager,
 		AdaptiveOffload: cfg.AdaptiveOffload,
 		Strategy:        cfg.Strategy,
+		WaitSpin:        waitSpin,
 		Trace:           rec,
 	})
 	n := &Node{world: w, rank: rank, Sch: sch, Srv: srv, Eng: eng, Trace: rec}

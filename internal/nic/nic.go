@@ -167,6 +167,11 @@ type Driver struct {
 	p    Params
 	ep   fabric.Endpoint
 	self int
+	// captures records the endpoint's fabric.SendCapturer capability:
+	// when true, Send consumes packets fully, so the driver recycles
+	// outbound packet structs through the fabric packet pool instead of
+	// leaving one heap allocation per submission to the GC.
+	captures bool
 
 	eagerSent  atomic.Uint64
 	eagerBytes atomic.Uint64
@@ -188,7 +193,11 @@ func New(p Params, ep fabric.Endpoint) *Driver {
 	if p.MTU <= 0 {
 		p.MTU = 64 << 10
 	}
-	return &Driver{p: p, ep: ep, self: ep.Self()}
+	d := &Driver{p: p, ep: ep, self: ep.Self()}
+	if c, ok := ep.(fabric.SendCapturer); ok && c.SendCaptures() {
+		d.captures = true
+	}
+	return d
 }
 
 // NewSim returns node self's driver on the wire simulator fab — the
@@ -205,11 +214,24 @@ func NewSim(p Params, fab *wire.Fabric, self int) *Driver {
 // silent wire (requests stay pending until shutdown), and SendErrs —
 // together with the transport's own asynchronous-loss counter, for
 // packets that fail after submission — makes the loss observable.
+//
+// Every submission path draws p from the fabric packet pool (outPacket).
+// A capturing endpoint consumes it before Send returns, so the struct is
+// recycled here; over the simulator the packet itself rides the modeled
+// wire, and the receiving engine releases it after processing — either
+// way the structs circulate instead of churning the GC.
 func (d *Driver) send(p *wire.Packet) {
 	if err := d.ep.Send(p); err != nil {
 		d.sendErrs.Add(1)
 	}
+	if d.captures {
+		fabric.ReleasePacket(p)
+	}
 }
+
+// outPacket returns a zeroed packet struct for one submission, drawn
+// from the fabric packet pool. Ownership passes to send.
+func (d *Driver) outPacket() *wire.Packet { return fabric.GetPacket() }
 
 // Name returns the rail name.
 func (d *Driver) Name() string { return d.p.Name }
@@ -245,32 +267,32 @@ func (d *Driver) SendEager(h Header, payload []byte) {
 	}
 	d.eagerSent.Add(1)
 	d.eagerBytes.Add(uint64(n))
-	d.send(&wire.Packet{
-		Kind: wire.PktEager, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
-		Seq: h.Seq, MsgID: h.MsgID, Payload: payload,
-		WireLen: n + HeaderBytes,
-	})
+	p := d.outPacket()
+	p.Kind, p.Src, p.Dst, p.Tag = wire.PktEager, h.Src, h.Dst, h.Tag
+	p.Seq, p.MsgID, p.Payload = h.Seq, h.MsgID, payload
+	p.WireLen = n + HeaderBytes
+	d.send(p)
 }
 
 // SendRTS posts a rendezvous request-to-send: header-only, cheap.
 func (d *Driver) SendRTS(h Header, msgLen int) {
 	ptime.SpinFor(d.p.Cost.SubmitOverhead)
 	d.rtsSent.Add(1)
-	d.send(&wire.Packet{
-		Kind: wire.PktRTS, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
-		Seq: h.Seq, MsgID: h.MsgID,
-		Payload: encodeLen(msgLen), WireLen: HeaderBytes,
-	})
+	p := d.outPacket()
+	p.Kind, p.Src, p.Dst, p.Tag = wire.PktRTS, h.Src, h.Dst, h.Tag
+	p.Seq, p.MsgID = h.Seq, h.MsgID
+	p.Payload, p.WireLen = encodeLen(msgLen), HeaderBytes
+	d.send(p)
 }
 
 // SendCTS answers a rendezvous handshake: header-only, cheap.
 func (d *Driver) SendCTS(h Header) {
 	ptime.SpinFor(d.p.Cost.SubmitOverhead)
 	d.ctsSent.Add(1)
-	d.send(&wire.Packet{
-		Kind: wire.PktCTS, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
-		Seq: h.Seq, MsgID: h.MsgID, WireLen: HeaderBytes,
-	})
+	p := d.outPacket()
+	p.Kind, p.Src, p.Dst, p.Tag = wire.PktCTS, h.Src, h.Dst, h.Tag
+	p.Seq, p.MsgID, p.WireLen = h.Seq, h.MsgID, HeaderBytes
+	d.send(p)
 }
 
 // SendData transmits a rendezvous payload zero-copy: the NIC DMAs straight
@@ -282,11 +304,11 @@ func (d *Driver) SendData(h Header, offset int, payload []byte) {
 	ptime.SpinFor(d.p.Cost.DMASetup)
 	d.dataSent.Add(1)
 	d.dataBytes.Add(uint64(len(payload)))
-	d.send(&wire.Packet{
-		Kind: wire.PktData, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
-		Seq: h.Seq, MsgID: h.MsgID, Offset: offset, Payload: payload,
-		WireLen: len(payload) + HeaderBytes,
-	})
+	p := d.outPacket()
+	p.Kind, p.Src, p.Dst, p.Tag = wire.PktData, h.Src, h.Dst, h.Tag
+	p.Seq, p.MsgID, p.Offset, p.Payload = h.Seq, h.MsgID, offset, payload
+	p.WireLen = len(payload) + HeaderBytes
+	d.send(p)
 }
 
 // SendAggr transmits an aggregated train of eager packs as one wire packet
@@ -299,21 +321,21 @@ func (d *Driver) SendAggr(h Header, payload []byte) {
 	ptime.SpinFor(d.p.Cost.DMASetup)
 	d.eagerSent.Add(1)
 	d.eagerBytes.Add(uint64(len(payload)))
-	d.send(&wire.Packet{
-		Kind: wire.PktAggr, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
-		Seq: h.Seq, MsgID: h.MsgID, Payload: payload,
-		WireLen: len(payload) + HeaderBytes,
-	})
+	p := d.outPacket()
+	p.Kind, p.Src, p.Dst, p.Tag = wire.PktAggr, h.Src, h.Dst, h.Tag
+	p.Seq, p.MsgID, p.Payload = h.Seq, h.MsgID, payload
+	p.WireLen = len(payload) + HeaderBytes
+	d.send(p)
 }
 
 // SendCtrl transmits an engine control packet (barriers, tests).
 func (d *Driver) SendCtrl(h Header, payload []byte) {
 	ptime.SpinFor(d.p.Cost.SubmitOverhead)
-	d.send(&wire.Packet{
-		Kind: wire.PktCtrl, Src: h.Src, Dst: h.Dst, Tag: h.Tag,
-		Seq: h.Seq, MsgID: h.MsgID, Payload: payload,
-		WireLen: len(payload) + HeaderBytes,
-	})
+	p := d.outPacket()
+	p.Kind, p.Src, p.Dst, p.Tag = wire.PktCtrl, h.Src, h.Dst, h.Tag
+	p.Seq, p.MsgID, p.Payload = h.Seq, h.MsgID, payload
+	p.WireLen = len(payload) + HeaderBytes
+	d.send(p)
 }
 
 // Poll returns one arrived packet or nil. If the rail's reception path

@@ -20,6 +20,7 @@
 package piom
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -90,8 +91,26 @@ type Config struct {
 	// EnableBlocking starts one watcher goroutine per source that blocks
 	// on the NIC when no core is idle.
 	EnableBlocking bool
-	// BlockingCheck is how often the watcher re-evaluates idleness.
+	// BlockingCheck is how often the watcher re-evaluates idleness (and
+	// the timeout of each blocking receive). Zero selects the host-tuned
+	// default, AutoBlockingCheck.
 	BlockingCheck time.Duration
+}
+
+// AutoBlockingCheck returns the watcher cadence tuned to the host shape
+// and polling mode. With active polling on and ≥4 CPUs the watcher is a
+// backstop, so the historical 100µs cadence holds. Without active
+// polling (noIdlePolling — mpi.Config.NoIdlePolling, i.e. the idle hook
+// disabled) or on smaller hosts the watcher IS the progress engine, and
+// a 50µs cadence halves the worst-case reaction to an event that lands
+// just after a timeout expired, without measurable idle cost (the
+// watcher sleeps inside the blocking receive either way).
+// Config.BlockingCheck (mpi.Config.WatcherCheck) overrides it.
+func AutoBlockingCheck(noIdlePolling bool) time.Duration {
+	if !noIdlePolling && runtime.NumCPU() >= 4 {
+		return 100 * time.Microsecond
+	}
+	return 50 * time.Microsecond
 }
 
 // Stats counts server activity.
@@ -119,7 +138,9 @@ type Server struct {
 // triggers according to cfg.
 func NewServer(sch *sched.Scheduler, cfg Config) *Server {
 	if cfg.BlockingCheck <= 0 {
-		cfg.BlockingCheck = 100 * time.Microsecond
+		// With the idle hook off the watcher is the progress engine —
+		// the NoIdlePolling configuration — so the cadence tightens.
+		cfg.BlockingCheck = AutoBlockingCheck(!cfg.EnableIdleHook)
 	}
 	s := &Server{cfg: cfg, sch: sch, stop: make(chan struct{})}
 	s.tl = sched.NewTasklet("piom.progress", func(core topo.CoreID) {

@@ -175,6 +175,14 @@ func (s *Scheduler) popTasklet() *Tasklet {
 
 // worker is the per-core loop.
 func (s *Scheduler) worker(core topo.CoreID) {
+	// One reusable timer per worker for idlePhase's timed waits: a
+	// time.After there would allocate a fresh timer every 100µs on
+	// every idle core, a steady background churn the zero-allocation
+	// hot path would drown in.
+	idleTimer := time.NewTimer(time.Hour)
+	if !idleTimer.Stop() {
+		<-idleTimer.C
+	}
 	defer s.wg.Done()
 	for {
 		select {
@@ -207,7 +215,7 @@ func (s *Scheduler) worker(core topo.CoreID) {
 		}
 
 		// 3. Idle: run the PIOMan hook (busy wait), else back off.
-		worked := s.idlePhase(core)
+		worked := s.idlePhase(core, idleTimer)
 		if !worked {
 			// Nothing to do at all: yield so the host isn't saturated
 			// when the engine is quiescent.
@@ -218,11 +226,24 @@ func (s *Scheduler) worker(core topo.CoreID) {
 
 // idlePhase busy-polls the idle hook for up to cfg.IdleSpin, returning
 // early if a tasklet or thread shows up. Reports whether any hook call did
-// work.
-func (s *Scheduler) idlePhase(core topo.CoreID) bool {
+// work. idleTimer is the worker's reusable timer; idlePhase leaves it
+// stopped and drained.
+func (s *Scheduler) idlePhase(core topo.CoreID, idleTimer *time.Timer) bool {
 	hp := s.idleHook.Load()
 	if hp == nil {
 		// No hook (sequential mode): wait for work without burning CPU.
+		idleTimer.Reset(100 * time.Microsecond)
+		defer func() {
+			// The timer is owned by this goroutine, so a stop plus
+			// non-blocking drain leaves it clean for the next Reset
+			// whether or not it fired during the select.
+			if !idleTimer.Stop() {
+				select {
+				case <-idleTimer.C:
+				default:
+				}
+			}
+		}()
 		select {
 		case th := <-s.runq:
 			s.nThreads.Add(1)
@@ -232,7 +253,7 @@ func (s *Scheduler) idlePhase(core topo.CoreID) bool {
 			return true
 		case <-s.stop:
 			return true
-		case <-time.After(100 * time.Microsecond):
+		case <-idleTimer.C:
 			return true // timed poll of the queues counts as progress
 		}
 	}

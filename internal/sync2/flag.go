@@ -11,21 +11,27 @@ import (
 // microseconds in the engine) and then fall back to a channel so that long
 // waits do not burn a core.
 type Flag struct {
-	done atomic.Bool
-	ch   chan struct{}
-	init atomic.Bool
-	mu   SpinLock
+	done    atomic.Bool
+	settled atomic.Bool
+	mu      SpinLock
+	ch      chan struct{} // created by the first blocked waiter; guarded by mu
+	fired   bool          // ch closed; guarded by mu
 }
 
-// channel lazily allocates the notification channel.
+// channel returns the notification channel, creating it on first use —
+// which only happens when a waiter actually blocks. If the flag is
+// already set by then, the channel is closed immediately so the waiter
+// falls straight through. Completions that nobody blocks on (the common
+// case: waits finish in their spin phase) never allocate a channel,
+// keeping Set allocation-free on the hot path.
 func (f *Flag) channel() chan struct{} {
-	if f.init.Load() {
-		return f.ch
-	}
 	f.mu.Lock()
-	if !f.init.Load() {
+	if f.ch == nil {
 		f.ch = make(chan struct{})
-		f.init.Store(true)
+	}
+	if f.done.Load() && !f.fired {
+		close(f.ch)
+		f.fired = true
 	}
 	ch := f.ch
 	f.mu.Unlock()
@@ -33,16 +39,33 @@ func (f *Flag) channel() chan struct{} {
 }
 
 // Set marks the flag done and wakes all waiters. Setting an already-set
-// flag is a no-op, so multiple detectors may race safely.
+// flag is a no-op, so multiple detectors may race safely. The done/fired
+// split closes the channel exactly once no matter how Set interleaves
+// with a blocking waiter's channel creation: whichever of the two runs
+// second under mu observes both conditions and performs the close.
 func (f *Flag) Set() {
 	if f.done.Swap(true) {
 		return
 	}
-	close(f.channel())
+	f.mu.Lock()
+	if f.ch != nil && !f.fired {
+		close(f.ch)
+		f.fired = true
+	}
+	f.mu.Unlock()
+	f.settled.Store(true)
 }
 
 // IsSet reports whether Set has been called.
 func (f *Flag) IsSet() bool { return f.done.Load() }
+
+// Settled reports that the winning Set call has fully finished — the
+// wakeup channel is closed, no completer is still inside Set. A waiter
+// that saw IsSet may race the tail of Set by a few instructions, so
+// anything that recycles the memory holding a Flag (the engine's
+// request freelists) must wait for Settled first; it follows IsSet
+// within nanoseconds.
+func (f *Flag) Settled() bool { return f.settled.Load() }
 
 // Wait blocks until the flag is set.
 func (f *Flag) Wait() {

@@ -1,0 +1,23 @@
+package sync2
+
+// CompactQueue reclaims the consumed prefix of a head-indexed FIFO —
+// the queue shape the transports' inboxes and the optimizer's waiting
+// lists share: push appends, pop nils q[head] and advances head, and
+// the slice resets only when the queue fully drains. Under sustained
+// backlog that reset never fires and the dead prefix would otherwise
+// ride along through every append-reallocation, growing memory with
+// total throughput instead of live depth. Call it before appending
+// (under the queue's lock); it slides the live tail down once the dead
+// prefix dominates, clearing the vacated slots so no pointer outlives
+// its pop. Returns the (possibly rebased) slice and head.
+func CompactQueue[T any](q []T, head int) ([]T, int) {
+	if head == 0 || head < len(q)-head || head < 32 {
+		return q, head
+	}
+	n := copy(q, q[head:])
+	var zero T
+	for i := n; i < len(q); i++ {
+		q[i] = zero
+	}
+	return q[:n], 0
+}

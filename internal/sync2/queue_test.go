@@ -1,0 +1,51 @@
+package sync2
+
+import "testing"
+
+func TestCompactQueueReclaimsDeadPrefix(t *testing.T) {
+	// Drive the head-index FIFO pattern with the consumer permanently
+	// one element behind, so the queue never fully drains and the
+	// drain-time reset never fires. Compaction must keep the backing
+	// array bounded by live depth, not total throughput.
+	var q []int
+	head := 0
+	for i := 0; i < 100_000; i++ {
+		q, head = CompactQueue(q, head)
+		q = append(q, i)
+		if len(q)-head > 1 { // pop all but the newest
+			q[head] = 0
+			head++
+		}
+	}
+	if cap(q) > 1024 {
+		t.Fatalf("backing array grew to cap %d under a depth-1 workload", cap(q))
+	}
+	if live := len(q) - head; live != 1 {
+		t.Fatalf("workload invariant broken: %d live elements", live)
+	}
+}
+
+func TestCompactQueuePreservesOrder(t *testing.T) {
+	var q []int
+	head := 0
+	next := 0 // next value to pop
+	for i := 0; i < 1000; i++ {
+		q, head = CompactQueue(q, head)
+		q = append(q, i)
+		if i%3 != 0 { // pop two of every three pushes
+			if got := q[head]; got != next {
+				t.Fatalf("pop %d: got %d", next, got)
+			}
+			q[head] = 0
+			head++
+			next++
+		}
+	}
+	for head < len(q) {
+		if got := q[head]; got != next {
+			t.Fatalf("drain pop %d: got %d", next, got)
+		}
+		head++
+		next++
+	}
+}

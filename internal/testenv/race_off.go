@@ -1,0 +1,9 @@
+//go:build !race
+
+package testenv
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-regression tests skip themselves under it: the
+// detector instruments allocations and synchronization, so alloc counts
+// stop meaning anything there.
+const RaceEnabled = false

@@ -71,6 +71,13 @@ type Packet struct {
 	// WireLen is the size charged to the link; for RTS/CTS it is a small
 	// header even though Payload may be nil.
 	WireLen int
+	// Pooled marks Payload as borrowed from the fabric buffer pool
+	// (internal/fabric/bufpool). It is local bookkeeping, never encoded
+	// on the wire: a transport that decodes an inbound frame into a
+	// pooled buffer sets it, and the consumer that is done with the
+	// packet hands buffer and struct back through fabric.ReleasePacket.
+	// Packets left unreleased are simply reclaimed by the GC.
+	Pooled bool
 	// arriveAt is when the packet becomes visible at the destination.
 	arriveAt time.Time
 }
@@ -142,10 +149,14 @@ type link struct {
 }
 
 // inbox is the arrival queue of one node: a time-ordered list protected by
-// a spinlock plus a notification channel for blocking receivers.
+// a spinlock plus a notification channel for blocking receivers. The
+// head index (rather than re-slicing pkts[1:]) keeps the backing
+// array's capacity across push/pop cycles, so steady traffic recycles
+// one array instead of reallocating per packet.
 type inbox struct {
 	mu      sync2.SpinLock
 	pkts    []*Packet // kept sorted by arriveAt (append is nearly sorted)
+	head    int
 	notify  chan struct{}
 	dropped int
 }
@@ -156,11 +167,12 @@ func newInbox() *inbox {
 
 func (ib *inbox) push(p *Packet) {
 	ib.mu.Lock()
+	ib.pkts, ib.head = sync2.CompactQueue(ib.pkts, ib.head)
 	// Insertion sort from the back: arrivals are almost always appended in
 	// order because links serialize, so this is O(1) amortized.
 	i := len(ib.pkts)
 	ib.pkts = append(ib.pkts, p)
-	for i > 0 && ib.pkts[i-1].arriveAt.After(p.arriveAt) {
+	for i > ib.head && ib.pkts[i-1].arriveAt.After(p.arriveAt) {
 		ib.pkts[i] = ib.pkts[i-1]
 		i--
 	}
@@ -176,11 +188,15 @@ func (ib *inbox) push(p *Packet) {
 func (ib *inbox) pop(now time.Time) *Packet {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	if len(ib.pkts) == 0 || ib.pkts[0].arriveAt.After(now) {
+	if ib.head == len(ib.pkts) || ib.pkts[ib.head].arriveAt.After(now) {
 		return nil
 	}
-	p := ib.pkts[0]
-	ib.pkts = ib.pkts[1:]
+	p := ib.pkts[ib.head]
+	ib.pkts[ib.head] = nil // the receiver owns it now; drop the queue's alias
+	ib.head++
+	if ib.head == len(ib.pkts) {
+		ib.pkts, ib.head = ib.pkts[:0], 0
+	}
 	return p
 }
 
@@ -189,10 +205,10 @@ func (ib *inbox) pop(now time.Time) *Packet {
 func (ib *inbox) earliest() (time.Time, bool) {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	if len(ib.pkts) == 0 {
+	if ib.head == len(ib.pkts) {
 		return time.Time{}, false
 	}
-	return ib.pkts[0].arriveAt, true
+	return ib.pkts[ib.head].arriveAt, true
 }
 
 // Fabric connects n nodes with a full mesh of directed links.
@@ -346,12 +362,14 @@ func (f *Fabric) BlockingRecv(dst int, timeout time.Duration) *Packet {
 		if wait <= 0 {
 			continue
 		}
-		t := time.NewTimer(wait)
+		t := sync2.GetTimer(wait)
+		fired := false
 		select {
 		case <-ib.notify:
 		case <-t.C:
+			fired = true
 		}
-		t.Stop()
+		sync2.PutTimer(t, fired)
 	}
 }
 
