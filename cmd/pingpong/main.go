@@ -12,9 +12,8 @@
 // With -listen, -connect or -shm it instead runs the full engine stack
 // between two real OS processes, exercising the eager protocol and the
 // RTS/CTS rendezvous protocol on a genuine transport. These flags replace
-// the simulated rail set entirely with a single real rail, so they cannot
-// be combined with -rails — and they select mutually exclusive
-// transports, so they cannot be combined with each other.
+// the simulated rail set entirely with real rails, so they cannot be
+// combined with -rails.
 //
 // Over TCP (fabric/tcpfab):
 //
@@ -35,12 +34,26 @@
 // either rank may start first — ring files are created by whoever
 // arrives first and adopted by the other.
 //
-// With -json it instead runs the in-process three-backend benchmark —
+// Combining the TCP flags with -shm bonds BOTH real transports into one
+// world — the paper's multirail configuration, MX + shared memory, with
+// real fabrics standing in — and runs the sweep three times: data forced
+// over the TCP rail alone, over the shm rail alone (these two measure
+// each rail's actual bandwidth and reseed the striping weights), then
+// striped across both by the multirail strategy. At the rendezvous sizes
+// the bonded sweep must beat the best single rail, or the process exits 3:
+//
+//	pingpong -listen 127.0.0.1:9777 -shm /tmp/pp-rings    # rank 0
+//	pingpong -connect 127.0.0.1:9777 -shm /tmp/pp-rings   # rank 1
+//
+// With -json it runs the in-process three-backend benchmark —
 // raw-endpoint eager round trips over the wire simulator, loopback TCP
 // and shared-memory rings — and writes BENCH_pingpong.json rows
 // (backend, size, RTT p50/p99, allocs/op), the file CI tracks per build:
 //
 //	pingpong -json BENCH_pingpong.json
+//
+// In bonded mode, -json instead merges the bonded rows (backends "tcp",
+// "shm" and "multirail" at the rendezvous sizes) into that file on rank 0.
 package main
 
 import (
@@ -65,15 +78,16 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts")
 	max := flag.Int("max", 1<<20, "largest message size")
 	rails := flag.String("rails", "mx,shm", "simulated rails for the default sweep: \"mx\" or \"mx,shm\"; incompatible with -listen/-connect/-shm, which replace the simulated rails with one real transport")
-	listen := flag.String("listen", "", "run as rank 0 over real TCP, accepting on this address (replaces the simulated -rails set; excludes -connect/-shm)")
-	connect := flag.String("connect", "", "run as rank 1 over real TCP, dialing rank 0 at this address (replaces the simulated -rails set; excludes -listen/-shm)")
-	shmDir := flag.String("shm", "", "run one rank over real shared memory, ring files in this fresh directory (replaces the simulated -rails set; excludes -listen/-connect; needs -rank)")
-	rank := flag.Int("rank", 0, "with -shm: this process's rank (0 sweeps, 1 echoes)")
-	jsonPath := flag.String("json", "", "write the three-backend (sim, tcp loopback, shm) RTT/allocation rows to this file and exit; excludes every other mode flag")
+	listen := flag.String("listen", "", "run as rank 0 over real TCP, accepting on this address (replaces the simulated -rails set; with -shm too, bonds both transports into one multirail world)")
+	connect := flag.String("connect", "", "run as rank 1 over real TCP, dialing rank 0 at this address (replaces the simulated -rails set; with -shm too, bonds both transports into one multirail world)")
+	shmDir := flag.String("shm", "", "run over real shared memory, ring files in this fresh directory (replaces the simulated -rails set; alone it needs -rank; with -listen/-connect it bonds shm with TCP)")
+	rank := flag.Int("rank", 0, "with -shm alone: this process's rank (0 sweeps, 1 echoes)")
+	jsonPath := flag.String("json", "", "alone: write the three-backend (sim, tcp loopback, shm) RTT/allocation rows to this file and exit; in bonded mode: merge the bonded tcp/shm/multirail rows into this file (rank 0)")
 	flag.Parse()
 	exp.Quick = *quick
 
 	real := *listen != "" || *connect != "" || *shmDir != ""
+	bonded := *shmDir != "" && (*listen != "" || *connect != "")
 	rankSet, railsSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -83,23 +97,20 @@ func main() {
 			railsSet = true
 		}
 	})
-	if *jsonPath != "" {
+	if *jsonPath != "" && !bonded {
 		if real || rankSet || railsSet {
-			fail("-json runs its own in-process three-backend benchmark and cannot be combined with -listen/-connect/-shm/-rank/-rails")
+			fail("-json runs its own in-process three-backend benchmark; outside bonded mode (-listen/-connect together with -shm) it cannot be combined with -listen/-connect/-shm/-rank/-rails")
 		}
 		os.Exit(runBenchJSON(*jsonPath, *quick))
-	}
-	if *shmDir != "" && (*listen != "" || *connect != "") {
-		fail("-shm selects the shared-memory transport and cannot be combined with -listen/-connect (the TCP transport); pick one transport per process")
 	}
 	if *listen != "" && *connect != "" {
 		fail("-listen and -connect are mutually exclusive: one process accepts, the other dials")
 	}
 	if real && railsSet {
-		fail("-rails configures the simulated sweep; -listen/-connect/-shm replace the simulated rails with one real transport, so the flags cannot be combined")
+		fail("-rails configures the simulated sweep; -listen/-connect/-shm replace the simulated rails with real transports, so the flags cannot be combined")
 	}
-	if rankSet && *shmDir == "" {
-		fail("-rank only selects a role under -shm (TCP infers the rank: -listen is 0, -connect is 1)")
+	if rankSet && (*shmDir == "" || bonded) {
+		fail("-rank only selects a role under -shm alone (TCP and bonded runs infer the rank: -listen is 0, -connect is 1)")
 	}
 	if *shmDir != "" && (*rank < 0 || *rank > 1) {
 		fail(fmt.Sprintf("-rank %d: the shared-memory pingpong has ranks 0 and 1", *rank))
@@ -113,6 +124,9 @@ func main() {
 		fail(fmt.Sprintf("-rails %q: supported rail sets are \"mx\" and \"mx,shm\"", *rails))
 	}
 
+	if bonded {
+		os.Exit(runBonded(*listen, *connect, *shmDir, *quick, *jsonPath))
+	}
 	if real {
 		os.Exit(runReal(*listen, *connect, *shmDir, *rank, *quick))
 	}
@@ -225,6 +239,9 @@ func runReal(listen, connect, shmDir string, shmRank int, quick bool) int {
 	return 0
 }
 
+// maxRealSize is the echo buffer bound of the single-transport sweep.
+func maxRealSize() int { return realSizes[len(realSizes)-1] }
+
 // runSweep drives the warm-up plus timed eager/rendezvous exchanges on a
 // two-rank distributed world and reports success. Rank 0 sweeps and
 // prints; rank 1 echoes until the bye marker.
@@ -234,7 +251,7 @@ func runSweep(w *mpi.World, rank, iters, eagerMax int) bool {
 		if rank == 1 {
 			// Speaking first gives rank 0 its return path.
 			p.Send(0, tagHello, []byte("hello"))
-			echoUntilBye(p)
+			echoUntilBye(p, maxRealSize(), nil)
 			return
 		}
 		var b [8]byte
@@ -273,9 +290,11 @@ func runSweep(w *mpi.World, rank, iters, eagerMax int) bool {
 
 // echoUntilBye bounces pings back until the bye marker arrives. The
 // request recycles through the engine freelist each turn (results are
-// read out before Release), so the echo loop allocates nothing.
-func echoUntilBye(p *mpi.Proc) {
-	buf := make([]byte, realSizes[len(realSizes)-1])
+// read out before Release), so the echo loop allocates nothing. onOther,
+// when non-nil, gets first claim on every non-bye tag (the bonded mode's
+// phase markers) — a tag it reports consumed is not echoed.
+func echoUntilBye(p *mpi.Proc, bufSize int, onOther func(tag int, payload []byte) bool) {
+	buf := make([]byte, bufSize)
 	for {
 		r := p.Irecv(0, core.AnyTag, buf)
 		p.WaitRecv(r)
@@ -283,6 +302,9 @@ func echoUntilBye(p *mpi.Proc) {
 		r.Release()
 		if tag == tagBye {
 			return
+		}
+		if onOther != nil && onOther(tag, buf[:n]) {
+			continue
 		}
 		p.Send(0, tagPong, buf[:n])
 	}

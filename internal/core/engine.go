@@ -115,7 +115,12 @@ type Engine struct {
 	posted     []*RecvReq
 	unexpected []*unexMsg
 	rdvSend    map[uint64]*SendReq
-	rdvRecv    map[uint64]*rdvRecvState
+	// rdvRecv is keyed by (sender, msgID): msgIDs are only unique per
+	// origin engine, so two senders' concurrent rendezvous to this node
+	// routinely carry the same msgID — and multirail's failover resends
+	// make stray DATA chunks a designed occurrence, so the composite key
+	// is load-bearing, not defensive.
+	rdvRecv map[rdvKey]*rdvRecvState
 
 	// Stream ordering: the wire interleaves small packets past bulk
 	// transfers, so matchable packets (eager data and RTS) carry a
@@ -153,6 +158,11 @@ type Engine struct {
 	biglock sync2.SpinLock
 
 	ctrlHandler atomic.Pointer[func(*wire.Packet)]
+
+	// railFilter, when non-empty, restricts rendezvous data placement to
+	// the named rail (ForceDataRail) — a measurement hook, not a routing
+	// policy.
+	railFilter atomic.Pointer[string]
 
 	sendSeq atomic.Uint64
 	msgID   atomic.Uint64
@@ -193,7 +203,7 @@ func New(node int, sch *sched.Scheduler, srv *piom.Server, rails []*nic.Driver, 
 		srv:      srv,
 		rails:    rails,
 		rdvSend:  make(map[uint64]*SendReq),
-		rdvRecv:  make(map[uint64]*rdvRecvState),
+		rdvRecv:  make(map[rdvKey]*rdvRecvState),
 		orderOut: make(map[int]uint64),
 		orderIn:  make(map[int]uint64),
 		stash:    make(map[int]map[uint64]*stashedEv),
@@ -249,6 +259,26 @@ func (e *Engine) SetCtrlHandler(h func(*wire.Packet)) {
 // defaultRail returns the inter-node rail.
 func (e *Engine) defaultRail() *nic.Driver { return e.rails[0] }
 
+// Rails exposes the engine's rail drivers in registration order
+// (rails[0] is the default inter-node rail). Callers must treat the
+// slice as read-only; it exists so launchers and benchmarks can inspect
+// per-rail stats and retune striping weights (Driver.SetStripeWeight)
+// without the engine re-exporting every driver knob.
+func (e *Engine) Rails() []*nic.Driver { return e.rails }
+
+// ForceDataRail restricts rendezvous data placement to the named rail
+// until reset with an empty name. It is a measurement hook: a bonded
+// world can sweep each rail's solo bandwidth — and seed the striping
+// weights from what it measured — without tearing the transports down
+// between phases. A name matching no rail leaves placement unchanged.
+func (e *Engine) ForceDataRail(name string) {
+	if name == "" {
+		e.railFilter.Store(nil)
+		return
+	}
+	e.railFilter.Store(&name)
+}
+
 // railFor picks the rail for traffic to dst: self traffic prefers a
 // shared-memory rail when one is configured.
 func (e *Engine) railFor(dst int) *nic.Driver {
@@ -266,9 +296,14 @@ func (e *Engine) railFor(dst int) *nic.Driver {
 // not completed; callers quiesce application traffic first (the MPI
 // layer's World.Close runs after every spawned thread joined). Sends
 // after Close are dropped and counted by the drivers.
+//
+// Rails close in reverse registration order: secondary (bonded) rails
+// first, the default rail last. The default rail carries the protocols'
+// control traffic — the closer's final ack completes the peer's last
+// request — so its Close drain must be the last thing holding the door.
 func (e *Engine) Close() {
-	for _, r := range e.rails {
-		r.Close()
+	for i := len(e.rails) - 1; i >= 0; i-- {
+		e.rails[i].Close()
 	}
 }
 

@@ -485,6 +485,237 @@ func TestMultirailSplitsLargeData(t *testing.T) {
 	}
 }
 
+// TestMultirailIsNotFifoAlias pins the bugfix for the strategy table:
+// "multirail" used to resolve to a renamed fifoStrategy, silently running
+// every multirail experiment on FIFO placement. It must resolve to the
+// dedicated implementation, and names the table does not know must stay
+// a hard error rather than degrade to some default.
+func TestMultirailIsNotFifoAlias(t *testing.T) {
+	s := newStrategy("multirail")
+	if _, ok := s.(*multirailStrategy); !ok {
+		t.Fatalf("newStrategy(\"multirail\") = %T, want *multirailStrategy", s)
+	}
+	if _, ok := newStrategy("fifo").(*fifoStrategy); !ok {
+		t.Fatal("newStrategy(\"fifo\") is not the fifo implementation")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown strategy name did not panic")
+		}
+	}()
+	newStrategy("multi-rail") // a plausible typo must fail loudly
+}
+
+// TestMultirailWeightProportion: striping must follow the rails' declared
+// bandwidth weights, not split evenly — that is the entire point of
+// bonding a fast and a slow rail.
+func TestMultirailWeightProportion(t *testing.T) {
+	rails := func(int) []nic.Params {
+		a := fastRail()
+		a.StripeWeight = 3000
+		b := fastRail()
+		b.Name = "tcp2"
+		b.StripeWeight = 1000
+		return []nic.Params{a, b}
+	}
+	c := newCluster(t, 2, withStrategy("multirail"), withRails(rails))
+	const size = 512 << 10
+	data := payload(size, 9)
+	buf := make([]byte, size)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.run(0, func(th *sched.Thread) {
+			s := c.Nodes[0].Eng.Isend(1, 1, data)
+			c.Nodes[0].Eng.WaitSend(s, th)
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		c.run(1, func(th *sched.Thread) {
+			r := c.Nodes[1].Eng.Irecv(0, 1, buf)
+			c.Nodes[1].Eng.WaitRecv(r, th)
+		})
+	}()
+	wg.Wait()
+	if !bytes.Equal(buf, data) {
+		t.Fatal("weighted multirail payload corrupted")
+	}
+	a := c.Nodes[0].Eng.rails[0].Stats().DataBytes
+	b := c.Nodes[0].Eng.rails[1].Stats().DataBytes
+	if a+b != size {
+		t.Fatalf("rails carried %d bytes total, want %d", a+b, size)
+	}
+	// 3:1 weights with MTU-granular chunking: the heavy rail must carry
+	// roughly three quarters of the payload.
+	if ratio := float64(a) / float64(size); ratio < 0.70 || ratio > 0.80 {
+		t.Fatalf("heavy rail carried %.0f%% of the payload, want ~75%%", 100*ratio)
+	}
+}
+
+// TestMultirailChunksRespectMTU: each striped span must go out as
+// MTU-bounded DATA packets, not one arbitrarily large frame — real
+// transports refuse frames above their ceiling.
+func TestMultirailChunksRespectMTU(t *testing.T) {
+	rails := func(int) []nic.Params {
+		a := fastRail()
+		b := fastRail()
+		b.Name = "tcp2"
+		return []nic.Params{a, b}
+	}
+	c := newCluster(t, 2, withStrategy("multirail"), withRails(rails))
+	const size = 512 << 10 // 256 KiB per rail at equal weights, MTU 32 KiB
+	data := payload(size, 4)
+	buf := make([]byte, size)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.run(0, func(th *sched.Thread) {
+			s := c.Nodes[0].Eng.Isend(1, 1, data)
+			c.Nodes[0].Eng.WaitSend(s, th)
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		c.run(1, func(th *sched.Thread) {
+			r := c.Nodes[1].Eng.Irecv(0, 1, buf)
+			c.Nodes[1].Eng.WaitRecv(r, th)
+		})
+	}()
+	wg.Wait()
+	if !bytes.Equal(buf, data) {
+		t.Fatal("multirail payload corrupted")
+	}
+	for i, rail := range c.Nodes[0].Eng.rails {
+		st := rail.Stats()
+		if st.DataSent == 0 {
+			t.Errorf("rail %d carried no data chunks", i)
+			continue
+		}
+		mtu := rail.MTU()
+		if min := uint64(st.DataBytes) / st.DataSent; min > uint64(mtu) {
+			t.Errorf("rail %d averaged %d B per DATA packet, above its %d B MTU", i, min, mtu)
+		}
+		want := (st.DataBytes + uint64(mtu) - 1) / uint64(mtu)
+		if st.DataSent != want {
+			t.Errorf("rail %d sent %d DATA packets for %d bytes, want %d MTU-sized chunks",
+				i, st.DataSent, st.DataBytes, want)
+		}
+	}
+}
+
+// TestMultirailExcludesZeroWeightRails: a rail with no stripe weight —
+// the simulated intra-node SHM channel — must never carry cross-node
+// rendezvous chunks, even under the multirail strategy.
+func TestMultirailExcludesZeroWeightRails(t *testing.T) {
+	rails := func(int) []nic.Params { return []nic.Params{fastRail(), nic.SHMParams()} }
+	c := newCluster(t, 2, withStrategy("multirail"), withRails(rails))
+	const size = 512 << 10
+	data := payload(size, 3)
+	buf := make([]byte, size)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.run(0, func(th *sched.Thread) {
+			s := c.Nodes[0].Eng.Isend(1, 1, data)
+			c.Nodes[0].Eng.WaitSend(s, th)
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		c.run(1, func(th *sched.Thread) {
+			r := c.Nodes[1].Eng.Irecv(0, 1, buf)
+			c.Nodes[1].Eng.WaitRecv(r, th)
+		})
+	}()
+	wg.Wait()
+	if !bytes.Equal(buf, data) {
+		t.Fatal("multirail payload corrupted")
+	}
+	if got := c.Nodes[0].Eng.rails[1].Stats().DataSent; got != 0 {
+		t.Fatalf("zero-weight shm rail carried %d cross-node data chunks", got)
+	}
+}
+
+// TestConcurrentRendezvousFromTwoSenders pins the rendezvous matching
+// key: msgIDs are allocated per origin engine, so ranks 1 and 2 both
+// number their first rendezvous msgID 1 — the receiver must key its
+// handshake state by (sender, msgID), or one transfer overwrites the
+// other's state (permanent hang) and DATA chunks cross buffers.
+func TestConcurrentRendezvousFromTwoSenders(t *testing.T) {
+	c := newCluster(t, 3)
+	const size = 96 << 10 // rendezvous on the fast rail (EagerMax 32 KiB)
+	msg1, msg2 := payload(size, 0x11), payload(size, 0x22)
+	buf1, buf2 := make([]byte, size), make([]byte, size)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		c.run(0, func(th *sched.Thread) {
+			r1 := c.Nodes[0].Eng.Irecv(1, 1, buf1)
+			r2 := c.Nodes[0].Eng.Irecv(2, 2, buf2)
+			c.Nodes[0].Eng.WaitRecv(r1, th)
+			c.Nodes[0].Eng.WaitRecv(r2, th)
+		})
+	}()
+	for sender := 1; sender <= 2; sender++ {
+		sender := sender
+		go func() {
+			defer wg.Done()
+			c.run(sender, func(th *sched.Thread) {
+				data := msg1
+				if sender == 2 {
+					data = msg2
+				}
+				s := c.Nodes[sender].Eng.Isend(0, sender, data)
+				c.Nodes[sender].Eng.WaitSend(s, th)
+			})
+		}()
+	}
+	wg.Wait()
+	if !bytes.Equal(buf1, msg1) {
+		t.Error("rank 1's rendezvous corrupted by rank 2's identical msgID")
+	}
+	if !bytes.Equal(buf2, msg2) {
+		t.Error("rank 2's rendezvous corrupted by rank 1's identical msgID")
+	}
+}
+
+// TestRdvSpanReassembly exercises the receive-side completion barrier
+// directly: chunks arriving in any order, overlapping (a fallback resend
+// of a span that actually arrived), or duplicated must complete the
+// message exactly once, when every byte is covered.
+func TestRdvSpanReassembly(t *testing.T) {
+	st := &rdvRecvState{msgLen: 100}
+	if n := st.addSpan(60, 80); n != 20 {
+		t.Fatalf("first span covered %d bytes, want 20", n)
+	}
+	if n := st.addSpan(0, 30); n != 30 {
+		t.Fatalf("disjoint span covered %d, want 30", n)
+	}
+	if n := st.addSpan(60, 80); n != 0 {
+		t.Fatalf("duplicate span covered %d, want 0", n)
+	}
+	if n := st.addSpan(20, 70); n != 30 {
+		t.Fatalf("overlapping bridge covered %d, want 30", n)
+	}
+	if st.got != 80 {
+		t.Fatalf("covered %d bytes, want 80", st.got)
+	}
+	if n := st.addSpan(80, 120); n != 20 {
+		t.Fatalf("tail span covered %d, want 20 (clamped to msgLen)", n)
+	}
+	if st.got != st.msgLen {
+		t.Fatalf("full coverage reports %d/%d", st.got, st.msgLen)
+	}
+	if len(st.covered) != 1 {
+		t.Fatalf("fully merged state holds %d spans, want 1", len(st.covered))
+	}
+}
+
 func TestSelfSendViaShm(t *testing.T) {
 	rails := func(int) []nic.Params { return []nic.Params{fastRail(), nic.SHMParams()} }
 	c := newCluster(t, 2, withRails(rails))

@@ -26,13 +26,81 @@ type unexMsg struct {
 	rail   *nic.Driver
 }
 
-// rdvRecvState tracks an in-flight rendezvous reception: data chunks
-// (possibly split over several rails) count down remaining.
+// rdvRecvState tracks an in-flight rendezvous reception — the receive
+// half of the multirail completion barrier. Chunks may arrive out of
+// order and over different rails, and the sender's rail-failure fallback
+// may re-stripe a span whose loss was only suspected (loss counters are
+// an upper bound), so progress is tracked as covered byte intervals, not
+// a bare countdown: overlapping or duplicate chunks contribute only
+// their newly covered bytes, and the request completes exactly when the
+// intervals cover the whole message.
 type rdvRecvState struct {
-	req       *RecvReq
-	src       int
-	msgLen    int
-	remaining int
+	req    *RecvReq
+	src    int
+	msgLen int
+	// covered holds the received byte ranges, disjoint and sorted. The
+	// common single-chunk case never grows it past one entry.
+	covered []chunkSpan
+	// got is the total byte count covered.
+	got int
+}
+
+// chunkSpan is one contiguous byte range [off, end) of a rendezvous
+// payload — a unit of multirail striping and reassembly.
+type chunkSpan struct {
+	off, end int
+}
+
+// rdvKey identifies one in-flight rendezvous reception. The sender is
+// part of the key because msgIDs are allocated per origin engine: rank 1
+// and rank 2 both number their first rendezvous msgID 1.
+type rdvKey struct {
+	src   int
+	msgID uint64
+}
+
+// addSpan merges [off, end) into the covered set and returns how many of
+// its bytes were new. Chunk counts are small (payload/MTU per rail), so
+// linear insertion is cheap.
+func (st *rdvRecvState) addSpan(off, end int) int {
+	if end > st.msgLen {
+		end = st.msgLen
+	}
+	if end <= off {
+		return 0
+	}
+	// Find the insertion window: every span overlapping or adjacent to
+	// [off, end) collapses into one.
+	i := 0
+	for i < len(st.covered) && st.covered[i].end < off {
+		i++
+	}
+	j := i
+	merged := chunkSpan{off: off, end: end}
+	for j < len(st.covered) && st.covered[j].off <= end {
+		if st.covered[j].off < merged.off {
+			merged.off = st.covered[j].off
+		}
+		if st.covered[j].end > merged.end {
+			merged.end = st.covered[j].end
+		}
+		j++
+	}
+	newBytes := merged.end - merged.off
+	for k := i; k < j; k++ {
+		newBytes -= st.covered[k].end - st.covered[k].off
+	}
+	if i == j {
+		// Disjoint: open a slot at i.
+		st.covered = append(st.covered, chunkSpan{})
+		copy(st.covered[i+1:], st.covered[i:])
+	} else {
+		// Collapsed [i, j) into one entry; close the gap.
+		st.covered = append(st.covered[:i+1], st.covered[j:]...)
+	}
+	st.covered[i] = merged
+	st.got += newBytes
+	return newBytes
 }
 
 // railHeader builds the protocol header for a packet.
@@ -140,7 +208,17 @@ func (e *Engine) progressOne(core topo.CoreID) bool {
 // BlockingWait implements the blocking-call fallback (§3.2): it parks on
 // the default rail until a packet lands, processes it, then runs one full
 // progress pass for any follow-up work (e.g. answering an RTS).
+//
+// Endpoints only block on their own sockets, so in a bonded world a
+// chunk can land on a secondary rail while the watcher sleeps on the
+// default one. A full progress pass up front drains every rail's
+// arrivals first, which bounds secondary-rail latency by the watcher
+// cadence instead of by the next default-rail packet — the rail-selection
+// gap that made bonded rendezvous hang before multirail went real.
 func (e *Engine) BlockingWait(timeout time.Duration) bool {
+	if e.Progress(-1) {
+		return true
+	}
 	rail := e.defaultRail()
 	p := rail.BlockingPoll(timeout)
 	if p == nil {
@@ -438,7 +516,7 @@ func (e *Engine) handleRTS(rail *nic.Driver, core topo.CoreID, ev *stashedEv) {
 		return
 	}
 	r.gotTag = ev.tag
-	e.rdvRecv[ev.msgID] = &rdvRecvState{req: r, src: ev.src, msgLen: ev.msgLen, remaining: ev.msgLen}
+	e.rdvRecv[rdvKey{src: ev.src, msgID: ev.msgID}] = &rdvRecvState{req: r, src: ev.src, msgLen: ev.msgLen}
 	e.qlock.Unlock()
 	rail.SendCTS(railHeader(e.node, ev.src, ev.tag, ev.seq, ev.msgID))
 	if e.tracing() {
@@ -467,7 +545,7 @@ func (e *Engine) handleCTS(core topo.CoreID, p *wire.Packet) {
 	s.req.Complete()
 }
 
-// sendRdvData posts the DATA transfer, split across rails when the
+// sendRdvData posts the DATA transfer, striped across rails when the
 // multirail strategy applies.
 func (e *Engine) sendRdvData(core topo.CoreID, s *SendReq) {
 	h := railHeader(e.node, s.dst, s.tag, s.seq, s.msgID)
@@ -476,35 +554,141 @@ func (e *Engine) sendRdvData(core topo.CoreID, s *SendReq) {
 		e.cfg.Trace.Recordf(trace.KindData, int(core), s.tag, s.Len(), "msgid=%d rails=%d", s.msgID, len(rails))
 	}
 	if len(rails) == 1 {
-		rails[0].SendData(h, 0, s.data)
+		if e.strat.Name() == "multirail" {
+			// Even a collapsed stripe set (one weighted rail left, or a
+			// ForceDataRail phase) keeps multirail's MTU discipline: a
+			// single frame above the rail MTU is exactly what a real
+			// transport's ceiling would refuse.
+			e.sendSpan(rails[0], h, s.data, chunkSpan{off: 0, end: s.Len()})
+		} else {
+			// Other strategies model the classical single-DMA submission;
+			// the simulator's wire does its own fragmenting.
+			rails[0].SendData(h, 0, s.data)
+		}
 		return
 	}
-	chunk := (s.Len() + len(rails) - 1) / len(rails)
+	e.stripeData(h, s.data, rails)
+}
+
+// stripeData is the multirail data placement: the payload splits into
+// one contiguous span per rail, sized proportionally to the rails' live
+// stripe weights, and each span goes out as MTU-bounded DATA chunks on
+// its rail. A rail whose loss counters (SendErrs, LostFrames) moved
+// while its span was submitted is declared failed, and its span is
+// re-striped onto the surviving rails — the failure fallback that keeps
+// a bonded rendezvous completing when one rail dies mid-transfer. With
+// no survivor left the loss simply stays visible in the counters, like
+// any dead-transport send.
+func (e *Engine) stripeData(h nic.Header, data []byte, rails []*nic.Driver) {
+	weights := make([]float64, len(rails))
+	total := 0.0
+	for i, r := range rails {
+		weights[i] = r.StripeWeight()
+		total += weights[i]
+	}
+	if total <= 0 {
+		// No proportions exist — either dataRails fell back to rails
+		// that declare no weight (hand-rolled Params), or every weight
+		// was retuned to zero between selection and here (SetStripeWeight
+		// is a live knob). Split equally rather than collapsing to one
+		// rail: an equal split is what unweighted multirail always meant.
+		for i := range weights {
+			weights[i] = 1
+		}
+		total = float64(len(rails))
+	}
+	spans := make([]chunkSpan, len(rails))
 	off := 0
-	for _, r := range rails {
-		end := off + chunk
-		if end > s.Len() {
-			end = s.Len()
+	for i := range rails {
+		end := off + int(float64(len(data))*(weights[i]/total))
+		if i == len(rails)-1 || end > len(data) {
+			end = len(data)
 		}
-		if end <= off {
-			break
-		}
-		r.SendData(h, off, s.data[off:end])
+		spans[i] = chunkSpan{off: off, end: end}
 		off = end
+	}
+	alive := make([]bool, len(rails))
+	var failed []chunkSpan
+	for i, r := range rails {
+		alive[i] = e.sendSpan(r, h, data, spans[i])
+		if !alive[i] {
+			failed = append(failed, spans[i])
+		}
+	}
+	// Each retry either lands the span or retires another rail, so the
+	// loop is bounded by len(rails) failures.
+	for len(failed) > 0 {
+		best := -1
+		for i, r := range rails {
+			if alive[i] && (best < 0 || r.StripeWeight() > rails[best].StripeWeight()) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		sp := failed[len(failed)-1]
+		failed = failed[:len(failed)-1]
+		if !e.sendSpan(rails[best], h, data, sp) {
+			alive[best] = false
+			failed = append(failed, sp)
+		}
 	}
 }
 
-// dataRails selects the rails carrying a rendezvous payload to dst.
+// sendSpan submits one contiguous span as MTU-bounded DATA chunks on r
+// and reports whether the rail's loss counters stayed quiet across the
+// submission. Detection is necessarily synchronous-best-effort: a real
+// stream can still fail after the frames were accepted, which the
+// counters surface asynchronously (docs/FABRIC.md).
+func (e *Engine) sendSpan(r *nic.Driver, h nic.Header, data []byte, sp chunkSpan) bool {
+	if sp.end <= sp.off {
+		return true
+	}
+	before := r.Stats().SendErrs + r.LostFrames()
+	mtu := r.MTU()
+	for off := sp.off; off < sp.end; off += mtu {
+		end := min(off+mtu, sp.end)
+		r.SendData(h, off, data[off:end])
+	}
+	return r.Stats().SendErrs+r.LostFrames() == before
+}
+
+// dataRails selects the rails carrying a rendezvous payload to dst:
+// normally the destination's single rail; under the multirail strategy,
+// every rail declaring a positive stripe weight once the payload reaches
+// MultirailMin. Weight-gating is what keeps rails that only serve a
+// subset of peers — the simulated intra-node SHM channel — out of
+// cross-node striping, while a real shared-memory rail (nic.ShmParams),
+// whose rings span every rank of the world, participates.
 func (e *Engine) dataRails(dst, size int) []*nic.Driver {
+	if f := e.railFilter.Load(); f != nil {
+		for _, r := range e.rails {
+			if r.Name() == *f {
+				return []*nic.Driver{r}
+			}
+		}
+	}
 	if e.strat.Name() != "multirail" || size < e.cfg.MultirailMin || dst == e.node {
 		return []*nic.Driver{e.railFor(dst)}
 	}
 	var out []*nic.Driver
 	for _, r := range e.rails {
-		if r.Name() == "shm" {
-			continue
+		if r.StripeWeight() > 0 {
+			out = append(out, r)
 		}
-		out = append(out, r)
+	}
+	if len(out) == 0 {
+		// No rail declares a weight at all — hand-rolled Params predating
+		// StripeWeight. Keep the historic behavior (equal-split striping
+		// across the inter-node rails; stripeData treats an all-zero set
+		// as equal weights) instead of silently collapsing the multirail
+		// experiment onto a single rail.
+		for _, r := range e.rails {
+			if r.Name() != "shm" {
+				out = append(out, r)
+			}
+		}
 	}
 	if len(out) == 0 {
 		out = append(out, e.railFor(dst))
@@ -515,23 +699,37 @@ func (e *Engine) dataRails(dst, size int) []*nic.Driver {
 // handleData consumes a rendezvous payload chunk: it lands directly in the
 // application buffer (zero copy). On the final chunk Complete runs last;
 // the request is not touched afterwards.
+//
+// Under the multirail strategy, a chunk whose msgID has no handshake
+// state is dropped rather than treated as corruption: the failure
+// fallback re-stripes spans whose loss was only suspected (loss
+// counters are an upper bound), so a duplicate of an already-completed
+// transfer is a legitimate late arrival. Every other strategy sends
+// each message's data exactly once, so there the missing state still
+// means a real protocol bug and panics loudly.
 func (e *Engine) handleData(core topo.CoreID, p *wire.Packet) {
+	key := rdvKey{src: p.Src, msgID: p.MsgID}
 	e.qlock.Lock()
-	st := e.rdvRecv[p.MsgID]
-	if st == nil {
-		e.qlock.Unlock()
-		panic("core: rendezvous data without handshake state")
-	}
+	st := e.rdvRecv[key]
 	e.qlock.Unlock()
+	if st == nil {
+		if e.strat.Name() != "multirail" {
+			panic("core: rendezvous data without handshake state")
+		}
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindWireRecv, int(core), p.Tag, len(p.Payload), "late data msgid=%d", p.MsgID)
+		}
+		return
+	}
 	// Chunks of one msgID are handled under pollLock, so mutating the
 	// state outside qlock is safe.
 	copy(st.req.buf[min(p.Offset, len(st.req.buf)):], p.Payload)
-	st.remaining -= len(p.Payload)
-	if st.remaining > 0 {
+	st.addSpan(p.Offset, p.Offset+len(p.Payload))
+	if st.got < st.msgLen {
 		return
 	}
 	e.qlock.Lock()
-	delete(e.rdvRecv, p.MsgID)
+	delete(e.rdvRecv, key)
 	e.qlock.Unlock()
 	r := st.req
 	n := st.msgLen
@@ -581,7 +779,7 @@ func (e *Engine) deliverUnexpected(r *RecvReq, u *unexMsg) {
 	if u.isRTS {
 		e.qlock.Lock()
 		r.gotTag = u.tag
-		e.rdvRecv[u.msgID] = &rdvRecvState{req: r, src: u.src, msgLen: u.msgLen, remaining: u.msgLen}
+		e.rdvRecv[rdvKey{src: u.src, msgID: u.msgID}] = &rdvRecvState{req: r, src: u.src, msgLen: u.msgLen}
 		e.qlock.Unlock()
 		u.rail.SendCTS(railHeader(e.node, u.src, u.tag, u.seq, u.msgID))
 		if e.tracing() {

@@ -56,7 +56,10 @@ type strategy interface {
 	Pending() bool
 }
 
-// newStrategy resolves a strategy name ("" defaults to fifo).
+// newStrategy resolves a strategy name ("" defaults to fifo). Every name
+// maps to a dedicated implementation and anything else is a hard error:
+// a misspelled strategy must fail loudly at engine construction, not run
+// the whole experiment on a silently substituted policy.
 func newStrategy(name string) strategy {
 	switch name {
 	case "", "fifo":
@@ -64,9 +67,7 @@ func newStrategy(name string) strategy {
 	case "aggreg", "aggregation":
 		return &aggrStrategy{}
 	case "multirail":
-		// Multirail affects rendezvous data placement (engine-side); its
-		// eager queueing is plain FIFO.
-		return &fifoStrategy{name: "multirail"}
+		return &multirailStrategy{}
 	default:
 		panic(fmt.Sprintf("core: unknown strategy %q", name))
 	}
@@ -79,15 +80,10 @@ func newStrategy(name string) strategy {
 type fifoStrategy struct {
 	q    []*pack
 	head int
-	name string
 }
 
-func (s *fifoStrategy) Name() string {
-	if s.name != "" {
-		return s.name
-	}
-	return "fifo"
-}
+// Name identifies the strategy.
+func (s *fifoStrategy) Name() string { return "fifo" }
 
 func (s *fifoStrategy) Enqueue(p *pack) {
 	s.q, s.head = sync2.CompactQueue(s.q, s.head)
@@ -115,6 +111,23 @@ func (s *fifoStrategy) Dequeue(mtuOf func(int) int, into []*pack) []*pack {
 }
 
 func (s *fifoStrategy) Pending() bool { return s.head < len(s.q) }
+
+// multirailStrategy is the bonded-rails optimizer: eager packs queue in
+// plain post order (small messages do not benefit from splitting — the
+// per-rail handshakes would dominate), while its distinguishing policy
+// lives on the engine's rendezvous data path, keyed off Name(): payloads
+// at or above Config.MultirailMin are striped across every rail with a
+// positive stripe weight, proportionally to those weights, in MTU-sized
+// chunks (Engine.sendRdvData / stripeData). It is a distinct type rather
+// than a renamed fifoStrategy so tests can pin that selecting "multirail"
+// actually engages multirail placement.
+type multirailStrategy struct {
+	fifoStrategy
+}
+
+// Name identifies the strategy; the engine's data-placement path keys off
+// this value.
+func (s *multirailStrategy) Name() string { return "multirail" }
 
 // aggrStrategy coalesces consecutive same-destination packs into one wire
 // packet up to the rail MTU — the data-aggregation optimization of [2].

@@ -16,12 +16,16 @@ package conformance
 import (
 	"bytes"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"pioman/internal/core"
 	"pioman/internal/fabric"
 	"pioman/internal/mpi"
+	"pioman/internal/nic"
+	"pioman/internal/topo"
 	"pioman/internal/wire"
 )
 
@@ -433,6 +437,129 @@ func RunWorld(t *testing.T, open OpenWorld) {
 			p.Barrier()
 		})
 		closeWorld(t, w)
+	})
+}
+
+// Lossy wraps a fabric so that every frame its endpoints accept is
+// dropped and counted in LostFrames — the loss-injection harness of the
+// rail-failure case. It models the worst shape of a real transport
+// failure the fabric contract allows: Send reports success (the frames
+// were accepted), the bytes never arrive, and the only evidence is the
+// loss counter. Reception still works, so a wrapped rail stays pollable.
+type Lossy struct {
+	inner fabric.Fabric
+
+	mu  sync.Mutex
+	eps map[int]*lossyEndpoint
+}
+
+// NewLossy wraps inner; see Lossy.
+func NewLossy(inner fabric.Fabric) *Lossy {
+	return &Lossy{inner: inner, eps: make(map[int]*lossyEndpoint)}
+}
+
+// Nodes implements fabric.Fabric.
+func (l *Lossy) Nodes() int { return l.inner.Nodes() }
+
+// Close implements fabric.Fabric.
+func (l *Lossy) Close() error { return l.inner.Close() }
+
+// Endpoint implements fabric.Fabric, handing out one stable wrapper per
+// rank so loss counts accumulate per endpoint as on a real transport.
+func (l *Lossy) Endpoint(rank int) (fabric.Endpoint, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ep := l.eps[rank]; ep != nil {
+		return ep, nil
+	}
+	inner, err := l.inner.Endpoint(rank)
+	if err != nil {
+		return nil, err
+	}
+	ep := &lossyEndpoint{Endpoint: inner}
+	l.eps[rank] = ep
+	return ep, nil
+}
+
+// lossyEndpoint accepts every frame and delivers none.
+type lossyEndpoint struct {
+	fabric.Endpoint
+	lost atomic.Uint64
+}
+
+// Send implements fabric.Endpoint: the frame is consumed and dropped,
+// and the loss is counted — the asynchronous-loss shape (accepted, then
+// gone) rather than a synchronous rejection.
+func (le *lossyEndpoint) Send(p *wire.Packet) error {
+	le.lost.Add(1)
+	return nil
+}
+
+// SendCaptures implements fabric.SendCapturer: Send fully consumes (by
+// dropping) the packet, so callers may recycle it immediately.
+func (le *lossyEndpoint) SendCaptures() bool { return true }
+
+// LostFrames implements fabric.LossCounter.
+func (le *lossyEndpoint) LostFrames() uint64 { return le.lost.Load() }
+
+// RunRailFailover runs the rail-failure case against the backend: a
+// two-rank world bonded over two rails of the backend under test, the
+// secondary wrapped in Lossy so it silently drops every frame it
+// accepts. The multirail strategy stripes a rendezvous payload across
+// both rails; the engine must observe the secondary's loss counter move,
+// re-stripe the lost span onto the surviving rail, and complete the
+// transfer intact — with the loss left visible in LostFrames.
+func RunRailFailover(t *testing.T, open OpenFabric) {
+	t.Run("RailFailover", func(t *testing.T) {
+		good := open(t, 2)
+		lossy := NewLossy(open(t, 2))
+		mk := func(name string) nic.Params {
+			return nic.Params{
+				Name:         name,
+				Link:         wire.MYRI10G(),
+				EagerMax:     32 << 10,
+				MTU:          64 << 10,
+				StripeWeight: 1,
+			}
+		}
+		w := mpi.NewWorld(mpi.Config{
+			Nodes:          2,
+			Machine:        topo.Machine{Sockets: 1, CoresPerSocket: 2},
+			Mode:           core.Multithreaded,
+			OffloadEager:   true,
+			EnableBlocking: true,
+			Strategy:       "multirail",
+			MultirailMin:   64 << 10,
+			MX:             mk("railA"),
+			ExtraRails:     []nic.Params{mk("railB")},
+			Fabrics:        map[string]fabric.Fabric{"railA": good, "railB": lossy},
+		})
+		defer closeWorld(t, w)
+		msg := patterned(256 << 10)
+		w.RunAll(func(p *mpi.Proc) {
+			if p.Rank() == 0 {
+				r := p.Isend(1, 5, msg)
+				if !r.Rendezvous() {
+					t.Errorf("256 KiB send did not pick the rendezvous protocol")
+				}
+				p.WaitSend(r)
+				var ack [1]byte
+				p.Recv(1, 6, ack[:])
+			} else {
+				buf := make([]byte, len(msg))
+				if n, _ := p.Recv(0, 5, buf); n != len(msg) || !bytes.Equal(buf, msg) {
+					t.Errorf("rendezvous over the surviving rail corrupted (n=%d)", n)
+				}
+				p.Send(0, 6, []byte{1})
+			}
+		})
+		ep0, err := lossy.Endpoint(0)
+		if err != nil {
+			t.Fatalf("lossy endpoint: %v", err)
+		}
+		if ep0.(fabric.LossCounter).LostFrames() == 0 {
+			t.Error("lossy rail counted no lost frames: striping never placed a chunk on it")
+		}
 	})
 }
 

@@ -71,6 +71,28 @@ type Endpoint interface {
 	Close() error
 }
 
+// LossCounter is an optional Endpoint capability: transports that can
+// lose frames after Send accepted them (a stream that fails under queued
+// writes, a bounded Close drain) expose the running count here. Together
+// with nic.Stats.SendErrs — the synchronous rejections — it is the full
+// loss signal the engine's multirail failover watches when deciding to
+// re-stripe a rendezvous onto a surviving rail. Counts are an upper
+// bound: a frame counted lost may still have reached the peer.
+type LossCounter interface {
+	// LostFrames returns the number of frames accepted and later lost.
+	LostFrames() uint64
+}
+
+// PayloadLimiter is an optional Endpoint capability: transports that
+// frame payloads with a hard size ceiling (everything built on this
+// package's codec) report it here, so a world can reject a rail whose
+// configured MTU could never fit a frame at construction time instead of
+// failing mid-rendezvous.
+type PayloadLimiter interface {
+	// MaxPayload returns the largest payload one Send can carry.
+	MaxPayload() int
+}
+
 // Fabric hands out the endpoints of a communication domain. In-process
 // backends (simfab, tcpfab.Local) serve every rank; a distributed backend
 // serves only the local process's rank and errors for remote ones.

@@ -301,6 +301,10 @@ func (e *Endpoint) SendCaptures() bool { return true }
 // batch held.
 func (e *Endpoint) LostFrames() uint64 { return e.lost.Load() }
 
+// MaxPayload implements fabric.PayloadLimiter: the codec's frame ceiling
+// bounds what one Send can carry.
+func (e *Endpoint) MaxPayload() int { return fabric.MaxPayloadBytes }
+
 func (e *Endpoint) closed() bool { return e.state.Load() != 0 }
 
 // Send implements fabric.Endpoint. The frame is serialized before Send

@@ -53,6 +53,19 @@ func TestWorldConformance(t *testing.T) {
 	conformance.RunWorld(t, shmWorld)
 }
 
+// TestRailFailoverConformance runs the two-rail loss-injection case: the
+// secondary rail accepts and drops every frame, and rendezvous transfers
+// must still complete over the surviving shared-memory rail.
+func TestRailFailoverConformance(t *testing.T) {
+	conformance.RunRailFailover(t, func(t *testing.T, nodes int) fabric.Fabric {
+		l, err := shmfab.NewLocal(nodes, t.TempDir())
+		if err != nil {
+			t.Fatalf("NewLocal(%d): %v", nodes, err)
+		}
+		return l
+	})
+}
+
 // TestWorldShmRailReplacesSimulated pins the wiring the ROADMAP asked
 // for: an in-process world keeps its simulated MX inter-node rail while
 // the "shm" rail key swaps the simulated intra-node channel for real

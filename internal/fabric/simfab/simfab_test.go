@@ -28,6 +28,15 @@ func TestWorldConformance(t *testing.T) {
 	})
 }
 
+// TestRailFailoverConformance runs the two-rail loss-injection case: the
+// secondary rail drops every frame, and rendezvous transfers must still
+// complete over the surviving simulated rail.
+func TestRailFailoverConformance(t *testing.T) {
+	conformance.RunRailFailover(t, func(t *testing.T, nodes int) fabric.Fabric {
+		return simfab.New(wire.NewFabric(nodes, wire.MYRI10G()))
+	})
+}
+
 // TestWorldConformanceExplicitFabric pins the Fabrics override path: a
 // simfab instance supplied through the config must behave identically to
 // the implicit one.

@@ -44,6 +44,17 @@ const (
 	dialTimeout      = 10 * time.Second
 	handshakeTimeout = 10 * time.Second
 
+	// Dial retry tuning: a transient peer restart (process replaced, its
+	// listener rebound moments later) looks exactly like a dead address
+	// for a short window. Retrying the dial with capped exponential
+	// backoff inside dialRetryWindow rides that window out, so one peer
+	// bouncing does not permanently strand the other side's rendezvous
+	// state; only an address that stays dead for the whole window counts
+	// as a failed dial.
+	dialRetryWindow  = 3 * time.Second
+	dialBackoffFirst = 10 * time.Millisecond
+	dialBackoffMax   = 400 * time.Millisecond
+
 	// closeDrainTimeout bounds how long Close lets writers flush queued
 	// frames toward a peer that has stopped reading.
 	closeDrainTimeout = 5 * time.Second
@@ -415,13 +426,7 @@ func (e *Endpoint) connTo(rank int) (*peerConn, error) {
 		e.dialing[rank] = ch
 		e.mu.Unlock()
 
-		c, err := net.DialTimeout("tcp", addr, dialTimeout)
-		if err == nil {
-			if herr := writeHandshake(c, e.self, e.nodes); herr != nil {
-				c.Close()
-				err = herr
-			}
-		}
+		c, err := e.dialWithBackoff(addr)
 
 		e.mu.Lock()
 		delete(e.dialing, rank)
@@ -450,6 +455,37 @@ func (e *Endpoint) connTo(rank int) (*peerConn, error) {
 		go e.readLoop(c, rank)
 		e.mu.Unlock()
 		return pc, nil
+	}
+}
+
+// dialWithBackoff dials addr and writes the stream handshake, retrying
+// failed attempts with capped exponential backoff until dialRetryWindow
+// elapses — the connection-resilience half of a peer restart (the other
+// half is the writer unregistering the dead conn so Send redials). Close
+// aborts the wait immediately; the last attempt's error is returned.
+func (e *Endpoint) dialWithBackoff(addr string) (net.Conn, error) {
+	backoff := dialBackoffFirst
+	deadline := time.Now().Add(dialRetryWindow)
+	for {
+		c, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err == nil {
+			err = writeHandshake(c, e.self, e.nodes)
+			if err == nil {
+				return c, nil
+			}
+			c.Close()
+		}
+		if e.closed() || time.Now().After(deadline) {
+			return nil, err
+		}
+		select {
+		case <-e.done:
+			return nil, err
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
 	}
 }
 
@@ -613,6 +649,10 @@ func (e *Endpoint) forgetConn(c net.Conn, rank int) {
 // Writes racing a stream failure may be counted even if their bytes made
 // it out: the count is an upper bound on loss, never an undercount.
 func (e *Endpoint) LostFrames() uint64 { return e.lost.Load() }
+
+// MaxPayload implements fabric.PayloadLimiter: the codec's frame ceiling
+// bounds what one Send can carry.
+func (e *Endpoint) MaxPayload() int { return fabric.MaxPayloadBytes }
 
 func (e *Endpoint) closed() bool { return e.state.Load() != 0 }
 

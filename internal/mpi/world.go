@@ -38,6 +38,10 @@ type Config struct {
 	AdaptiveOffload bool
 	// Strategy is the optimizer strategy name.
 	Strategy string
+	// MultirailMin is the smallest rendezvous payload the multirail
+	// strategy stripes across bonded rails (core.Config.MultirailMin;
+	// zero selects the engine default, 128 KiB).
+	MultirailMin int
 	// MX configures the inter-node rail (zero value: nic.MXParams).
 	MX nic.Params
 	// SHM configures the intra-node rail; nil Name disables it.
@@ -175,12 +179,62 @@ func NewDistributed(cfg Config, rail nic.Params, ep fabric.Endpoint) *World {
 	if rail.Name == "" {
 		rail = nic.RealParams()
 	}
-	cfg.Nodes = ep.Nodes()
-	cfg.MX = rail
+	return NewDistributedBonded(cfg, []Rail{{Params: rail, Ep: ep}})
+}
+
+// Rail couples rail parameters with a live endpoint: one physical rail of
+// a world bonded over real transports (NewDistributedBonded).
+type Rail struct {
+	// Params describes the rail driver (thresholds, MTU, stripe weight).
+	Params nic.Params
+	// Ep is the transport endpoint the rail submits to.
+	Ep fabric.Endpoint
+}
+
+// NewDistributedBonded builds the local rank of a multi-process cluster
+// bonded over several heterogeneous real fabrics at once — the paper's
+// MX + shared-memory configuration with, e.g., rails[0] over tcpfab and
+// rails[1] over shmfab. rails[0] is the default rail (eager traffic and
+// the rendezvous handshake); with Config.Strategy "multirail" the engine
+// stripes large rendezvous payloads across every rail with a positive
+// stripe weight. All endpoints must agree on rank and cluster size, rail
+// names must be unique, and each rail's MTU must fit its fabric's frame
+// ceiling — all validated here, at construction, instead of surfacing as
+// mid-transfer losses. The engine owns the endpoints' lifecycle from here
+// on: World.Close closes them in reverse rail order (secondary rails
+// first, the default rail — which carries the shutdown handshakes — last).
+func NewDistributedBonded(cfg Config, rails []Rail) *World {
+	if len(rails) == 0 {
+		panic("mpi: bonded world needs at least one rail")
+	}
+	self, nodes := rails[0].Ep.Self(), rails[0].Ep.Nodes()
+	seen := make(map[string]bool, len(rails))
+	for _, r := range rails {
+		if r.Params.Name == "" {
+			panic("mpi: bonded rail needs a name")
+		}
+		if seen[r.Params.Name] {
+			panic(fmt.Sprintf("mpi: duplicate rail name %q", r.Params.Name))
+		}
+		seen[r.Params.Name] = true
+		if r.Ep == nil {
+			panic(fmt.Sprintf("mpi: rail %q has no endpoint", r.Params.Name))
+		}
+		if r.Ep.Self() != self || r.Ep.Nodes() != nodes {
+			panic(fmt.Sprintf("mpi: rail %q endpoint is rank %d of %d, rail %q is rank %d of %d",
+				r.Params.Name, r.Ep.Self(), r.Ep.Nodes(), rails[0].Params.Name, self, nodes))
+		}
+	}
+	cfg.Nodes = nodes
+	cfg.MX = rails[0].Params
 	cfg.SHM = nic.Params{}
 	cfg.ExtraRails = nil
-	w := &World{cfg: cfg, size: ep.Nodes(), nodes: make([]*Node, ep.Nodes())}
-	w.nodes[ep.Self()] = w.startNode(ep.Self(), []*nic.Driver{nic.New(rail, ep)})
+	w := &World{cfg: cfg, size: nodes, nodes: make([]*Node, nodes)}
+	drivers := make([]*nic.Driver, 0, len(rails))
+	for _, r := range rails {
+		drivers = append(drivers, nic.New(r.Params, r.Ep))
+	}
+	w.nodes[self] = w.startNode(self, drivers)
 	return w
 }
 
@@ -216,6 +270,7 @@ func (w *World) startNode(rank int, rails []*nic.Driver) *Node {
 		OffloadEager:    cfg.OffloadEager,
 		AdaptiveOffload: cfg.AdaptiveOffload,
 		Strategy:        cfg.Strategy,
+		MultirailMin:    cfg.MultirailMin,
 		WaitSpin:        waitSpin,
 		Trace:           rec,
 	})

@@ -23,6 +23,7 @@ package nic
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -63,21 +64,36 @@ type Params struct {
 	// DMAs into host memory, and the match-time copy is charged by the
 	// engine only when the message was unexpected).
 	RecvCopies bool
+	// StripeWeight is the rail's relative bandwidth share, in bytes/µs,
+	// used by the multirail strategy when splitting one rendezvous
+	// payload across bonded rails: a rail declaring twice the weight
+	// carries twice the bytes. Zero keeps the rail out of striping —
+	// the right value for rails that only serve a subset of peers, such
+	// as the simulated intra-node SHM channel. Presets seed it from the
+	// link model (simulated rails) or from the committed BENCH_pingpong
+	// loopback baselines (real transports); runtime measurements can
+	// override it per driver via Driver.SetStripeWeight.
+	StripeWeight float64
 }
 
 // MXParams models the paper's testbed NIC.
 func MXParams() Params {
 	return Params{
-		Name:     "mx",
-		Link:     wire.MYRI10G(),
-		Cost:     ptime.DefaultCostModel(),
-		PIOMax:   128,
-		EagerMax: 32 << 10,
-		MTU:      32 << 10,
+		Name:         "mx",
+		Link:         wire.MYRI10G(),
+		Cost:         ptime.DefaultCostModel(),
+		PIOMax:       128,
+		EagerMax:     32 << 10,
+		MTU:          32 << 10,
+		StripeWeight: 1250, // the MYRI-10G link's serialization bandwidth
 	}
 }
 
-// SHMParams models the intra-node shared-memory channel.
+// SHMParams models the intra-node shared-memory channel. It declares no
+// stripe weight: the simulated SHM rail only reaches threads of the same
+// node, so the multirail strategy must never place cross-node rendezvous
+// chunks on it (contrast ShmParams, the real transport preset, whose
+// rings genuinely span processes).
 func SHMParams() Params {
 	return Params{
 		Name: "shm",
@@ -98,12 +114,16 @@ func SHMParams() Params {
 // RealParams describes a rail whose endpoint is a real transport
 // (fabric/tcpfab): no modeled CPU costs and no PIO path — the socket stack
 // charges genuine time instead. The 32 KiB rendezvous threshold matches
-// the MX preset so protocol selection behaves identically on both.
+// the MX preset so protocol selection behaves identically on both. The
+// stripe weight is seeded from the committed BENCH_pingpong.json loopback
+// TCP baseline (64 KiB echo p50 ≈ 26.6 µs → ≈ 4900 B/µs of round-trip
+// bandwidth); bonded launchers re-measure and override it per host.
 func RealParams() Params {
 	return Params{
-		Name:     "real",
-		EagerMax: 32 << 10,
-		MTU:      1 << 20,
+		Name:         "real",
+		EagerMax:     32 << 10,
+		MTU:          1 << 20,
+		StripeWeight: 4900,
 	}
 }
 
@@ -116,12 +136,17 @@ func RealParams() Params {
 // The rail keeps the name "shm" so mpi.Config.Fabrics can swap the real
 // transport in for the simulated SHM rail under the same key, and the
 // 32 KiB rendezvous threshold matches RealParams so protocol selection
-// behaves identically across the real transports.
+// behaves identically across the real transports. Unlike the simulated
+// SHM preset this rail carries a stripe weight: shmfab reaches every rank
+// sharing the ring directory, so a bonded world may stripe rendezvous
+// payloads across it. Seeded from the committed BENCH_pingpong.json
+// shared-memory baseline (64 KiB echo p50 ≈ 18.8 µs → ≈ 7000 B/µs).
 func ShmParams() Params {
 	return Params{
-		Name:     "shm",
-		EagerMax: 32 << 10,
-		MTU:      1 << 20,
+		Name:         "shm",
+		EagerMax:     32 << 10,
+		MTU:          1 << 20,
+		StripeWeight: 7000,
 	}
 }
 
@@ -136,9 +161,10 @@ func TCPParams() Params {
 			SubmitOverhead: 2 * time.Microsecond,
 			DMASetup:       2 * time.Microsecond,
 		},
-		PIOMax:   0,
-		EagerMax: 64 << 10,
-		MTU:      64 << 10,
+		PIOMax:       0,
+		EagerMax:     64 << 10,
+		MTU:          64 << 10,
+		StripeWeight: 1100, // the modeled 10GbE serialization bandwidth
 	}
 }
 
@@ -172,6 +198,10 @@ type Driver struct {
 	// outbound packet structs through the fabric packet pool instead of
 	// leaving one heap allocation per submission to the GC.
 	captures bool
+	// stripeWeight is the live striping weight (float64 bits): it starts
+	// at Params.StripeWeight and may be retuned at runtime from measured
+	// bandwidth, so it lives outside the immutable Params copy.
+	stripeWeight atomic.Uint64
 
 	eagerSent  atomic.Uint64
 	eagerBytes atomic.Uint64
@@ -185,7 +215,12 @@ type Driver struct {
 	sendErrs   atomic.Uint64
 }
 
-// New returns a driver submitting to ep with rail parameters p.
+// New returns a driver submitting to ep with rail parameters p. A rail
+// whose MTU (after defaulting) exceeds the endpoint's hard frame ceiling
+// (fabric.PayloadLimiter) is rejected here, at construction: undetected,
+// the mismatch would only surface when a rendezvous chunk sized to the
+// MTU is refused mid-transfer — a silent loss seen only as a SendErrs
+// tick.
 func New(p Params, ep fabric.Endpoint) *Driver {
 	if ep == nil {
 		panic("nic: nil endpoint")
@@ -193,7 +228,12 @@ func New(p Params, ep fabric.Endpoint) *Driver {
 	if p.MTU <= 0 {
 		p.MTU = 64 << 10
 	}
+	if lim, ok := ep.(fabric.PayloadLimiter); ok && p.MTU > lim.MaxPayload() {
+		panic(fmt.Sprintf("nic: rail %q MTU %d exceeds its fabric's payload limit %d",
+			p.Name, p.MTU, lim.MaxPayload()))
+	}
 	d := &Driver{p: p, ep: ep, self: ep.Self()}
+	d.stripeWeight.Store(math.Float64bits(p.StripeWeight))
 	if c, ok := ep.(fabric.SendCapturer); ok && c.SendCaptures() {
 		d.captures = true
 	}
@@ -244,6 +284,35 @@ func (d *Driver) Params() Params { return d.p }
 
 // EagerMax returns the rendezvous threshold.
 func (d *Driver) EagerMax() int { return d.p.EagerMax }
+
+// StripeWeight returns the rail's live striping weight — the relative
+// bandwidth share the multirail strategy gives this rail. Zero keeps the
+// rail out of striping.
+func (d *Driver) StripeWeight() float64 {
+	return math.Float64frombits(d.stripeWeight.Load())
+}
+
+// SetStripeWeight retunes the striping weight at runtime, e.g. from a
+// bandwidth actually measured on this host instead of the preset's
+// declared baseline. Negative weights are clamped to zero.
+func (d *Driver) SetStripeWeight(w float64) {
+	if w < 0 {
+		w = 0
+	}
+	d.stripeWeight.Store(math.Float64bits(w))
+}
+
+// LostFrames reports frames the transport accepted in Send and later
+// lost (a failed stream, a bounded Close drain) — the asynchronous half
+// of the rail's loss signal, SendErrs being the synchronous half. Rails
+// whose endpoint keeps no loss accounting (the simulator never loses
+// frames) report zero.
+func (d *Driver) LostFrames() uint64 {
+	if lc, ok := d.ep.(fabric.LossCounter); ok {
+		return lc.LostFrames()
+	}
+	return 0
+}
 
 // MTU returns the per-packet payload bound.
 func (d *Driver) MTU() int { return d.p.MTU }

@@ -264,3 +264,44 @@ func TestLenCodecProperty(t *testing.T) {
 		t.Error("short buffers must decode to 0")
 	}
 }
+
+// TestStripeWeights pins the preset weights the multirail strategy keys
+// off: inter-node rails (simulated and real) declare bandwidth shares,
+// the simulated intra-node SHM channel declares none (it must stay out
+// of cross-node striping), and a driver's live weight can be retuned at
+// runtime from measured bandwidth.
+func TestStripeWeights(t *testing.T) {
+	for name, p := range map[string]Params{
+		"mx": MXParams(), "tcp": TCPParams(), "real": RealParams(), "shm-real": ShmParams(),
+	} {
+		if p.StripeWeight <= 0 {
+			t.Errorf("%s preset declares stripe weight %v, want positive", name, p.StripeWeight)
+		}
+	}
+	if w := SHMParams().StripeWeight; w != 0 {
+		t.Errorf("simulated SHM preset declares stripe weight %v, want 0 (intra-node only)", w)
+	}
+	fab := wire.NewFabric(1, wire.MYRI10G())
+	d := NewSim(MXParams(), fab, 0)
+	if d.StripeWeight() != MXParams().StripeWeight {
+		t.Fatalf("driver weight %v, want the preset's %v", d.StripeWeight(), MXParams().StripeWeight)
+	}
+	d.SetStripeWeight(123.5)
+	if d.StripeWeight() != 123.5 {
+		t.Fatalf("retuned weight %v, want 123.5", d.StripeWeight())
+	}
+	d.SetStripeWeight(-1)
+	if d.StripeWeight() != 0 {
+		t.Fatalf("negative weight stored as %v, want clamped to 0", d.StripeWeight())
+	}
+}
+
+// TestLostFramesWithoutCounter: rails whose endpoint keeps no loss
+// accounting (the simulator never loses frames) report zero rather than
+// failing the capability probe.
+func TestLostFramesWithoutCounter(t *testing.T) {
+	fab := wire.NewFabric(1, wire.MYRI10G())
+	if got := NewSim(MXParams(), fab, 0).LostFrames(); got != 0 {
+		t.Fatalf("simulated rail reports %d lost frames", got)
+	}
+}
