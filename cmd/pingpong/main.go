@@ -47,8 +47,11 @@
 //
 // With -json it runs the in-process three-backend benchmark —
 // raw-endpoint eager round trips over the wire simulator, loopback TCP
-// and shared-memory rings — and writes BENCH_pingpong.json rows
-// (backend, size, RTT p50/p99, allocs/op), the file CI tracks per build:
+// and shared-memory rings, then the back-to-back 64-byte message-rate
+// storm per backend — and writes BENCH_pingpong.json rows (RTT p50/p99
+// and allocs/op per size; msgs/sec and batch occupancy for the storm,
+// including a per-frame-drain shm control row), the file CI tracks per
+// build:
 //
 //	pingpong -json BENCH_pingpong.json
 //

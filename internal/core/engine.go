@@ -141,6 +141,25 @@ type Engine struct {
 	pollLock   sync2.SpinLock
 	submitLock sync2.SpinLock
 
+	// pollBuf is the engine's reusable receive batch: every progress pass
+	// drains each rail through it with PollBatch, so a storm of small
+	// packets costs one pollLock acquisition and one endpoint visit per
+	// batch instead of per frame. Guarded by pollLock; sized once at
+	// construction and never grown, which keeps the batched drain off the
+	// allocator entirely.
+	pollBuf []*wire.Packet
+
+	// woken hands packets from BlockingWait's watcher to the batched
+	// delivery path: the watcher never blocks on pollLock (a concurrent
+	// poller would stall it for a whole drain otherwise) — it enqueues
+	// the packet it woke on here and lets whichever pass next wins
+	// pollLock deliver it. wokenLen keeps the hot path's emptiness check
+	// off the lock.
+	wokenMu    sync2.SpinLock
+	woken      []wokenPkt
+	wokenSpare []wokenPkt
+	wokenLen   atomic.Int32
+
 	// trainBuf is the reusable slice dequeueReady builds submission
 	// trains in; every user holds submitLock, so one buffer serves the
 	// engine and steady-state submission stays allocation-free.
@@ -207,6 +226,7 @@ func New(node int, sch *sched.Scheduler, srv *piom.Server, rails []*nic.Driver, 
 		orderOut: make(map[int]uint64),
 		orderIn:  make(map[int]uint64),
 		stash:    make(map[int]map[uint64]*stashedEv),
+		pollBuf:  make([]*wire.Packet, pollBatchSize),
 	}
 	e.strat = newStrategy(cfg.Strategy)
 	e.mtuOf = func(dst int) int { return e.railFor(dst).MTU() }

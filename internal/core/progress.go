@@ -143,22 +143,107 @@ func (e *Engine) finishEv(ev *stashedEv) {
 	stashPool.Put(ev)
 }
 
+// pollBatchSize caps one batched drain: large enough that a message
+// storm amortizes the per-visit costs (one pollLock acquisition, one
+// endpoint lock round trip, one ring scan) across dozens of frames,
+// small enough that one Progress pass — and in Sequential mode one hold
+// of the library-wide lock — stays bounded.
+const pollBatchSize = 64
+
+// wokenPkt is one packet BlockingWait pulled off a rail's blocking
+// receive, queued for delivery by the next holder of pollLock.
+type wokenPkt struct {
+	rail *nic.Driver
+	pkt  *wire.Packet
+}
+
+// enqueueWoken queues a blocking-receive arrival for the batched
+// delivery path and is the only woken-queue producer. The length
+// mirror is written under the lock, so it exactly matches the queue at
+// every lock boundary.
+func (e *Engine) enqueueWoken(rail *nic.Driver, p *wire.Packet) {
+	e.wokenMu.Lock()
+	e.woken = append(e.woken, wokenPkt{rail: rail, pkt: p})
+	e.wokenLen.Store(int32(len(e.woken)))
+	e.wokenMu.Unlock()
+}
+
+// drainWoken delivers every queued blocking-receive arrival; caller
+// holds pollLock, which serializes drains. The queue swaps against a
+// spare — both sides of the swap under one lock hold, so the two
+// slices can never alias the same array — and the steady state
+// recycles the two small arrays. The unlocked atomic length check
+// keeps the common empty case to one load on the polling hot path; a
+// racing producer it misses is picked up by that producer's own
+// trailing Progress pass.
+func (e *Engine) drainWoken(core topo.CoreID) bool {
+	if e.wokenLen.Load() == 0 {
+		return false
+	}
+	e.wokenMu.Lock()
+	batch := e.woken
+	e.woken = e.wokenSpare[:0]
+	e.wokenSpare = batch[:0]
+	e.wokenLen.Store(0)
+	e.wokenMu.Unlock()
+	// batch's array is now the spare: producers only ever append to
+	// e.woken, and the next swap is serialized behind pollLock, so this
+	// iteration owns the array until it returns.
+	worked := false
+	for i, w := range batch {
+		batch[i] = wokenPkt{}
+		e.handlePacket(w.rail, core, w.pkt)
+		worked = true
+	}
+	return worked
+}
+
+// drainOnce runs one batched drain of one rail and handles every frame
+// it returned; caller holds pollLock. Batch entries are cleared as they
+// are handled: handlePacket may release the packet to the fabric pools,
+// and a surviving alias in the buffer would resurrect a recycled
+// struct.
+func (e *Engine) drainOnce(rail *nic.Driver, core topo.CoreID) int {
+	n := rail.PollBatch(e.pollBuf)
+	for i := 0; i < n; i++ {
+		p := e.pollBuf[i]
+		e.pollBuf[i] = nil
+		e.handlePacket(rail, core, p)
+	}
+	return n
+}
+
+// drainRail runs batched drains of one rail until it runs dry (full
+// batches keep draining); caller holds pollLock.
+func (e *Engine) drainRail(rail *nic.Driver, core topo.CoreID) bool {
+	worked := false
+	for {
+		n := e.drainOnce(rail, core)
+		if n > 0 {
+			worked = true
+		}
+		if n < len(e.pollBuf) {
+			return worked
+		}
+	}
+}
+
 // Progress is the engine's piom.Source implementation: one pass drains
 // arrived packets on every rail and submits pending eager packs. The two
 // activities take separate locks, so one core can drain arrivals while
 // another performs a (possibly long) submission copy; contending cores
 // bail out immediately, which keeps polling cheap under contention.
+// Arrivals drain in batches through the engine's reusable buffer — one
+// pollLock acquisition and one endpoint visit cover a whole run of
+// packets, which is what keeps the per-event cost of a message storm
+// near zero.
 func (e *Engine) Progress(core topo.CoreID) bool {
 	e.nProgress.Add(1)
 	worked := false
 	if e.pollLock.TryLock() {
+		worked = e.drainWoken(core)
 		for _, rail := range e.rails {
-			for {
-				p := rail.Poll()
-				if p == nil {
-					break
-				}
-				e.handlePacket(rail, core, p)
+			if e.drainRail(rail, core) {
 				worked = true
 			}
 		}
@@ -178,18 +263,19 @@ func (e *Engine) Progress(core topo.CoreID) bool {
 	return worked
 }
 
-// progressOne makes one bounded step of progress: at most one packet per
-// rail and one submission train. The Sequential baseline's wait loop calls
-// it under the library-wide mutex so that lock hold times stay at the
-// granularity of a single event, as in classical big-locked MPI progress
-// engines.
+// progressOne makes one bounded step of progress: at most one batched
+// drain per rail and one submission train. The Sequential baseline's
+// wait loop calls it under the library-wide mutex, so the bound is what
+// keeps lock hold times at the granularity of a single step — a batch
+// is capped at pollBatchSize frames, the batched analog of the classical
+// big-locked engine's one-event-per-hold discipline.
 func (e *Engine) progressOne(core topo.CoreID) bool {
 	e.nProgress.Add(1)
 	worked := false
 	if e.pollLock.TryLock() {
+		worked = e.drainWoken(core)
 		for _, rail := range e.rails {
-			if p := rail.Poll(); p != nil {
-				e.handlePacket(rail, core, p)
+			if e.drainOnce(rail, core) > 0 {
 				worked = true
 			}
 		}
@@ -206,7 +292,7 @@ func (e *Engine) progressOne(core topo.CoreID) bool {
 }
 
 // BlockingWait implements the blocking-call fallback (§3.2): it parks on
-// the default rail until a packet lands, processes it, then runs one full
+// the default rail until a packet lands, delivers it, then runs one full
 // progress pass for any follow-up work (e.g. answering an RTS).
 //
 // Endpoints only block on their own sockets, so in a bonded world a
@@ -215,8 +301,28 @@ func (e *Engine) progressOne(core topo.CoreID) bool {
 // arrivals first, which bounds secondary-rail latency by the watcher
 // cadence instead of by the next default-rail packet — the rail-selection
 // gap that made bonded rendezvous hang before multirail went real.
+//
+// The woken packet rides the same batched delivery path as every polled
+// arrival: it enters the woken queue and the trailing Progress pass
+// delivers it under pollLock. Historically this path took a *blocking*
+// pollLock.Lock — the one asymmetric acquisition in the engine — so a
+// concurrent poller mid-drain could stall the watcher thread for a whole
+// pass; now the watcher never waits on a lock. If a concurrent poller
+// holds pollLock when the trailing pass runs, the packet stays queued —
+// and the guard below keeps the watcher from parking on the rail while
+// it waits: BlockingWait returns immediately, so its caller loops
+// straight back into progress passes until whoever owns the lock (or a
+// later pass here) delivers it.
 func (e *Engine) BlockingWait(timeout time.Duration) bool {
 	if e.Progress(-1) {
+		return true
+	}
+	if e.wokenLen.Load() != 0 {
+		// A woken packet from a lost pollLock race is still undelivered
+		// — possibly the very arrival a blocking receive is waiting on.
+		// Parking on the rail now would strand it for a whole timeout;
+		// report work pending instead so the watcher retries promptly.
+		e.Progress(-1)
 		return true
 	}
 	rail := e.defaultRail()
@@ -227,9 +333,7 @@ func (e *Engine) BlockingWait(timeout time.Duration) bool {
 	if e.tracing() {
 		e.cfg.Trace.Recordf(trace.KindBlockingCall, -1, p.Tag, len(p.Payload), "woke on %v", p.Kind)
 	}
-	e.pollLock.Lock()
-	e.handlePacket(rail, -1, p)
-	e.pollLock.Unlock()
+	e.enqueueWoken(rail, p)
 	e.Progress(-1)
 	return true
 }

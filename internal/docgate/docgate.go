@@ -32,6 +32,10 @@ func GatedDirsFromRoot() []string {
 		"internal/fabric/tcpfab",
 		"internal/nic",
 		"internal/mpi",
+		// internal/wire carries exported fabric-facing surface too (the
+		// simulator the sim backend adapts, including the batched
+		// PollBatch drain), so it is held to the same standard.
+		"internal/wire",
 	}
 }
 

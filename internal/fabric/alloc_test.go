@@ -63,6 +63,74 @@ func TestCodecRoundTripAllocs(t *testing.T) {
 	}
 }
 
+// TestPollBatchDrainAllocs pins the batched receive path: flooding a
+// burst of small frames across real shared-memory rings and draining
+// them through PollBatch into a reused batch buffer — the engine's
+// steady-state receive shape — must stay within the same budget as the
+// per-frame path. The batch buffer is allocated once and never grown by
+// the drain; a regression here re-taxes exactly the message-storm
+// traffic batching exists to cheapen.
+func TestPollBatchDrainAllocs(t *testing.T) {
+	skipUnderRace(t)
+	f, err := shmfab.NewLocal(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, err := f.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := f.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i*5 + 3)
+	}
+	const burst = 16
+	batch := make([]*wire.Packet, burst)
+	var seq uint64
+	var fail string
+	burstDrain := func() {
+		for i := 0; i < burst; i++ {
+			seq++
+			out := fabric.GetPacket()
+			out.Kind, out.Src, out.Dst, out.Seq, out.Payload = wire.PktEager, 0, 1, seq, payload
+			if err := ep0.Send(out); err != nil {
+				fail = "send: " + err.Error()
+				return
+			}
+			fabric.ReleasePacket(out) // shmfab captures sends
+		}
+		got := 0
+		for got < burst {
+			n := ep1.PollBatch(batch[:burst-got])
+			for _, p := range batch[:n] {
+				if !bytes.Equal(p.Payload, payload) {
+					fail = "payload corrupted in batched drain"
+					return
+				}
+				fabric.ReleasePacket(p)
+			}
+			got += n
+		}
+	}
+	for i := 0; i < 10; i++ { // warm rings, scratch buffers and pools
+		burstDrain()
+	}
+	allocs := testing.AllocsPerRun(200, burstDrain)
+	if fail != "" {
+		t.Fatal(fail)
+	}
+	// The budget is per burst of 16 frames, not per frame: the batched
+	// path must amortize, not just match, the per-frame ceiling.
+	if allocs > maxSteadyStateAllocs {
+		t.Errorf("16-frame PollBatch burst drain allocates %.1f/op, budget %d", allocs, maxSteadyStateAllocs)
+	}
+}
+
 // TestEagerRoundTripAllocs pins the full transport hot path: a 4 KiB
 // eager packet crossing real shared-memory rings and coming back —
 // serialize, ring slots, pooled decode, echo, release — within the

@@ -1,0 +1,77 @@
+package fabric_test
+
+import (
+	"testing"
+	"time"
+
+	"pioman/internal/fabric"
+	"pioman/internal/wire"
+)
+
+// pollOnlyEndpoint is the minimal Poll-only backend shape: a queue
+// behind Poll, with PollBatch delegating to the default adapter — the
+// exact wiring fabric.BatchFromPoll documents for backends without a
+// native batched inbox.
+type pollOnlyEndpoint struct {
+	queue []*wire.Packet
+}
+
+func (e *pollOnlyEndpoint) Self() int  { return 1 }
+func (e *pollOnlyEndpoint) Nodes() int { return 2 }
+func (e *pollOnlyEndpoint) Send(p *wire.Packet) error {
+	e.queue = append(e.queue, p)
+	return nil
+}
+func (e *pollOnlyEndpoint) Poll() *wire.Packet {
+	if len(e.queue) == 0 {
+		return nil
+	}
+	p := e.queue[0]
+	e.queue = e.queue[1:]
+	return p
+}
+func (e *pollOnlyEndpoint) PollBatch(into []*wire.Packet) int {
+	return fabric.BatchFromPoll(e, into)
+}
+func (e *pollOnlyEndpoint) BlockingRecv(time.Duration) *wire.Packet { return e.Poll() }
+func (e *pollOnlyEndpoint) Pending() bool                           { return len(e.queue) > 0 }
+func (e *pollOnlyEndpoint) Backlog(int) time.Duration               { return 0 }
+func (e *pollOnlyEndpoint) NextSeq() uint64                         { return 0 }
+func (e *pollOnlyEndpoint) Close() error                            { return nil }
+
+// TestBatchFromPoll pins the default PollBatch adapter: it must drain
+// exactly what a loop of Poll would, in the same order, stopping at
+// the buffer's capacity or the first empty Poll, and leave entries
+// past the returned count untouched.
+func TestBatchFromPoll(t *testing.T) {
+	ep := &pollOnlyEndpoint{}
+	var _ fabric.Endpoint = ep // the delegation satisfies the full contract
+	for i := 1; i <= 5; i++ {
+		ep.Send(&wire.Packet{Kind: wire.PktEager, Src: 0, Dst: 1, Seq: uint64(i)})
+	}
+	sentinel := &wire.Packet{Seq: 999}
+	into := []*wire.Packet{nil, nil, nil, sentinel}
+	if n := ep.PollBatch(into[:3]); n != 3 {
+		t.Fatalf("PollBatch(cap 3) = %d, want 3", n)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if into[i].Seq != want {
+			t.Errorf("batch[%d].Seq = %d, want %d (order must match a Poll loop)", i, into[i].Seq, want)
+		}
+	}
+	if into[3] != sentinel {
+		t.Error("adapter wrote past the provided buffer")
+	}
+	if n := ep.PollBatch(into); n != 2 {
+		t.Fatalf("PollBatch on the 2-packet remainder = %d, want 2", n)
+	}
+	if into[0].Seq != 4 || into[1].Seq != 5 {
+		t.Errorf("remainder out of order: %d, %d", into[0].Seq, into[1].Seq)
+	}
+	if n := ep.PollBatch(into); n != 0 {
+		t.Errorf("PollBatch on an empty endpoint = %d, want 0", n)
+	}
+	if n := ep.PollBatch(nil); n != 0 {
+		t.Errorf("PollBatch into an empty buffer = %d, want 0", n)
+	}
+}

@@ -46,6 +46,19 @@ type Endpoint interface {
 	Send(p *wire.Packet) error
 	// Poll returns the next packet visible at this endpoint, or nil.
 	Poll() *wire.Packet
+	// PollBatch drains up to len(into) visible packets into the prefix of
+	// into in one call and returns how many it wrote — the amortized
+	// receive path: one call (one inbox lock round trip, one ring scan)
+	// per *batch* instead of per frame. Semantics match a loop of Poll
+	// exactly: the returned run is the same packets in the same order
+	// Poll would have produced, so wherever a backend delivers per-sender
+	// FIFO through Poll, PollBatch preserves it, and interleaving a Poll
+	// between PollBatch calls is legal. Zero means nothing visible (or an
+	// empty into). Ownership of each returned packet passes to the caller
+	// under the same inbound-buffer rule as Poll (see docs/FABRIC.md);
+	// entries of into past the returned count are untouched. Backends
+	// without a native batch drain delegate to BatchFromPoll.
+	PollBatch(into []*wire.Packet) int
 	// BlockingRecv waits up to timeout for a packet, sleeping rather than
 	// spinning. Nil means timeout or endpoint closed (after draining).
 	BlockingRecv(timeout time.Duration) *wire.Packet
@@ -69,6 +82,27 @@ type Endpoint interface {
 	// Close shuts the endpoint down: blocked receivers wake, subsequent
 	// Sends fail with ErrClosed. Close is idempotent.
 	Close() error
+}
+
+// BatchFromPoll is the default PollBatch adapter: it drains ep one Poll
+// at a time until into is full or nothing more is visible. Backends with
+// no batched inbox implement PollBatch as a one-line delegation to it
+// and still satisfy the contract — the amortization is simply absent,
+// not faked. The in-tree backends all batch natively; a wrapper that
+// decorates Poll (a tracing shim, say) should delegate its PollBatch
+// here so the decoration applies to every drained packet, rather than
+// inheriting the inner endpoint's batch and bypassing Poll entirely.
+func BatchFromPoll(ep Endpoint, into []*wire.Packet) int {
+	n := 0
+	for n < len(into) {
+		p := ep.Poll()
+		if p == nil {
+			break
+		}
+		into[n] = p
+		n++
+	}
+	return n
 }
 
 // LossCounter is an optional Endpoint capability: transports that can

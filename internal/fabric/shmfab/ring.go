@@ -216,15 +216,32 @@ func (r *ring) readable() bool {
 // readSlot appends the consumer's next slot's data to dst and releases the
 // slot back to the producer. The caller has checked readable.
 func (r *ring) readSlot(dst []byte) []byte {
+	dst = append(dst, r.peekSlot()...)
+	r.releaseSlot()
+	return dst
+}
+
+// peekSlot returns the consumer's next slot's data in place — a view
+// into the mapping, valid only until releaseSlot hands the slot back to
+// the producer. The caller has checked readable. Together with
+// releaseSlot it is the zero-copy half of the consumer API: a decoder
+// that can finish with the bytes before releasing (shmfab's in-place
+// frame decode) skips the append readSlot would pay.
+func (r *ring) peekSlot() []byte {
 	off := r.slotOff(r.cons)
 	n := int(*u32at(r.mem, off+8))
 	if n > r.slotBytes {
 		n = r.slotBytes // corrupt length: clamp rather than overrun
 	}
-	dst = append(dst, r.mem[off+slotHdrBytes:off+slotHdrBytes+n]...)
+	return r.mem[off+slotHdrBytes : off+slotHdrBytes+n]
+}
+
+// releaseSlot returns the consumer's current slot to the producer. No
+// view from peekSlot may be read afterwards: the producer is free to
+// overwrite the memory the moment consSeq advances.
+func (r *ring) releaseSlot() {
 	r.cons++
 	atomic.StoreUint64(u64at(r.mem, offConsSeq), r.cons)
-	return dst
 }
 
 // close unmaps and closes the ring file. The file itself stays in the

@@ -116,6 +116,10 @@ type Endpoint struct {
 	// lock so no scanner can touch freed memory.
 	recvMu sync.Mutex
 	rr     int // round-robin scan start, for fairness across senders
+	// decRun is the reusable run buffer decodeFrames batches one ring's
+	// decoded packets in before publishing them to the inbox under a
+	// single lock; guarded by recvMu like the rest of the consumer state.
+	decRun []*wire.Packet
 }
 
 // outRing owns the producer half of one ring: Send serializes frames
@@ -160,6 +164,18 @@ func (ib *inbox) push(p *wire.Packet) {
 	ib.mu.Unlock()
 }
 
+// pushRun appends a whole decoded run under one lock acquisition — the
+// producer half of the batched receive path: a scan pass that decoded k
+// frames from one ring visit costs the inbox one lock round trip, not k.
+func (ib *inbox) pushRun(run []*wire.Packet) {
+	if len(run) == 0 {
+		return
+	}
+	ib.mu.Lock()
+	ib.pkts, ib.head = sync2.PushRun(ib.pkts, ib.head, run)
+	ib.mu.Unlock()
+}
+
 func (ib *inbox) pop() *wire.Packet {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
@@ -173,6 +189,16 @@ func (ib *inbox) pop() *wire.Packet {
 		ib.pkts, ib.head = ib.pkts[:0], 0
 	}
 	return p
+}
+
+// popRun pops up to len(into) queued packets in FIFO order under one
+// lock acquisition — the consumer half of the batched receive path.
+func (ib *inbox) popRun(into []*wire.Packet) int {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	var n int
+	ib.pkts, ib.head, n = sync2.PopRun(ib.pkts, ib.head, into)
+	return n
 }
 
 func (ib *inbox) empty() bool {
@@ -425,13 +451,18 @@ func (e *Endpoint) pumpLoop(o *outRing) {
 func (e *Endpoint) pumpBatch(o *outRing, batch []byte) bool {
 	b := backoff{noBusy: e.cfg.NoBusyPoll}
 	for off := 0; off < len(batch); {
-		for o.r.freeSlots() == 0 {
-			if dl := e.drainDeadline.Load(); dl != 0 && time.Now().UnixNano() > dl {
-				return false
+		// The backoff re-arms once per stall, not per slot: while the
+		// consumer keeps pace the slot loop runs straight through with no
+		// backoff bookkeeping at all.
+		if o.r.freeSlots() == 0 {
+			for o.r.freeSlots() == 0 {
+				if dl := e.drainDeadline.Load(); dl != 0 && time.Now().UnixNano() > dl {
+					return false
+				}
+				b.pause()
 			}
-			b.pause()
+			b.reset()
 		}
-		b.reset()
 		end := off + o.r.slotBytes
 		if end > len(batch) {
 			end = len(batch)
@@ -452,14 +483,52 @@ func (e *Endpoint) Poll() *wire.Packet {
 	e.recvMu.Lock()
 	if !e.closed() { // after Close the rings are unmapped; inbox only
 		e.scanRings()
+		e.inbox.pushRun(e.decRun)
+		e.clearDecRun()
 	}
 	e.recvMu.Unlock()
 	return e.inbox.pop()
 }
 
-// scanRings consumes published slots from every inbound ring, round-robin
-// for cross-sender fairness, decoding complete frames into the inbox.
-// Caller holds recvMu.
+// PollBatch implements fabric.Endpoint natively: one inbox visit hands
+// out a FIFO run of already-decoded packets, and only an empty inbox
+// pays a ring scan — which consumes every published slot across all
+// rings in a single pass, reassembling however many frames they held, so
+// a 64-byte message storm costs one scan and one lock round trip per
+// batch instead of per frame. The scan's run feeds the caller's buffer
+// directly — only what overflows it transits the inbox — so the common
+// storm batch never double-handles a packet pointer. Per-sender order is
+// preserved: each ring decodes in stream order, the direct prefix and
+// the inbox overflow keep that order, and the next drain empties the
+// inbox before scanning again.
+func (e *Endpoint) PollBatch(into []*wire.Packet) int {
+	if n := e.inbox.popRun(into); n > 0 {
+		return n
+	}
+	n := 0
+	e.recvMu.Lock()
+	if !e.closed() { // after Close the rings are unmapped; inbox only
+		e.scanRings()
+		n = copy(into, e.decRun)
+		e.inbox.pushRun(e.decRun[n:])
+		e.clearDecRun()
+	}
+	e.recvMu.Unlock()
+	return n
+}
+
+// scanRings consumes every published slot from every inbound ring in one
+// pass, round-robin for cross-sender fairness, decoding complete frames
+// into e.decRun; the caller publishes the run (to the inbox, or straight
+// into a PollBatch buffer) and clears it. Caller holds recvMu.
+//
+// The common small-frame case decodes in place: with no partial frame
+// pending, the stream position is at a frame boundary and the next
+// slot's data starts with a length prefix, so frames wholly inside the
+// slot decode straight out of the mapping (one copy, slot to pooled
+// payload) and the slot is released only afterwards. Only a frame that
+// spans slots — pump batches, payloads past the slot size — falls back
+// to accumulating the byte stream in ir.dec and re-delimiting there.
 func (e *Endpoint) scanRings() {
 	for i := 0; i < e.nodes; i++ {
 		peer := (e.rr + i) % e.nodes
@@ -467,52 +536,105 @@ func (e *Endpoint) scanRings() {
 		if ir == nil || ir.dead {
 			continue
 		}
-		drained := false
+		buffered := false
 		for ir.r.readable() {
+			if len(ir.dec) == 0 {
+				data := ir.r.peekSlot()
+				used, ok := e.decodeStream(data, peer)
+				if !ok {
+					e.abandonRing(ir)
+					break
+				}
+				if used < len(data) {
+					// A frame's tail is still streaming through the
+					// ring; switch to reassembly until it completes.
+					ir.dec = append(ir.dec[:0], data[used:]...)
+				}
+				ir.r.releaseSlot()
+				continue
+			}
 			ir.dec = ir.r.readSlot(ir.dec)
-			drained = true
+			buffered = true
 		}
-		if drained {
-			e.decodeFrames(ir, peer)
+		if buffered && !ir.dead {
+			e.decodeBuffered(ir, peer)
 		}
 	}
 	e.rr = (e.rr + 1) % e.nodes
 }
 
-// decodeFrames splits ir's byte stream into the codec's length-prefixed
-// frames and delivers each as a packet stamped with the ring's producer
-// identity — a frame cannot impersonate another rank, the ring it arrived
-// on wins over its header.
-func (e *Endpoint) decodeFrames(ir *inRing, peer int) {
-	buf := ir.dec
-	for len(buf) >= 4 {
-		n := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+// decodeStream decodes every complete frame at the head of buf into the
+// scan pass's run, stamping each packet with the ring's producer
+// identity — a frame cannot impersonate another rank, the ring it
+// arrived on wins over its header. It returns how many bytes it
+// consumed, and false when the stream is corrupt. Caller holds recvMu.
+func (e *Endpoint) decodeStream(buf []byte, peer int) (int, bool) {
+	used := 0
+	for len(buf)-used >= 4 {
+		b := buf[used:]
+		n := int(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
 		if n > fabric.MaxFrameBytes {
-			ir.dead = true // corrupt stream: abandon the ring, keep the endpoint
-			ir.dec = nil
-			return
+			return used, false
 		}
-		if len(buf) < 4+n {
+		if len(b) < 4+n {
 			break // frame still streaming through the ring
 		}
-		p, err := fabric.DecodePacketPooled(buf[:4+n])
+		p, err := fabric.DecodePacketPooled(b[:4+n])
 		if err != nil {
-			ir.dead = true
-			ir.dec = nil
-			return
+			return used, false
 		}
 		p.Src = peer
-		e.inbox.push(p)
-		buf = buf[4+n:]
+		e.decRun = append(e.decRun, p)
+		used += 4 + n
 	}
+	return used, true
+}
+
+// decodeBuffered re-delimits ir's accumulated byte stream, keeping the
+// trailing partial frame for the next scan. Caller holds recvMu.
+func (e *Endpoint) decodeBuffered(ir *inRing, peer int) {
+	used, ok := e.decodeStream(ir.dec, peer)
+	if !ok {
+		e.abandonRing(ir)
+		return
+	}
+	rest := ir.dec[used:]
 	// Compact so the backing array does not grow with history, and stop
 	// recycling an array a giant frame once ballooned — keeping it would
 	// pin peak-frame memory per peer for the endpoint's lifetime.
-	if cap(ir.dec) > maxRecycledBuf && len(buf) <= maxRecycledBuf {
-		ir.dec = append([]byte(nil), buf...)
+	if cap(ir.dec) > maxRecycledBuf && len(rest) <= maxRecycledBuf {
+		ir.dec = append([]byte(nil), rest...)
 	} else {
-		ir.dec = append(ir.dec[:0], buf...)
+		ir.dec = append(ir.dec[:0], rest...)
 	}
+}
+
+// abandonRing marks a corrupt ring dead — the ring is abandoned, the
+// endpoint (and frames already decoded this pass) stay live. Caller
+// holds recvMu.
+func (e *Endpoint) abandonRing(ir *inRing) {
+	ir.dead = true
+	ir.dec = nil
+}
+
+// maxDecRunEntries caps the scan run array capacity kept for reuse: a
+// storm scan can decode thousands of frames in one pass, and keeping
+// that peak would pin it per endpoint forever — the same shed-after-
+// burst discipline ir.dec applies to its byte stream.
+const maxDecRunEntries = 1024
+
+// clearDecRun resets the scan run buffer with its packet aliases
+// dropped — ownership moved to the inbox, and a retained pointer would
+// resurrect a recycled packet. Caller holds recvMu.
+func (e *Endpoint) clearDecRun() {
+	if cap(e.decRun) > maxDecRunEntries {
+		e.decRun = nil
+		return
+	}
+	for i := range e.decRun {
+		e.decRun[i] = nil
+	}
+	e.decRun = e.decRun[:0]
 }
 
 // Pending implements fabric.Endpoint. A packet counts once its slots are

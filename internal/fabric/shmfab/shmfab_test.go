@@ -53,6 +53,19 @@ func TestWorldConformance(t *testing.T) {
 	conformance.RunWorld(t, shmWorld)
 }
 
+// TestBatchOrderingConformance runs the batched-receive ordering case:
+// two concurrent senders, a PollBatch-only receiver, per-sender FIFO and
+// no loss or duplication across batch boundaries.
+func TestBatchOrderingConformance(t *testing.T) {
+	conformance.RunBatchOrdering(t, func(t *testing.T, nodes int) fabric.Fabric {
+		l, err := shmfab.NewLocal(nodes, t.TempDir())
+		if err != nil {
+			t.Fatalf("NewLocal(%d): %v", nodes, err)
+		}
+		return l
+	}, true) // SPSC rings: strict per-sender FIFO
+}
+
 // TestRailFailoverConformance runs the two-rail loss-injection case: the
 // secondary rail accepts and drops every frame, and rendezvous transfers
 // must still complete over the surviving shared-memory rail.

@@ -95,6 +95,10 @@ func (e *Endpoint) Send(p *wire.Packet) error {
 // Poll implements fabric.Endpoint.
 func (e *Endpoint) Poll() *wire.Packet { return e.w.Poll(e.self) }
 
+// PollBatch implements fabric.Endpoint natively: the simulator's inbox
+// hands out a run of arrived packets under one lock acquisition.
+func (e *Endpoint) PollBatch(into []*wire.Packet) int { return e.w.PollBatch(e.self, into) }
+
 // BlockingRecv implements fabric.Endpoint.
 func (e *Endpoint) BlockingRecv(timeout time.Duration) *wire.Packet {
 	return e.w.BlockingRecv(e.self, timeout)

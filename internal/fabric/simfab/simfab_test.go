@@ -28,6 +28,17 @@ func TestWorldConformance(t *testing.T) {
 	})
 }
 
+// TestBatchOrderingConformance runs the batched-receive ordering case:
+// two concurrent senders, a PollBatch-only receiver, exactly-once
+// delivery across batch boundaries. Not strict-FIFO: the simulated
+// wire's fragment interleaving legally reorders same-size small packets
+// (receivers reorder by sequence number — the portable contract).
+func TestBatchOrderingConformance(t *testing.T) {
+	conformance.RunBatchOrdering(t, func(t *testing.T, nodes int) fabric.Fabric {
+		return simfab.New(wire.NewFabric(nodes, wire.MYRI10G()))
+	}, false)
+}
+
 // TestRailFailoverConformance runs the two-rail loss-injection case: the
 // secondary rail drops every frame, and rendezvous transfers must still
 // complete over the surviving simulated rail.

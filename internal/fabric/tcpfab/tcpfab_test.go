@@ -51,6 +51,19 @@ func TestWorldConformance(t *testing.T) {
 	conformance.RunWorld(t, realWorld)
 }
 
+// TestBatchOrderingConformance runs the batched-receive ordering case:
+// two concurrent senders, a PollBatch-only receiver, per-sender FIFO and
+// no loss or duplication across batch boundaries.
+func TestBatchOrderingConformance(t *testing.T) {
+	conformance.RunBatchOrdering(t, func(t *testing.T, nodes int) fabric.Fabric {
+		l, err := tcpfab.NewLocal(nodes)
+		if err != nil {
+			t.Fatalf("NewLocal(%d): %v", nodes, err)
+		}
+		return l
+	}, true) // one stream per peer: strict per-sender FIFO
+}
+
 // TestRailFailoverConformance runs the two-rail loss-injection case: the
 // secondary rail accepts and drops every frame, and rendezvous transfers
 // must still complete over the surviving real-socket rail.

@@ -21,7 +21,11 @@ import (
 // communicating threads, so there are no background pollers allocating
 // on their own schedule — and measures the process-wide malloc count
 // around a long measured window, which charges BOTH ranks' halves of
-// every exchange to the budget.
+// every exchange to the budget. Since the engine's progress passes drain
+// arrivals through the batched receive path (PollBatch into the
+// engine's construction-sized batch buffer), this assertion also pins
+// that the batched path stays on budget — the buffer is reused, never
+// grown per pass.
 func TestEngineEagerRoundTripAllocs(t *testing.T) {
 	if testenv.RaceEnabled {
 		t.Skip("allocation counts are meaningless under the race detector")

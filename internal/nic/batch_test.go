@@ -1,0 +1,104 @@
+package nic
+
+import (
+	"testing"
+	"time"
+
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/shmfab"
+	"pioman/internal/wire"
+)
+
+// TestPollBatchOccupancyShm pins the acceptance criterion of the batched
+// receive path on the real shared-memory transport: under message-storm
+// traffic (many back-to-back 64-byte frames queued before the receiver
+// drains), the batch-occupancy ratio PolledFrames/PollBatches must
+// exceed 1 — each paid-for endpoint visit amortizes more than one frame,
+// i.e. batching demonstrably engages rather than degenerating into
+// per-frame Poll with extra bookkeeping.
+func TestPollBatchOccupancyShm(t *testing.T) {
+	f, err := shmfab.NewLocal(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, err := f.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := f.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(ShmParams(), ep1)
+
+	const msgs = 200
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i*3 + 1)
+	}
+	for i := 1; i <= msgs; i++ {
+		p := fabric.GetPacket()
+		p.Kind, p.Src, p.Dst, p.Seq, p.Payload = wire.PktEager, 0, 1, uint64(i), payload
+		if err := ep0.Send(p); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		fabric.ReleasePacket(p) // shmfab captures sends
+	}
+
+	batch := make([]*wire.Packet, 64)
+	got := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for got < msgs {
+		n := d.PollBatch(batch)
+		for _, p := range batch[:n] {
+			fabric.ReleasePacket(p)
+		}
+		got += n
+		if n == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("drained %d of %d frames before the deadline", got, msgs)
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+
+	st := d.Stats()
+	if st.PolledFrames != msgs {
+		t.Errorf("PolledFrames = %d, want %d", st.PolledFrames, msgs)
+	}
+	if st.Recvs != msgs {
+		t.Errorf("Recvs = %d, want %d", st.Recvs, msgs)
+	}
+	if st.PollBatches == 0 {
+		t.Fatal("PollBatches stayed zero across a drained message storm")
+	}
+	occupancy := float64(st.PolledFrames) / float64(st.PollBatches)
+	t.Logf("shm 64B storm: %d frames in %d batches, occupancy %.1f frames/visit",
+		st.PolledFrames, st.PollBatches, occupancy)
+	if occupancy <= 1 {
+		t.Errorf("batch occupancy %.2f ≤ 1: batching never amortized a visit (frames=%d batches=%d)",
+			occupancy, st.PolledFrames, st.PollBatches)
+	}
+}
+
+// TestPollBatchEmptyNotCounted pins the occupancy counters' definition:
+// idle drains (no frame visible) must not tick PollBatches, or idle
+// polling would flatten the occupancy signal toward zero.
+func TestPollBatchEmptyNotCounted(t *testing.T) {
+	d, _ := pair(t, fastParams())
+	batch := make([]*wire.Packet, 8)
+	for i := 0; i < 50; i++ {
+		if n := d.PollBatch(batch); n != 0 {
+			t.Fatalf("idle PollBatch returned %d frames", n)
+		}
+	}
+	st := d.Stats()
+	if st.PollBatches != 0 || st.PolledFrames != 0 {
+		t.Errorf("idle drains counted: PollBatches=%d PolledFrames=%d, want 0/0",
+			st.PollBatches, st.PolledFrames)
+	}
+	if st.Polls != 50 {
+		t.Errorf("Polls = %d, want 50 (batched drains still count as poll visits)", st.Polls)
+	}
+}

@@ -179,6 +179,16 @@ type Stats struct {
 	DataBytes  uint64
 	Polls      uint64
 	Recvs      uint64
+	// PollBatches counts non-empty batched drains (PollBatch calls that
+	// returned at least one frame); PolledFrames counts the frames those
+	// drains returned. Their ratio is the receive path's batch occupancy:
+	// how many frames each paid-for inbox visit amortized. A ratio above
+	// 1 means batching engages; at exactly 1 the batched path is
+	// behaving like per-frame Poll. Empty drains are deliberately not
+	// counted — idle polling would otherwise flatten the occupancy
+	// signal to near zero.
+	PollBatches  uint64
+	PolledFrames uint64
 	// SendErrs counts submissions the transport rejected synchronously
 	// (endpoint closed, peer unreachable, payload too large) — always
 	// zero on the simulator. A real transport can also lose packets it
@@ -212,6 +222,8 @@ type Driver struct {
 	dataBytes  atomic.Uint64
 	polls      atomic.Uint64
 	recvs      atomic.Uint64
+	batches    atomic.Uint64
+	batchedPks atomic.Uint64
 	sendErrs   atomic.Uint64
 }
 
@@ -421,6 +433,30 @@ func (d *Driver) Poll() *wire.Packet {
 	return p
 }
 
+// PollBatch drains up to len(into) arrived packets in one endpoint
+// visit, returning how many it wrote — the amortized receive path the
+// engine's progress loop drives. Reception costs (the SHM copy charge)
+// are paid per frame exactly as Poll charges them; the batch-occupancy
+// counters (Stats.PollBatches, Stats.PolledFrames) record how much each
+// visit amortized.
+func (d *Driver) PollBatch(into []*wire.Packet) int {
+	d.polls.Add(1)
+	n := d.ep.PollBatch(into)
+	if n > 0 {
+		d.batches.Add(1)
+		d.batchedPks.Add(uint64(n))
+		d.recvs.Add(uint64(n))
+		if d.p.RecvCopies {
+			for _, p := range into[:n] {
+				if len(p.Payload) > 0 {
+					d.p.Cost.ChargeCopy(len(p.Payload))
+				}
+			}
+		}
+	}
+	return n
+}
+
 // BlockingPoll waits up to timeout for a packet, sleeping rather than
 // spinning. It models the interrupt-based blocking call used when no core
 // is idle (§3.2 "Rendezvous management").
@@ -473,16 +509,18 @@ func (d *Driver) ChargeMatchCopy(n int) { d.p.Cost.ChargeCopy(n) }
 // Stats returns a snapshot of activity counters.
 func (d *Driver) Stats() Stats {
 	return Stats{
-		EagerSent:  d.eagerSent.Load(),
-		EagerBytes: d.eagerBytes.Load(),
-		PIOSent:    d.pioSent.Load(),
-		RTSSent:    d.rtsSent.Load(),
-		CTSSent:    d.ctsSent.Load(),
-		DataSent:   d.dataSent.Load(),
-		DataBytes:  d.dataBytes.Load(),
-		Polls:      d.polls.Load(),
-		Recvs:      d.recvs.Load(),
-		SendErrs:   d.sendErrs.Load(),
+		EagerSent:    d.eagerSent.Load(),
+		EagerBytes:   d.eagerBytes.Load(),
+		PIOSent:      d.pioSent.Load(),
+		RTSSent:      d.rtsSent.Load(),
+		CTSSent:      d.ctsSent.Load(),
+		DataSent:     d.dataSent.Load(),
+		DataBytes:    d.dataBytes.Load(),
+		Polls:        d.polls.Load(),
+		Recvs:        d.recvs.Load(),
+		PollBatches:  d.batches.Load(),
+		PolledFrames: d.batchedPks.Load(),
+		SendErrs:     d.sendErrs.Load(),
 	}
 }
 

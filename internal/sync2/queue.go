@@ -21,3 +21,33 @@ func CompactQueue[T any](q []T, head int) ([]T, int) {
 	}
 	return q[:n], 0
 }
+
+// PushRun appends a whole run to a head-indexed FIFO after reclaiming
+// its consumed prefix, under the caller's lock — the producer half of
+// the batched run discipline, shared by the transports' inboxes. It
+// returns the (possibly rebased) slice and head.
+func PushRun[T any](q []T, head int, run []T) ([]T, int) {
+	q, head = CompactQueue(q, head)
+	return append(q, run...), head
+}
+
+// PopRun pops up to len(into) entries off a head-indexed FIFO into the
+// prefix of into, under the caller's lock — the batched counterpart of
+// the per-entry pop, shared by the transports' inboxes so the run
+// discipline (clear every vacated slot, reset the slice on full drain)
+// lives in one place. It returns the (possibly reset) slice, the new
+// head, and how many entries it wrote.
+func PopRun[T any](q []T, head int, into []T) ([]T, int, int) {
+	n := 0
+	var zero T
+	for n < len(into) && head < len(q) {
+		into[n] = q[head]
+		q[head] = zero // the consumers own them now; drop the aliases
+		head++
+		n++
+	}
+	if head == len(q) {
+		q, head = q[:0], 0
+	}
+	return q, head, n
+}
