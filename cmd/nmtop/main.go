@@ -1,0 +1,85 @@
+// Command nmtop is a live top-style view of a running pioman process:
+// it polls the /metrics.json endpoint a workload exposes with -metrics
+// (see cmd/pingpong) and renders per-rail, per-peer and per-engine
+// tables — message rates, batch occupancy, progress and rendezvous
+// latency percentiles, frame loss — refreshed every interval.
+//
+// Usage:
+//
+//	nmtop -addr 127.0.0.1:9377 [-interval 2s] [-n 0] [-clear]
+//
+// The first poll is the rate baseline; every refresh after it prints
+// one table diffed against the previous snapshot (telemetry.Delta), so
+// counters appear as rates and histograms as the interval's p50/p99.
+// -n bounds the number of refreshes (0 runs until interrupted); -clear
+// redraws in place with ANSI clear-screen, for a genuine top feel.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"pioman/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9377", "host:port (or full URL) of the workload's -metrics endpoint")
+	interval := flag.Duration("interval", 2*time.Second, "poll and refresh period")
+	count := flag.Int("n", 0, "number of refreshes to print, 0 to run until interrupted")
+	clear := flag.Bool("clear", false, "redraw in place (ANSI clear-screen) instead of appending tables")
+	flag.Parse()
+
+	url := *addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/metrics.json"
+
+	prev, err := fetchSnapshot(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmtop: %v\n", err)
+		os.Exit(1)
+	}
+	for i := 0; *count == 0 || i < *count; i++ {
+		time.Sleep(*interval)
+		cur, err := fetchSnapshot(url)
+		if err != nil {
+			// The workload exiting mid-watch is the normal way a session
+			// ends; say so and stop rather than spinning on a dead port.
+			fmt.Fprintf(os.Stderr, "nmtop: endpoint gone: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Duration(cur.TakenUnixNano - prev.TakenUnixNano)
+		if elapsed <= 0 {
+			elapsed = *interval
+		}
+		if *clear {
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		fmt.Printf("nmtop @ %s  interval %v  sample %d\n\n", url, *interval, i+1)
+		fmt.Print(renderTop(telemetry.Delta(prev, cur), elapsed))
+		prev = cur
+	}
+}
+
+// fetchSnapshot GETs and decodes one /metrics.json snapshot.
+func fetchSnapshot(url string) (*telemetry.Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var s telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%s: decode: %w", url, err)
+	}
+	return &s, nil
+}

@@ -4,9 +4,14 @@
 // showing sequential request submission on the communicating thread versus
 // event-driven submission on an idle core.
 //
+// With -perfetto the same recorded exchange is also written as Chrome
+// trace-event JSON — loadable at ui.perfetto.dev or chrome://tracing —
+// with one process track per (engine mode, node) and one thread track
+// per core, so the text timeline becomes a scrollable visual one.
+//
 // Usage:
 //
-//	nmtrace [-size 4096] [-compute 20µs]
+//	nmtrace [-size 4096] [-compute 20µs] [-perfetto out.json]
 package main
 
 import (
@@ -17,19 +22,23 @@ import (
 
 	"pioman/internal/core"
 	"pioman/internal/mpi"
+	"pioman/internal/trace"
 )
 
 func main() {
 	size := flag.Int("size", 4096, "message size in bytes")
 	compute := flag.Duration("compute", 20*time.Microsecond, "computation overlapped with the send")
+	perfetto := flag.String("perfetto", "", "also write the traces as Chrome trace-event JSON to this file")
 	flag.Parse()
 
-	for _, mode := range []struct {
-		name string
-		cfg  mpi.Config
+	var streams []trace.ChromeStream
+	for mi, mode := range []struct {
+		name  string
+		short string
+		cfg   mpi.Config
 	}{
-		{"sequential (original NewMadeleine)", mpi.DefaultSequential(2)},
-		{"multithreaded (NewMadeleine + PIOMan)", mpi.DefaultMultithreaded(2)},
+		{"sequential (original NewMadeleine)", "seq", mpi.DefaultSequential(2)},
+		{"multithreaded (NewMadeleine + PIOMan)", "piom", mpi.DefaultMultithreaded(2)},
 	} {
 		cfg := mode.cfg
 		cfg.TraceCapacity = 4096
@@ -41,7 +50,33 @@ func main() {
 		fmt.Println("--- receiver (node 1) ---")
 		w.Node(1).Trace.Dump(os.Stdout)
 		fmt.Println()
+		for rank := 0; rank < 2; rank++ {
+			streams = append(streams, trace.ChromeStream{
+				// Distinct pids per (mode, rank) keep the four tracks
+				// separate in the Perfetto UI.
+				PID:    mi*2 + rank,
+				Name:   fmt.Sprintf("%s node%d", mode.short, rank),
+				Events: w.Node(rank).Trace.Events(),
+			})
+		}
 		w.Close()
+	}
+
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nmtrace:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChromeTrace(f, streams); err != nil {
+			fmt.Fprintln(os.Stderr, "nmtrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "nmtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace-event JSON to %s (open at ui.perfetto.dev)\n", *perfetto)
 	}
 }
 

@@ -23,13 +23,15 @@ import (
 	"pioman/internal/fabric/simfab"
 	"pioman/internal/fabric/tcpfab"
 	"pioman/internal/nic"
+	"pioman/internal/telemetry"
 	"pioman/internal/wire"
 )
 
 // benchRow is one BENCH_pingpong.json record. RTT rows (bench
 // "pingpong_rtt") fill the percentile fields; message-rate rows (bench
-// "pingpong_msgrate" and its per-frame control "pingpong_msgrate_ctrl")
-// fill MsgsPerSec and leave the percentiles zero.
+// "pingpong_msgrate", its per-frame control "pingpong_msgrate_ctrl" and
+// its telemetry-on control "pingpong_msgrate_telem") fill MsgsPerSec
+// and leave the percentiles zero.
 type benchRow struct {
 	Bench       string  `json:"bench"`
 	Backend     string  `json:"backend"`
@@ -107,22 +109,28 @@ func runBenchJSON(path string, quick bool) int {
 	}
 	// The 64-byte message-rate storm: one-way back-to-back frames,
 	// receiver draining through the batched path — the regime where
-	// per-event overhead, not the wire, is the bottleneck. The extra shm
-	// control row drains the identical storm one Poll at a time (the
-	// pre-batch engine shape), so the committed file carries the
-	// amortization the batched path buys, measured in the same
-	// environment.
+	// per-event overhead, not the wire, is the bottleneck. Two extra shm
+	// control rows bracket the main rows in the same environment: one
+	// drains the identical storm one Poll at a time (the pre-batch engine
+	// shape, carrying the amortization the batched path buys), the other
+	// drains it batched with the driver's full telemetry registered —
+	// occupancy histogram and all — carrying the cost of observability,
+	// which the telemetry layer's contract says is within 3% of the
+	// unmetered row.
 	type rateCase struct {
 		bench   string
 		backend int // index into backends
 		batched bool
+		metered bool
 	}
 	rateCases := []rateCase{
-		{"pingpong_msgrate", 0, true},
-		{"pingpong_msgrate", 1, true},
-		{"pingpong_msgrate", 2, true},
-		{"pingpong_msgrate_ctrl", 2, false},
+		{"pingpong_msgrate", 0, true, false},
+		{"pingpong_msgrate", 1, true, false},
+		{"pingpong_msgrate", 2, true, false},
+		{"pingpong_msgrate_ctrl", 2, false, false},
+		{"pingpong_msgrate_telem", 2, true, true},
 	}
+	var shmRate, shmTelemRate float64
 	for _, rc := range rateCases {
 		be := backends[rc.backend]
 		f, err := be.open()
@@ -130,7 +138,7 @@ func runBenchJSON(path string, quick bool) int {
 			fmt.Fprintf(os.Stderr, "pingpong: open %s fabric: %v\n", be.name, err)
 			return 1
 		}
-		row, err := benchOneMsgRate(f, rc.bench, be.name, msgs, be.spinWait, rc.batched)
+		row, err := benchOneMsgRate(f, rc.bench, be.name, msgs, be.spinWait, rc.batched, rc.metered)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pingpong: bench %s %s: %v\n", rc.bench, be.name, err)
@@ -141,8 +149,18 @@ func runBenchJSON(path string, quick bool) int {
 		if !rc.batched {
 			drain = "per-frame drain"
 		}
+		if rc.metered {
+			drain += ", telemetry on"
+			shmTelemRate = row.MsgsPerSec
+		} else if rc.bench == "pingpong_msgrate" && rc.backend == 2 {
+			shmRate = row.MsgsPerSec
+		}
 		fmt.Printf("pingpong: %-4s %8d B  %9.0f msgs/s  (%s, %.2f allocs/msg)\n",
 			be.name, benchMsgRateSize, row.MsgsPerSec, drain, row.AllocsPerOp)
+	}
+	if shmRate > 0 && shmTelemRate > 0 {
+		fmt.Printf("pingpong: telemetry overhead on shm storm: %+.1f%%\n",
+			(shmRate-shmTelemRate)/shmRate*100)
 	}
 	out, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
@@ -265,8 +283,11 @@ func benchOneRTT(f fabric.Fabric, name string, size, warm, iters int, spinWait b
 // receive shape after the batching work); the control drains the
 // identical storm one Driver.Poll at a time (the shape before it). Both
 // recycle every packet through the fabric pools, so allocs-per-message
-// reflects the steady state the engine would pay.
-func benchOneMsgRate(f fabric.Fabric, bench, name string, msgs int, spinWait, batched bool) (benchRow, error) {
+// reflects the steady state the engine would pay. metered registers the
+// driver's full telemetry (counters, lost-frames read, batch-occupancy
+// histogram) in a live registry before the storm — the telemetry-on
+// control row proving observability stays within its 3% rate budget.
+func benchOneMsgRate(f fabric.Fabric, bench, name string, msgs int, spinWait, batched, metered bool) (benchRow, error) {
 	ep0, err := f.Endpoint(0)
 	if err != nil {
 		return benchRow{}, err
@@ -278,6 +299,9 @@ func benchOneMsgRate(f fabric.Fabric, bench, name string, msgs int, spinWait, ba
 	// RealParams carries no modeled CPU costs, so the driver layer adds
 	// exactly its bookkeeping — what the engine pays — to every drain.
 	drv := nic.New(nic.RealParams(), ep1)
+	if metered {
+		drv.RegisterMetrics(telemetry.NewRegistry(), "bench.rail."+name)
+	}
 	payload := make([]byte, benchMsgRateSize)
 	for i := range payload {
 		payload[i] = byte(i*7 + 13)

@@ -29,7 +29,8 @@ func TestBenchJSON(t *testing.T) {
 	}
 	rtt := map[string]int{"sim": 0, "tcp": 0, "shm": 0}
 	rate := map[string]int{"sim": 0, "tcp": 0, "shm": 0}
-	ctrl := 0
+	ctrl, telem := 0, 0
+	var shmRate, telemRate float64
 	for _, r := range rows {
 		if _, ok := rtt[r.Backend]; !ok {
 			t.Errorf("unknown backend %q", r.Backend)
@@ -45,7 +46,7 @@ func TestBenchJSON(t *testing.T) {
 				t.Errorf("backend %s size %d: implausible percentiles p50=%d p99=%d",
 					r.Backend, r.SizeBytes, r.RTTP50Ns, r.RTTP99Ns)
 			}
-		case "pingpong_msgrate", "pingpong_msgrate_ctrl":
+		case "pingpong_msgrate", "pingpong_msgrate_ctrl", "pingpong_msgrate_telem":
 			if r.Bench == "pingpong_msgrate_ctrl" {
 				ctrl++
 				if r.Backend != "shm" {
@@ -54,7 +55,19 @@ func TestBenchJSON(t *testing.T) {
 				if r.BatchOccupancy != 0 {
 					t.Errorf("per-frame control row carries batch occupancy %.1f", r.BatchOccupancy)
 				}
+			} else if r.Bench == "pingpong_msgrate_telem" {
+				telem++
+				telemRate = r.MsgsPerSec
+				if r.Backend != "shm" {
+					t.Errorf("telemetry row on backend %q, want shm", r.Backend)
+				}
+				if r.BatchOccupancy < 1 {
+					t.Errorf("telemetry row occupancy %.2f — batching never engaged", r.BatchOccupancy)
+				}
 			} else {
+				if r.Backend == "shm" {
+					shmRate = r.MsgsPerSec
+				}
 				rate[r.Backend]++
 				// The real transports publish whole bursts before the
 				// drain sees them, so occupancy must clear 1 — batching
@@ -85,5 +98,17 @@ func TestBenchJSON(t *testing.T) {
 	}
 	if ctrl != 1 {
 		t.Errorf("%d per-frame control rows, want 1", ctrl)
+	}
+	if telem != 1 {
+		t.Errorf("%d telemetry-on control rows, want 1", telem)
+	}
+	// The telemetry-on storm must stay in the same ballpark as the
+	// unmetered one. The committed acceptance bound is 3% on a quiet
+	// host; a loaded CI runner's quick segments are noisier, so this
+	// test only rejects wholesale collapse (>25%) — the real comparison
+	// is the two rows in BENCH_pingpong.json.
+	if shmRate > 0 && telemRate < shmRate*0.75 {
+		t.Errorf("telemetry-on shm rate %.0f msgs/s is more than 25%% below unmetered %.0f",
+			telemRate, shmRate)
 	}
 }

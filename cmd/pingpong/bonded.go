@@ -32,6 +32,7 @@ import (
 	"pioman/internal/fabric/tcpfab"
 	"pioman/internal/mpi"
 	"pioman/internal/nic"
+	"pioman/internal/telemetry"
 	"pioman/internal/topo"
 )
 
@@ -62,8 +63,9 @@ const bondedRounds = 2
 // runBonded executes one rank of the two-process bonded-rail sweep and
 // returns the process exit code. listen/connect pick the TCP role (and
 // the rank: -listen is 0), shmDir the shared ring directory; on rank 0 a
-// non-empty jsonPath receives the bonded BENCH rows.
-func runBonded(listen, connect, shmDir string, quick bool, jsonPath string) int {
+// non-empty jsonPath receives the bonded BENCH rows. metrics, when
+// non-nil, receives the world's engine/rail registrations (-metrics).
+func runBonded(listen, connect, shmDir string, quick bool, jsonPath string, metrics *telemetry.Registry) int {
 	iters := 40
 	if quick {
 		iters = 10
@@ -120,6 +122,7 @@ func runBonded(listen, connect, shmDir string, quick bool, jsonPath string) int 
 		WaitSpin:     2 * time.Millisecond,
 		WatcherCheck: 500 * time.Microsecond,
 		Machine:      topo.Machine{Sockets: 1, CoresPerSocket: 2},
+		Metrics:      metrics,
 	}, []mpi.Rail{
 		{Params: tcpRail, Ep: tep},
 		{Params: nic.ShmParams(), Ep: sep},

@@ -57,6 +57,18 @@
 //
 // In bonded mode, -json instead merges the bonded rows (backends "tcp",
 // "shm" and "multirail" at the rendezvous sizes) into that file on rank 0.
+//
+// With -metrics the process serves its live telemetry registry over HTTP
+// while the sweep runs — Prometheus text at /metrics, the full snapshot
+// as JSON at /metrics.json (what cmd/nmtop polls):
+//
+//	pingpong -metrics 127.0.0.1:9377          # curl either endpoint mid-run
+//
+// In the default simulated sweep the multithreaded engine's world is the
+// metered one (metric names are keyed by node rank, so one world owns
+// the registry at a time); real and bonded runs meter their single
+// world. -linger keeps the endpoint up for that long after the sweep
+// finishes, so scripted scrapes (CI's bench smoke) never race the exit.
 package main
 
 import (
@@ -70,10 +82,12 @@ import (
 	"pioman/internal/core"
 	"pioman/internal/exp"
 	"pioman/internal/fabric"
+	"pioman/internal/fabric/bufpool"
 	"pioman/internal/fabric/shmfab"
 	"pioman/internal/fabric/tcpfab"
 	"pioman/internal/mpi"
 	"pioman/internal/nic"
+	"pioman/internal/telemetry"
 	"pioman/internal/topo"
 )
 
@@ -86,6 +100,8 @@ func main() {
 	shmDir := flag.String("shm", "", "run over real shared memory, ring files in this fresh directory (replaces the simulated -rails set; alone it needs -rank; with -listen/-connect it bonds shm with TCP)")
 	rank := flag.Int("rank", 0, "with -shm alone: this process's rank (0 sweeps, 1 echoes)")
 	jsonPath := flag.String("json", "", "alone: write the three-backend (sim, tcp loopback, shm) RTT/allocation rows to this file and exit; in bonded mode: merge the bonded tcp/shm/multirail rows into this file (rank 0)")
+	metricsAddr := flag.String("metrics", "", "serve live telemetry over HTTP on this address while the sweep runs: Prometheus text at /metrics, JSON at /metrics.json (port 0 picks one, printed on startup)")
+	linger := flag.Duration("linger", 0, "with -metrics: keep the endpoint up this long after the sweep, so scripted scrapes never race the exit")
 	flag.Parse()
 	exp.Quick = *quick
 
@@ -104,7 +120,40 @@ func main() {
 		if real || rankSet || railsSet {
 			fail("-json runs its own in-process three-backend benchmark; outside bonded mode (-listen/-connect together with -shm) it cannot be combined with -listen/-connect/-shm/-rank/-rails")
 		}
+		if *metricsAddr != "" {
+			fail("-json benchmarks raw endpoints with its own metered/unmetered rows; it has no engine world for -metrics to expose")
+		}
 		os.Exit(runBenchJSON(*jsonPath, *quick))
+	}
+	if *linger != 0 && *metricsAddr == "" {
+		fail("-linger keeps the -metrics endpoint alive; it does nothing without -metrics")
+	}
+
+	// The telemetry endpoint, when asked for: every run mode below feeds
+	// this registry (the default sweep meters the multithreaded world;
+	// real and bonded runs meter their single world). finish replaces
+	// os.Exit so the endpoint can linger past the sweep for scripted
+	// scrapes before the process goes away.
+	var metrics *telemetry.Registry
+	if *metricsAddr != "" {
+		metrics = telemetry.NewRegistry()
+		// Process-wide metrics exist from the first scrape; node-keyed
+		// ones appear when the metered world starts (the default sweep's
+		// unmetered sequential baseline runs first).
+		bufpool.RegisterMetrics(metrics)
+		addr, _, err := telemetry.Serve(metrics, *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pingpong: metrics endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pingpong: serving telemetry on http://%s/metrics (JSON at /metrics.json)\n", addr)
+	}
+	finish := func(code int) {
+		if metrics != nil && *linger > 0 {
+			fmt.Printf("pingpong: holding telemetry endpoint for %v\n", *linger)
+			time.Sleep(*linger)
+		}
+		os.Exit(code)
 	}
 	if *listen != "" && *connect != "" {
 		fail("-listen and -connect are mutually exclusive: one process accepts, the other dials")
@@ -128,10 +177,10 @@ func main() {
 	}
 
 	if bonded {
-		os.Exit(runBonded(*listen, *connect, *shmDir, *quick, *jsonPath))
+		finish(runBonded(*listen, *connect, *shmDir, *quick, *jsonPath, metrics))
 	}
 	if real {
-		os.Exit(runReal(*listen, *connect, *shmDir, *rank, *quick))
+		finish(runReal(*listen, *connect, *shmDir, *rank, *quick, metrics))
 	}
 
 	var sizes []int
@@ -140,8 +189,13 @@ func main() {
 	}
 	fmt.Println(exp.FormatPingpong(exp.RunPingpongRails(core.Sequential, sizes, withSHM),
 		"Pingpong, sequential baseline (original NewMadeleine)"))
+	// Meter the PIOMan-enabled sweep: names are rank-keyed, so only one
+	// world registers per process lifetime (the registry rejects
+	// duplicates by design — silent double-counting would be worse).
+	exp.Metrics = metrics
 	fmt.Println(exp.FormatPingpong(exp.RunPingpongRails(core.Multithreaded, sizes, withSHM),
 		"Pingpong, multithreaded engine (NewMadeleine + PIOMan)"))
+	finish(0)
 }
 
 // fail prints a usage error and exits with the flag-error convention.
@@ -163,8 +217,9 @@ var realSizes = []int{64, 1 << 10, 4 << 10, 32 << 10, 64 << 10, 256 << 10}
 
 // runReal executes one rank of the two-process pingpong over a real
 // transport — TCP when listen/connect is set, shared-memory rings when
-// shmDir is — and returns the process exit code.
-func runReal(listen, connect, shmDir string, shmRank int, quick bool) int {
+// shmDir is — and returns the process exit code. metrics, when non-nil,
+// receives the world's engine/rail registrations (-metrics).
+func runReal(listen, connect, shmDir string, shmRank int, quick bool, metrics *telemetry.Registry) int {
 	iters := 50
 	if quick {
 		iters = 5
@@ -232,6 +287,7 @@ func runReal(listen, connect, shmDir string, shmRank int, quick bool) int {
 		// the peer process (shm) on small hosts.
 		NoIdlePolling: true,
 		Machine:       topo.Machine{Sockets: 1, CoresPerSocket: 2},
+		Metrics:       metrics,
 	}, rail, ep)
 	defer w.Close()
 

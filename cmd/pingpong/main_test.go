@@ -103,7 +103,7 @@ func TestHelperRank0(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "rank0" {
 		t.Skip("helper entry point")
 	}
-	if code := runReal("127.0.0.1:0", "", "", 0, true); code != 0 {
+	if code := runReal("127.0.0.1:0", "", "", 0, true, nil); code != 0 {
 		t.Fatalf("rank 0 exited %d", code)
 	}
 }
@@ -113,7 +113,7 @@ func TestHelperRank1(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "rank1" {
 		t.Skip("helper entry point")
 	}
-	if code := runReal("", os.Getenv("PINGPONG_CONNECT"), "", 0, true); code != 0 {
+	if code := runReal("", os.Getenv("PINGPONG_CONNECT"), "", 0, true, nil); code != 0 {
 		t.Fatalf("rank 1 exited %d", code)
 	}
 }
@@ -298,7 +298,7 @@ func TestHelperBondedRank0(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "bonded0" {
 		t.Skip("helper entry point")
 	}
-	code := runBonded("127.0.0.1:0", "", os.Getenv("PINGPONG_SHM"), true, os.Getenv("PINGPONG_JSON"))
+	code := runBonded("127.0.0.1:0", "", os.Getenv("PINGPONG_SHM"), true, os.Getenv("PINGPONG_JSON"), nil)
 	if code != 0 {
 		t.Fatalf("rank 0 exited %d", code)
 	}
@@ -309,7 +309,7 @@ func TestHelperBondedRank1(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "bonded1" {
 		t.Skip("helper entry point")
 	}
-	if code := runBonded("", os.Getenv("PINGPONG_CONNECT"), os.Getenv("PINGPONG_SHM"), true, ""); code != 0 {
+	if code := runBonded("", os.Getenv("PINGPONG_CONNECT"), os.Getenv("PINGPONG_SHM"), true, "", nil); code != 0 {
 		t.Fatalf("rank 1 exited %d", code)
 	}
 }
@@ -320,7 +320,7 @@ func TestHelperShmRank0(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "shmrank0" {
 		t.Skip("helper entry point")
 	}
-	if code := runReal("", "", os.Getenv("PINGPONG_SHM"), 0, true); code != 0 {
+	if code := runReal("", "", os.Getenv("PINGPONG_SHM"), 0, true, nil); code != 0 {
 		t.Fatalf("rank 0 exited %d", code)
 	}
 }
@@ -330,7 +330,7 @@ func TestHelperShmRank1(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "shmrank1" {
 		t.Skip("helper entry point")
 	}
-	if code := runReal("", "", os.Getenv("PINGPONG_SHM"), 1, true); code != 0 {
+	if code := runReal("", "", os.Getenv("PINGPONG_SHM"), 1, true, nil); code != 0 {
 		t.Fatalf("rank 1 exited %d", code)
 	}
 }

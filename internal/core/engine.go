@@ -29,6 +29,7 @@ import (
 	"pioman/internal/piom"
 	"pioman/internal/sched"
 	"pioman/internal/sync2"
+	"pioman/internal/telemetry"
 	"pioman/internal/trace"
 	"pioman/internal/wire"
 )
@@ -85,6 +86,16 @@ type Config struct {
 	WaitSpin time.Duration
 	// Trace, if non-nil, records engine events.
 	Trace *trace.Recorder
+	// Metrics, if non-nil, registers the engine's counters, latency
+	// histograms, and every rail driver's counters with the registry
+	// under "node<rank>.*" names (docs/OBSERVABILITY.md catalogs them).
+	// Leaving it nil keeps the engine exactly as unmetered as before:
+	// recording sites guard on one nil check.
+	Metrics *telemetry.Registry
+	// MetricsPeers sizes the per-peer counter families
+	// ("node<rank>.peer.<k>.*") — normally the world's node count. Zero
+	// registers no per-peer series.
+	MetricsPeers int
 }
 
 // Stats counts engine activity.
@@ -194,6 +205,10 @@ type Engine struct {
 	nUnexp    atomic.Uint64
 	nAggr     atomic.Uint64
 	nProgress atomic.Uint64
+
+	// tel holds the registered metric handles when Config.Metrics was
+	// set; nil otherwise. Hot paths guard on this one pointer.
+	tel *engineTelemetry
 }
 
 // New creates an engine for node on the given rails. rails[0] is the
@@ -230,6 +245,10 @@ func New(node int, sch *sched.Scheduler, srv *piom.Server, rails []*nic.Driver, 
 	}
 	e.strat = newStrategy(cfg.Strategy)
 	e.mtuOf = func(dst int) int { return e.railFor(dst).MTU() }
+	if cfg.Metrics != nil {
+		e.tel = newEngineTelemetry(cfg.Metrics, e, cfg.MetricsPeers)
+		e.registerRails(cfg.Metrics)
+	}
 	if srv != nil {
 		srv.Register(e)
 	}

@@ -238,7 +238,7 @@ func (e *Engine) drainRail(rail *nic.Driver, core topo.CoreID) bool {
 // packets, which is what keeps the per-event cost of a message storm
 // near zero.
 func (e *Engine) Progress(core topo.CoreID) bool {
-	e.nProgress.Add(1)
+	t0, sampled := e.tel.dwellStart(e.nProgress.Add(1))
 	worked := false
 	if e.pollLock.TryLock() {
 		worked = e.drainWoken(core)
@@ -260,6 +260,9 @@ func (e *Engine) Progress(core topo.CoreID) bool {
 			worked = true
 		}
 	}
+	if sampled {
+		e.tel.dwell.ObserveDuration(time.Since(t0))
+	}
 	return worked
 }
 
@@ -270,7 +273,7 @@ func (e *Engine) Progress(core topo.CoreID) bool {
 // is capped at pollBatchSize frames, the batched analog of the classical
 // big-locked engine's one-event-per-hold discipline.
 func (e *Engine) progressOne(core topo.CoreID) bool {
-	e.nProgress.Add(1)
+	t0, sampled := e.tel.dwellStart(e.nProgress.Add(1))
 	worked := false
 	if e.pollLock.TryLock() {
 		worked = e.drainWoken(core)
@@ -287,6 +290,9 @@ func (e *Engine) progressOne(core topo.CoreID) bool {
 			worked = true
 		}
 		e.submitLock.Unlock()
+	}
+	if sampled {
+		e.tel.dwell.ObserveDuration(time.Since(t0))
 	}
 	return worked
 }
@@ -326,7 +332,17 @@ func (e *Engine) BlockingWait(timeout time.Duration) bool {
 		return true
 	}
 	rail := e.defaultRail()
+	var parkStart time.Time
+	if e.tel != nil {
+		parkStart = time.Now()
+	}
 	p := rail.BlockingPoll(timeout)
+	if e.tel != nil {
+		// Timeouts count too: an always-full park histogram bucket at the
+		// timeout value is the signature of a watcher waiting on a rail
+		// nobody sends on.
+		e.tel.park.ObserveDuration(time.Since(parkStart))
+	}
 	if p == nil {
 		return false
 	}
@@ -454,6 +470,7 @@ func (e *Engine) handlePacket(rail *nic.Driver, core topo.CoreID, p *wire.Packet
 	if e.tracing() {
 		e.cfg.Trace.Recordf(trace.KindWireRecv, int(core), p.Tag, len(p.Payload), "%v from %d", p.Kind, p.Src)
 	}
+	e.tel.notePeerRecv(p.Src)
 	switch p.Kind {
 	case wire.PktEager:
 		ev := getStash()
@@ -642,7 +659,18 @@ func (e *Engine) handleCTS(core topo.CoreID, p *wire.Packet) {
 	if s == nil {
 		return // duplicate CTS; already handled
 	}
+	// Handshake latency stamps: rendezvous CTSes are rare (one per bulk
+	// message), so reading the clock here is off the eager hot path by
+	// construction.
+	var ctsAt time.Time
+	if e.tel != nil && !s.rtsAt.IsZero() {
+		ctsAt = time.Now()
+		e.tel.rtsToCts.ObserveDuration(ctsAt.Sub(s.rtsAt))
+	}
 	e.sendRdvData(core, s)
+	if !ctsAt.IsZero() {
+		e.tel.ctsToData.ObserveDuration(time.Since(ctsAt))
+	}
 	if e.tracing() {
 		e.cfg.Trace.Recordf(trace.KindComplete, int(core), s.tag, s.Len(), "rdv send msgid=%d", s.msgID)
 	}

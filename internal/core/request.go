@@ -53,6 +53,11 @@ type SendReq struct {
 	// ctsSeen is set when the rendezvous acknowledgement arrived; guarded
 	// by qlock.
 	ctsSeen bool
+	// rtsAt stamps when the RTS was posted, for the metered engine's
+	// handshake-latency histogram. Only set when metrics are attached,
+	// and only on the rendezvous path — the eager hot path never reads
+	// the clock for it.
+	rtsAt time.Time
 }
 
 // Dst returns the destination node.
@@ -157,9 +162,13 @@ func (e *Engine) Isend(dst, tag int, data []byte) *SendReq {
 	r.rdv = len(data) > rail.EagerMax()
 	e.sendSeq.Add(1)
 	e.nSends.Add(1)
+	e.tel.notePeerSent(dst)
 
 	if r.rdv {
 		r.msgID = e.msgID.Add(1)
+		if e.tel != nil {
+			r.rtsAt = time.Now()
+		}
 		e.qlock.Lock()
 		r.seq = e.orderOut[dst] + 1
 		e.orderOut[dst] = r.seq

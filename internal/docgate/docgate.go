@@ -36,6 +36,10 @@ func GatedDirsFromRoot() []string {
 		// simulator the sim backend adapts, including the batched
 		// PollBatch drain), so it is held to the same standard.
 		"internal/wire",
+		// internal/telemetry is the observability contract every layer
+		// registers into (docs/OBSERVABILITY.md); its exported surface
+		// is what nmtop and external scrapers build on.
+		"internal/telemetry",
 	}
 }
 

@@ -11,11 +11,19 @@ import (
 	"pioman/internal/mpi"
 	"pioman/internal/ptime"
 	"pioman/internal/stats"
+	"pioman/internal/telemetry"
 	"pioman/internal/topo"
 )
 
 // Quick reduces iteration counts for smoke tests and -short runs.
 var Quick = false
+
+// Metrics, when non-nil, is passed into the worlds the harness creates
+// so their engines, rails and event servers register in it
+// (cmd/pingpong's -metrics endpoint reads it live). Metric names are
+// keyed by node rank and a registry panics on duplicates, so meter one
+// world at a time: set it around a single sweep and clear it after.
+var Metrics *telemetry.Registry
 
 // iters returns (warmup, measured) honoring Quick mode.
 func iters(warmup, measured int) (int, int) {

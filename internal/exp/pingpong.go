@@ -39,6 +39,7 @@ func RunPingpongRails(mode core.Mode, sizes []int, withSHM bool) []PingpongRow {
 	if !withSHM {
 		cfg.SHM = nic.Params{}
 	}
+	cfg.Metrics = Metrics
 	w := mpi.NewWorld(cfg)
 	defer w.Close()
 	rows := make([]PingpongRow, 0, len(sizes))

@@ -6,6 +6,8 @@ import (
 
 	"pioman/internal/fabric"
 	"pioman/internal/fabric/shmfab"
+	"pioman/internal/nic"
+	"pioman/internal/telemetry"
 	"pioman/internal/testenv"
 	"pioman/internal/wire"
 )
@@ -203,5 +205,70 @@ func TestEagerRoundTripAllocs(t *testing.T) {
 	}
 	if allocs > maxSteadyStateAllocs {
 		t.Errorf("4KiB eager round trip allocates %.1f/op, budget %d", allocs, maxSteadyStateAllocs)
+	}
+}
+
+// TestMeteredDriverDrainAllocs pins the telemetry-on receive path at the
+// driver layer: the same burst-and-drain shape as TestPollBatchDrainAllocs
+// but through nic.Driver with a telemetry registry attached — every
+// counter registered and the batch-occupancy histogram observing each
+// drain. Metric recording is atomic adds on pre-registered handles, so
+// the budget is unchanged from the unmetered path; a regression here
+// means observability started taxing the hot path it exists to watch.
+func TestMeteredDriverDrainAllocs(t *testing.T) {
+	skipUnderRace(t)
+	f, err := shmfab.NewLocal(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, err := f.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := f.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := nic.New(nic.ShmParams(), ep0)
+	recv := nic.New(nic.ShmParams(), ep1)
+	reg := telemetry.NewRegistry()
+	send.RegisterMetrics(reg, "node0.rail.shm")
+	recv.RegisterMetrics(reg, "node1.rail.shm")
+
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i*3 + 1)
+	}
+	const burst = 16
+	batch := make([]*wire.Packet, burst)
+	var seq uint64
+	burstDrain := func() {
+		for i := 0; i < burst; i++ {
+			seq++
+			send.SendEager(nic.Header{Src: 0, Dst: 1, Tag: 7, Seq: seq}, payload)
+		}
+		got := 0
+		for got < burst {
+			n := recv.PollBatch(batch[:burst-got])
+			for _, p := range batch[:n] {
+				fabric.ReleasePacket(p)
+			}
+			got += n
+		}
+	}
+	for i := 0; i < 10; i++ { // warm rings, scratch buffers and pools
+		burstDrain()
+	}
+	allocs := testing.AllocsPerRun(200, burstDrain)
+	if allocs > maxSteadyStateAllocs {
+		t.Errorf("metered 16-frame driver drain allocates %.1f/op, budget %d", allocs, maxSteadyStateAllocs)
+	}
+	snap := reg.Snapshot()
+	if occ := snap.Get("node1.rail.shm.batch_occupancy"); occ == nil || occ.Hist.Count == 0 {
+		t.Fatal("occupancy histogram recorded nothing — metering detached, assertion vacuous")
+	}
+	if sent := snap.Value("node0.rail.shm.eager_sent"); sent == 0 {
+		t.Fatal("eager_sent counter recorded nothing")
 	}
 }

@@ -25,6 +25,8 @@ import (
 	"math/bits"
 	"sync"
 	"unsafe"
+
+	"pioman/internal/telemetry"
 )
 
 const (
@@ -42,6 +44,42 @@ const (
 // MaxPooled is the largest request the pool serves from a class;
 // larger buffers are plainly allocated and never recycled.
 const MaxPooled = 1 << maxClassBits
+
+// Pool traffic counters. The pool is process-global and hammered from
+// every rail's receive goroutine at once, so these are sharded: an Inc
+// costs one cache-local atomic add and never serializes rails on a
+// shared line. They are always on — the cost is identical whether or not
+// a registry reads them, which keeps bench comparisons honest.
+var (
+	hits   telemetry.ShardedCounter // Get served from a class pool
+	misses telemetry.ShardedCounter // Get fell back to make (cold class or oversized)
+	puts   telemetry.ShardedCounter // Put recycled a buffer into its class
+	drops  telemetry.ShardedCounter // Put dropped a foreign or oversized buffer
+)
+
+// Stats is a point-in-time capture of the pool counters.
+type Stats struct {
+	Hits   uint64 // Gets served from a class pool
+	Misses uint64 // Gets that allocated (cold class or > MaxPooled)
+	Puts   uint64 // buffers recycled into a class
+	Drops  uint64 // buffers rejected by Put
+}
+
+// Snapshot returns the current pool counters.
+func Snapshot() Stats {
+	return Stats{Hits: hits.Load(), Misses: misses.Load(), Puts: puts.Load(), Drops: drops.Load()}
+}
+
+// RegisterMetrics registers the pool's counters with reg under
+// "process.bufpool.*". The pool is process-global, so the names carry no
+// node prefix; in-process multi-node worlds share one pool and one set
+// of series.
+func RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCounter("process.bufpool.hits", "buffer gets served from a size-class pool", hits.Load)
+	reg.RegisterCounter("process.bufpool.misses", "buffer gets that fell back to allocation", misses.Load)
+	reg.RegisterCounter("process.bufpool.puts", "buffers recycled into a size class", puts.Load)
+	reg.RegisterCounter("process.bufpool.drops", "buffers rejected by Put (foreign or oversized)", drops.Load)
+}
 
 // pools[i] holds buffers of exactly 1<<(minClassBits+i) bytes capacity.
 // Each entry stores an unsafe.Pointer to the buffer's first byte rather
@@ -72,11 +110,14 @@ func classSize(c int) int { return 1 << (minClassBits + c) }
 func Get(n int) []byte {
 	c := classFor(n)
 	if c < 0 {
+		misses.Inc()
 		return make([]byte, n)
 	}
 	if p, _ := pools[c].Get().(unsafe.Pointer); p != nil {
+		hits.Inc()
 		return unsafe.Slice((*byte)(p), classSize(c))[:n]
 	}
+	misses.Inc()
 	return make([]byte, n, classSize(c))
 }
 
@@ -89,8 +130,10 @@ func Get(n int) []byte {
 func Put(b []byte) {
 	c := classFor(cap(b))
 	if c < 0 || cap(b) != classSize(c) {
+		drops.Inc()
 		return
 	}
+	puts.Inc()
 	b = b[:1] // non-empty reslice so &b[0] addresses the backing array
 	pools[c].Put(unsafe.Pointer(&b[0]))
 }

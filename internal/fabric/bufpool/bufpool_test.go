@@ -86,6 +86,31 @@ func TestGetPutAllocFree(t *testing.T) {
 	}
 }
 
+// TestCountersTrackTraffic checks the pool's telemetry counters move the
+// right way for hit, miss, put and drop paths. Absolute values are
+// deltas, since other tests (and parallel packages) share the global
+// pool.
+func TestCountersTrackTraffic(t *testing.T) {
+	before := Snapshot()
+	Put(Get(4096)) // warm: one get (hit or miss) + one put
+	Put(Get(4096)) // now guaranteed hit + put
+	Put(make([]byte, 300, 300))
+	Get(MaxPooled + 1)
+	after := Snapshot()
+	if after.Hits <= before.Hits {
+		t.Errorf("hits did not advance: %d -> %d", before.Hits, after.Hits)
+	}
+	if after.Puts < before.Puts+2 {
+		t.Errorf("puts advanced %d, want >= 2", after.Puts-before.Puts)
+	}
+	if after.Drops != before.Drops+1 {
+		t.Errorf("drops advanced %d, want 1", after.Drops-before.Drops)
+	}
+	if after.Misses < before.Misses+1 {
+		t.Errorf("misses advanced %d, want >= 1 (oversized get)", after.Misses-before.Misses)
+	}
+}
+
 func BenchmarkGetPut4K(b *testing.B) {
 	Put(Get(4096))
 	b.ReportAllocs()

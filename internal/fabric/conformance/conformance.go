@@ -25,6 +25,7 @@ import (
 	"pioman/internal/fabric"
 	"pioman/internal/mpi"
 	"pioman/internal/nic"
+	"pioman/internal/telemetry"
 	"pioman/internal/topo"
 	"pioman/internal/wire"
 )
@@ -686,6 +687,78 @@ func RunRailFailover(t *testing.T, open OpenFabric) {
 		}
 		if ep0.(fabric.LossCounter).LostFrames() == 0 {
 			t.Error("lossy rail counted no lost frames: striping never placed a chunk on it")
+		}
+	})
+}
+
+// RunTelemetrySnapshot runs the observability case against the backend:
+// the RailFailover scenario (bonded rails, the secondary wrapped in
+// Lossy) with a telemetry registry attached to the world, asserting the
+// rail failure is visible in a registry snapshot — the lossy rail's
+// "node0.rail.railB.lost_frames" series must be nonzero the moment the
+// transfer completes. The lost_frames metric is registered as a live
+// read of the transport's loss counter, not a copy updated on some
+// export cadence, so the snapshot cannot lag the failure by more than
+// the progress tick that detected it. The case also pins the naming
+// scheme end to end: engine, rail and per-peer series all present under
+// their documented names for a real bonded world.
+func RunTelemetrySnapshot(t *testing.T, open OpenFabric) {
+	t.Run("TelemetrySnapshot", func(t *testing.T) {
+		good := open(t, 2)
+		lossy := NewLossy(open(t, 2))
+		mk := func(name string) nic.Params {
+			return nic.Params{
+				Name:         name,
+				Link:         wire.MYRI10G(),
+				EagerMax:     32 << 10,
+				MTU:          64 << 10,
+				StripeWeight: 1,
+			}
+		}
+		reg := telemetry.NewRegistry()
+		w := mpi.NewWorld(mpi.Config{
+			Nodes:          2,
+			Machine:        topo.Machine{Sockets: 1, CoresPerSocket: 2},
+			Mode:           core.Multithreaded,
+			OffloadEager:   true,
+			EnableBlocking: true,
+			Strategy:       "multirail",
+			MultirailMin:   64 << 10,
+			MX:             mk("railA"),
+			ExtraRails:     []nic.Params{mk("railB")},
+			Fabrics:        map[string]fabric.Fabric{"railA": good, "railB": lossy},
+			Metrics:        reg,
+		})
+		defer closeWorld(t, w)
+		msg := patterned(256 << 10)
+		w.RunAll(func(p *mpi.Proc) {
+			if p.Rank() == 0 {
+				p.Send(1, 5, msg)
+				var ack [1]byte
+				p.Recv(1, 6, ack[:])
+			} else {
+				buf := make([]byte, len(msg))
+				if n, _ := p.Recv(0, 5, buf); n != len(msg) || !bytes.Equal(buf, msg) {
+					t.Errorf("rendezvous over the surviving rail corrupted (n=%d)", n)
+				}
+				p.Send(0, 6, []byte{1})
+			}
+		})
+		snap := reg.Snapshot()
+		if lost := snap.Value("node0.rail.railB.lost_frames"); lost == 0 {
+			t.Error("rail failure invisible in snapshot: node0.rail.railB.lost_frames is 0")
+		}
+		if sent := snap.Value("node0.rail.railA.data_sent"); sent == 0 {
+			t.Error("surviving rail shows no rendezvous data in snapshot")
+		}
+		if rdv := snap.Value("node0.engine.rdv_started"); rdv == 0 {
+			t.Error("engine rendezvous counter missing from snapshot")
+		}
+		if got := snap.Value("node1.peer.0.recv_frames"); got == 0 {
+			t.Error("per-peer receive counter missing from snapshot")
+		}
+		if hs := snap.Get("node0.engine.rdv_rts_to_cts_ns"); hs == nil || hs.Hist.Count == 0 {
+			t.Error("rendezvous handshake-latency histogram recorded nothing")
 		}
 	})
 }

@@ -79,6 +79,19 @@ func TestRailFailoverConformance(t *testing.T) {
 	})
 }
 
+// TestTelemetrySnapshotConformance runs the observability case: a bonded
+// world with a metrics registry attached, the lossy rail's failure
+// visible in a registry snapshot under its documented name.
+func TestTelemetrySnapshotConformance(t *testing.T) {
+	conformance.RunTelemetrySnapshot(t, func(t *testing.T, nodes int) fabric.Fabric {
+		l, err := shmfab.NewLocal(nodes, t.TempDir())
+		if err != nil {
+			t.Fatalf("NewLocal(%d): %v", nodes, err)
+		}
+		return l
+	})
+}
+
 // TestWorldShmRailReplacesSimulated pins the wiring the ROADMAP asked
 // for: an in-process world keeps its simulated MX inter-node rail while
 // the "shm" rail key swaps the simulated intra-node channel for real

@@ -48,6 +48,15 @@ func TestRailFailoverConformance(t *testing.T) {
 	})
 }
 
+// TestTelemetrySnapshotConformance runs the observability case: a bonded
+// world with a metrics registry attached, the lossy rail's failure
+// visible in a registry snapshot under its documented name.
+func TestTelemetrySnapshotConformance(t *testing.T) {
+	conformance.RunTelemetrySnapshot(t, func(t *testing.T, nodes int) fabric.Fabric {
+		return simfab.New(wire.NewFabric(nodes, wire.MYRI10G()))
+	})
+}
+
 // TestWorldConformanceExplicitFabric pins the Fabrics override path: a
 // simfab instance supplied through the config must behave identically to
 // the implicit one.

@@ -77,6 +77,19 @@ func TestRailFailoverConformance(t *testing.T) {
 	})
 }
 
+// TestTelemetrySnapshotConformance runs the observability case: a bonded
+// world with a metrics registry attached, the lossy rail's failure
+// visible in a registry snapshot under its documented name.
+func TestTelemetrySnapshotConformance(t *testing.T) {
+	conformance.RunTelemetrySnapshot(t, func(t *testing.T, nodes int) fabric.Fabric {
+		l, err := tcpfab.NewLocal(nodes)
+		if err != nil {
+			t.Fatalf("NewLocal(%d): %v", nodes, err)
+		}
+		return l
+	})
+}
+
 // TestStrictFIFO pins the stronger ordering tcpfab provides beyond the
 // portable contract: one sender's stream arrives in exact send order.
 func TestStrictFIFO(t *testing.T) {

@@ -9,27 +9,23 @@ import (
 	"pioman/internal/fabric/shmfab"
 	"pioman/internal/mpi"
 	"pioman/internal/nic"
+	"pioman/internal/telemetry"
 	"pioman/internal/testenv"
 )
 
-// TestEngineEagerRoundTripAllocs asserts the end-to-end budget of the
-// zero-allocation hot path at the top of the stack: a steady-state
+// engineRoundTripAllocs measures the steady-state malloc count of a
 // 4 KiB eager round trip through the full engine (Isend/Irecv, strategy
-// queue, nic driver, shared-memory rings, matching, delivery) allocates
-// at most a couple of objects per exchange once the freelists are warm.
-// It runs the Sequential engine — progress is driven inline by the two
-// communicating threads, so there are no background pollers allocating
-// on their own schedule — and measures the process-wide malloc count
-// around a long measured window, which charges BOTH ranks' halves of
-// every exchange to the budget. Since the engine's progress passes drain
-// arrivals through the batched receive path (PollBatch into the
-// engine's construction-sized batch buffer), this assertion also pins
-// that the batched path stays on budget — the buffer is reused, never
-// grown per pass.
-func TestEngineEagerRoundTripAllocs(t *testing.T) {
-	if testenv.RaceEnabled {
-		t.Skip("allocation counts are meaningless under the race detector")
-	}
+// queue, nic driver, shared-memory rings, matching, delivery) with or
+// without a telemetry registry attached. It runs the Sequential engine —
+// progress is driven inline by the two communicating threads, so there
+// are no background pollers allocating on their own schedule — and
+// measures the process-wide malloc count around a long measured window,
+// which charges BOTH ranks' halves of every exchange to the budget.
+// Since the engine's progress passes drain arrivals through the batched
+// receive path (PollBatch into the engine's construction-sized batch
+// buffer), this also pins that the batched path stays on budget.
+func engineRoundTripAllocs(t *testing.T, reg *telemetry.Registry) float64 {
+	t.Helper()
 	shm, err := shmfab.NewLocal(2, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +37,7 @@ func TestEngineEagerRoundTripAllocs(t *testing.T) {
 		Fabrics: map[string]fabric.Fabric{
 			"shm": shm,
 		},
+		Metrics: reg,
 	}
 	w := mpi.NewWorld(cfg)
 	defer w.Close()
@@ -50,12 +47,6 @@ func TestEngineEagerRoundTripAllocs(t *testing.T) {
 		meas  = 500
 		size  = 4 << 10
 		tagRT = 5
-		// budget is allocs per round trip — two sends plus two receives
-		// across both ranks. The raw fabric path is allocation-free
-		// (internal/fabric's alloc tests pin that at ≤2); the engine adds
-		// scheduler yields and bookkeeping that allocate rarely, so the
-		// end-to-end ceiling stays low but not zero.
-		budget = 2.0
 	)
 	var perOp float64
 	w.RunAll(func(p *mpi.Proc) {
@@ -84,8 +75,55 @@ func TestEngineEagerRoundTripAllocs(t *testing.T) {
 		}
 		p.Barrier()
 	})
-	t.Logf("engine 4KiB eager round trip: %.2f allocs/op (budget %.1f)", perOp, budget)
-	if perOp > budget {
-		t.Errorf("engine 4KiB eager round trip allocates %.2f/op, budget %.1f", perOp, budget)
+	return perOp
+}
+
+// budget is allocs per round trip — two sends plus two receives across
+// both ranks. The raw fabric path is allocation-free (internal/fabric's
+// alloc tests pin that at ≤2); the engine adds scheduler yields and
+// bookkeeping that allocate rarely, so the end-to-end ceiling stays low
+// but not zero. The telemetry-on test asserts the SAME budget: metric
+// recording must be allocation-free by construction.
+const engineAllocBudget = 2.0
+
+// TestEngineEagerRoundTripAllocs asserts the end-to-end budget of the
+// zero-allocation hot path at the top of the stack, unmetered.
+func TestEngineEagerRoundTripAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	perOp := engineRoundTripAllocs(t, nil)
+	t.Logf("engine 4KiB eager round trip: %.2f allocs/op (budget %.1f)", perOp, engineAllocBudget)
+	if perOp > engineAllocBudget {
+		t.Errorf("engine 4KiB eager round trip allocates %.2f/op, budget %.1f", perOp, engineAllocBudget)
+	}
+}
+
+// TestEngineEagerRoundTripAllocsMetered repeats the measurement with a
+// full telemetry registry attached (engine + rails + per-peer counters +
+// occupancy histograms live) and holds the hot path to the same
+// allocation budget: turning observability on must not cost the
+// zero-allocation property the engine's hot path is built around. It
+// also sanity-checks that the registry actually saw the traffic, so the
+// assertion cannot pass vacuously with metrics silently detached.
+func TestEngineEagerRoundTripAllocsMetered(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	reg := telemetry.NewRegistry()
+	perOp := engineRoundTripAllocs(t, reg)
+	t.Logf("metered engine 4KiB eager round trip: %.2f allocs/op (budget %.1f)", perOp, engineAllocBudget)
+	if perOp > engineAllocBudget {
+		t.Errorf("metered engine round trip allocates %.2f/op, budget %.1f", perOp, engineAllocBudget)
+	}
+	snap := reg.Snapshot()
+	if sent := snap.Value("node0.engine.sends_posted"); sent < 500 {
+		t.Errorf("registry saw only %d sends from node0, metering appears detached", sent)
+	}
+	if got := snap.Value("node0.peer.1.sent_msgs"); got == 0 {
+		t.Error("per-peer counter node0.peer.1.sent_msgs recorded nothing")
+	}
+	if occ := snap.Get("node0.rail.shm.batch_occupancy"); occ == nil || occ.Hist.Count == 0 {
+		t.Error("rail occupancy histogram recorded nothing")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"pioman/internal/nic"
 	"pioman/internal/piom"
 	"pioman/internal/sched"
+	"pioman/internal/telemetry"
 	"pioman/internal/topo"
 	"pioman/internal/trace"
 	"pioman/internal/wire"
@@ -75,6 +76,13 @@ type Config struct {
 	TimerPeriod time.Duration
 	// TraceCapacity, if positive, attaches an event recorder per node.
 	TraceCapacity int
+	// Metrics, if non-nil, registers every local node's engine, rails,
+	// and event server with the registry (plus the process-wide buffer
+	// pool, once per registry), under the "node<rank>.*" /
+	// "process.bufpool.*" names docs/OBSERVABILITY.md catalogs. The
+	// registry is typically served over HTTP with telemetry.Serve
+	// (pingpong -metrics) and watched with cmd/nmtop.
+	Metrics *telemetry.Registry
 }
 
 // DefaultMultithreaded returns the PIOMan-enabled configuration of the
@@ -273,7 +281,12 @@ func (w *World) startNode(rank int, rails []*nic.Driver) *Node {
 		MultirailMin:    cfg.MultirailMin,
 		WaitSpin:        waitSpin,
 		Trace:           rec,
+		Metrics:         cfg.Metrics,
+		MetricsPeers:    cfg.Nodes,
 	})
+	if cfg.Metrics != nil {
+		registerNodeMetrics(cfg.Metrics, rank, srv)
+	}
 	n := &Node{world: w, rank: rank, Sch: sch, Srv: srv, Eng: eng, Trace: rec}
 	if srv != nil {
 		srv.Start()

@@ -30,6 +30,7 @@ import (
 	"pioman/internal/fabric"
 	"pioman/internal/fabric/simfab"
 	"pioman/internal/ptime"
+	"pioman/internal/telemetry"
 	"pioman/internal/wire"
 )
 
@@ -213,18 +214,30 @@ type Driver struct {
 	// bandwidth, so it lives outside the immutable Params copy.
 	stripeWeight atomic.Uint64
 
-	eagerSent  atomic.Uint64
-	eagerBytes atomic.Uint64
-	pioSent    atomic.Uint64
-	rtsSent    atomic.Uint64
-	ctsSent    atomic.Uint64
-	dataSent   atomic.Uint64
-	dataBytes  atomic.Uint64
-	polls      atomic.Uint64
-	recvs      atomic.Uint64
-	batches    atomic.Uint64
-	batchedPks atomic.Uint64
-	sendErrs   atomic.Uint64
+	// Activity counters. telemetry.Counter is the same single atomic
+	// word the old atomic.Uint64 fields were — every increment below is
+	// one uncontended atomic add — but the counters can now join a
+	// telemetry.Registry (RegisterMetrics) without a parallel set of
+	// names or a snapshot adapter.
+	eagerSent  telemetry.Counter
+	eagerBytes telemetry.Counter
+	pioSent    telemetry.Counter
+	rtsSent    telemetry.Counter
+	ctsSent    telemetry.Counter
+	dataSent   telemetry.Counter
+	dataBytes  telemetry.Counter
+	polls      telemetry.Counter
+	recvs      telemetry.Counter
+	batches    telemetry.Counter
+	batchedPks telemetry.Counter
+	sendErrs   telemetry.Counter
+
+	// occupancy, when attached by RegisterMetrics, records the frame
+	// count of every non-empty PollBatch drain — the live distribution
+	// behind the PollBatches/PolledFrames ratio. Nil (one predictable
+	// branch in PollBatch) until a registry asks for it, so unmetered
+	// runs pay nothing extra.
+	occupancy *telemetry.Histogram
 }
 
 // New returns a driver submitting to ep with rail parameters p. A rail
@@ -445,6 +458,7 @@ func (d *Driver) PollBatch(into []*wire.Packet) int {
 	if n > 0 {
 		d.batches.Add(1)
 		d.batchedPks.Add(uint64(n))
+		d.occupancy.Observe(uint64(n))
 		d.recvs.Add(uint64(n))
 		if d.p.RecvCopies {
 			for _, p := range into[:n] {
@@ -505,6 +519,37 @@ func (d *Driver) Close() error { return d.ep.Close() }
 // paper's receive path performs this copy only when the message was
 // unexpected (§2.2).
 func (d *Driver) ChargeMatchCopy(n int) { d.p.Cost.ChargeCopy(n) }
+
+// RegisterMetrics registers the driver's counters with reg under
+// dot-separated names below prefix (typically "node<rank>.rail.<name>"),
+// and attaches a batch-occupancy histogram recording the frame count of
+// each non-empty PollBatch drain. lost_frames is registered as a live
+// read of the transport's asynchronous loss counter, so a snapshot taken
+// within one progress tick of a stream failure already shows the loss.
+// Call once per registry; the driver's hot paths are unchanged except
+// for the occupancy observation (one bits.Len plus two atomic adds).
+func (d *Driver) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(prefix+".eager_sent", "eager messages submitted", d.eagerSent.Load)
+	reg.RegisterCounter(prefix+".eager_bytes", "eager payload bytes submitted", d.eagerBytes.Load)
+	reg.RegisterCounter(prefix+".pio_sent", "eager messages sent through PIO", d.pioSent.Load)
+	reg.RegisterCounter(prefix+".rts_sent", "rendezvous RTS packets sent", d.rtsSent.Load)
+	reg.RegisterCounter(prefix+".cts_sent", "rendezvous CTS packets sent", d.ctsSent.Load)
+	reg.RegisterCounter(prefix+".data_sent", "rendezvous DATA packets sent", d.dataSent.Load)
+	reg.RegisterCounter(prefix+".data_bytes", "rendezvous payload bytes sent", d.dataBytes.Load)
+	reg.RegisterCounter(prefix+".polls", "endpoint poll visits", d.polls.Load)
+	reg.RegisterCounter(prefix+".recvs", "packets received", d.recvs.Load)
+	reg.RegisterCounter(prefix+".poll_batches", "non-empty batched drains", d.batches.Load)
+	reg.RegisterCounter(prefix+".polled_frames", "frames returned by batched drains", d.batchedPks.Load)
+	reg.RegisterCounter(prefix+".send_errs", "sends rejected synchronously by the transport", d.sendErrs.Load)
+	reg.RegisterCounter(prefix+".lost_frames", "frames accepted by the transport and later lost", d.LostFrames)
+	reg.RegisterGauge(prefix+".stripe_weight", "live multirail striping weight (bytes/us)", func() uint64 {
+		return uint64(d.StripeWeight())
+	})
+	d.occupancy = reg.Histogram(prefix+".batch_occupancy", "frames per non-empty PollBatch drain")
+}
 
 // Stats returns a snapshot of activity counters.
 func (d *Driver) Stats() Stats {

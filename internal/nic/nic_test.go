@@ -1,10 +1,13 @@
 package nic
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"pioman/internal/fabric"
+	"pioman/internal/telemetry"
 	"pioman/internal/wire"
 )
 
@@ -303,5 +306,83 @@ func TestLostFramesWithoutCounter(t *testing.T) {
 	fab := wire.NewFabric(1, wire.MYRI10G())
 	if got := NewSim(MXParams(), fab, 0).LostFrames(); got != 0 {
 		t.Fatalf("simulated rail reports %d lost frames", got)
+	}
+}
+
+// TestConcurrentStatsSnapshot drives sends, polls, and batched drains
+// from multiple goroutines while a reader loops Stats() and a metrics
+// snapshot; under -race this proves every driver counter is read and
+// written atomically (the satellite this PR's registry conversion must
+// preserve).
+func TestConcurrentStatsSnapshot(t *testing.T) {
+	p := fastParams()
+	fab := wire.NewFabric(2, p.Link)
+	a, b := NewSim(p, fab, 0), NewSim(p, fab, 1)
+	reg := telemetry.NewRegistry()
+	a.RegisterMetrics(reg, "node0.rail.fast")
+	b.RegisterMetrics(reg, "node1.rail.fast")
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		seq := uint64(0)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				seq++
+				a.SendEager(Header{Src: 0, Dst: 1, Tag: 7, Seq: seq, MsgID: seq}, []byte("x"))
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		batch := make([]*wire.Packet, 8)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if n := b.PollBatch(batch); n > 0 {
+					for _, pk := range batch[:n] {
+						fabric.ReleasePacket(pk)
+					}
+				}
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		sa, sb := a.Stats(), b.Stats()
+		if sb.Recvs > sa.EagerSent {
+			t.Errorf("receiver saw %d packets, sender sent %d", sb.Recvs, sa.EagerSent)
+			break
+		}
+		snap := reg.Snapshot()
+		if snap.Value("node0.rail.fast.eager_sent") > sa.EagerSent+1_000_000 {
+			t.Error("registry wildly disagrees with Stats()")
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	s := a.Stats()
+	if s.EagerSent == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Value("node0.rail.fast.eager_sent"); got != s.EagerSent {
+		t.Fatalf("registry eager_sent = %d, Stats = %d (quiesced, must agree)", got, s.EagerSent)
+	}
+	if occ := snap.Get("node1.rail.fast.batch_occupancy"); occ == nil || occ.Hist.Count == 0 {
+		t.Fatal("batch occupancy histogram recorded nothing")
+	}
+	if occ := snap.Get("node1.rail.fast.batch_occupancy").Hist; occ.Count != b.Stats().PollBatches {
+		t.Fatalf("occupancy count %d != PollBatches %d", occ.Count, b.Stats().PollBatches)
 	}
 }

@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+)
+
+// BucketCount is one occupied log2 bucket of a captured histogram: Bit is
+// the bits.Len64 bucket index (0 means the value 0, i>0 covers
+// [2^(i-1), 2^i)), Count is how many observations landed there. Only
+// occupied buckets are captured, keeping snapshots small.
+type BucketCount struct {
+	Bit   int    `json:"bit"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramValue is a captured histogram: occupied buckets in ascending
+// bit order plus the observation count and value sum.
+type HistogramValue struct {
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// counts, returning the upper bound of the bucket the q-th observation
+// falls in. Log2 buckets bound the estimate within 2x of the true value,
+// which is the resolution nmtop's p50/p99 columns need. Returns 0 for an
+// empty histogram.
+func (h *HistogramValue) Quantile(q float64) uint64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for _, b := range h.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return bucketUpper(b.Bit)
+		}
+	}
+	return bucketUpper(h.Buckets[len(h.Buckets)-1].Bit)
+}
+
+// Mean returns the arithmetic mean of the observations, 0 if empty.
+func (h *HistogramValue) Mean() float64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// bucketUpper returns the inclusive upper bound of log2 bucket bit.
+func bucketUpper(bit int) uint64 {
+	if bit <= 0 {
+		return 0
+	}
+	return 1<<uint(bit) - 1
+}
+
+// MetricValue is one captured metric: a name, its kind, and either a
+// scalar value (counters, gauges) or a histogram capture.
+type MetricValue struct {
+	Name  string          `json:"name"`
+	Help  string          `json:"help,omitempty"`
+	Kind  Kind            `json:"kind"`
+	Value uint64          `json:"value,omitempty"`
+	Hist  *HistogramValue `json:"hist,omitempty"`
+}
+
+// Snapshot is a point-in-time capture of a registry, sorted by metric
+// name. It is the unit the HTTP endpoint serves, nmtop diffs, and tests
+// assert on.
+type Snapshot struct {
+	TakenUnixNano int64         `json:"taken_unix_nano"`
+	Metrics       []MetricValue `json:"metrics"`
+}
+
+// Get returns the metric with the given name, or nil if absent.
+func (s *Snapshot) Get(name string) *MetricValue {
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			return &s.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Value returns the scalar value of the named counter or gauge, 0 if the
+// metric is absent — the convenient form for test assertions.
+func (s *Snapshot) Value(name string) uint64 {
+	if m := s.Get(name); m != nil {
+		return m.Value
+	}
+	return 0
+}
+
+// WriteJSON writes the snapshot as a single JSON object (the
+// /metrics.json wire format nmtop consumes).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// promName converts a hierarchical dotted metric name to the
+// underscore-only identifier Prometheus requires ("node0.rail.shm.sent"
+// becomes "pioman_node0_rail_shm_sent"). Dots and dashes map to
+// underscores; the pioman_ prefix namespaces the whole registry.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 8)
+	b.WriteString("pioman_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (v0.0.4): HELP/TYPE headers per metric, histograms as
+// cumulative le-labelled buckets plus _sum and _count series.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for _, m := range s.Metrics {
+		pn := promName(m.Name)
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", pn, m.Help); err != nil {
+				return err
+			}
+		}
+		switch m.Kind {
+		case KindHistogram:
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+				return err
+			}
+			var cum uint64
+			for _, b := range m.Hist.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, bucketUpper(b.Bit), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+				pn, m.Hist.Count, pn, m.Hist.Sum, pn, m.Hist.Count); err != nil {
+				return err
+			}
+		case KindGauge:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, m.Value); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Delta returns cur minus prev as per-metric differences keyed by name:
+// counter values subtract (clamped at 0 if a process restarted),
+// histogram counts subtract per bucket, gauges pass through cur's value.
+// nmtop calls this once per poll interval to turn cumulative counters
+// into rates.
+func Delta(prev, cur *Snapshot) map[string]MetricValue {
+	out := make(map[string]MetricValue, len(cur.Metrics))
+	for _, m := range cur.Metrics {
+		d := m
+		if p := prev.Get(m.Name); p != nil {
+			switch m.Kind {
+			case KindCounter:
+				if m.Value >= p.Value {
+					d.Value = m.Value - p.Value
+				} else {
+					d.Value = 0
+				}
+			case KindHistogram:
+				d.Hist = histDelta(p.Hist, m.Hist)
+			}
+		}
+		out[m.Name] = d
+	}
+	return out
+}
+
+// histDelta subtracts prev's bucket counts from cur's.
+func histDelta(prev, cur *HistogramValue) *HistogramValue {
+	if cur == nil {
+		return nil
+	}
+	if prev == nil {
+		return cur
+	}
+	prevByBit := make(map[int]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevByBit[b.Bit] = b.Count
+	}
+	d := &HistogramValue{}
+	if cur.Sum >= prev.Sum {
+		d.Sum = cur.Sum - prev.Sum
+	}
+	for _, b := range cur.Buckets {
+		n := b.Count - prevByBit[b.Bit]
+		if n > b.Count { // underflow: restarted source
+			n = b.Count
+		}
+		if n > 0 {
+			d.Buckets = append(d.Buckets, BucketCount{Bit: b.Bit, Count: n})
+			d.Count += n
+		}
+	}
+	return d
+}
+
+// Handler returns an http.Handler serving the registry at two paths:
+// /metrics (Prometheus text format) and /metrics.json (JSON snapshot,
+// the format cmd/nmtop polls). Each request takes a fresh snapshot.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr (e.g. ":9090"),
+// returning the listener's actual address (useful with ":0") and a stop
+// function. The server runs on a background goroutine; errors after a
+// successful Listen are dropped, as a metrics endpoint must never take
+// down the workload it observes.
+func Serve(r *Registry, addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

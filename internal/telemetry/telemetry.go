@@ -1,0 +1,331 @@
+// Package telemetry is the repo's unified metrics layer: a
+// zero-allocation registry of counters, gauges and log2-bucketed
+// histograms that every subsystem (the engine, the nic drivers, the
+// fabric buffer pool) records into on its hot paths and that the
+// exporters (the Prometheus/JSON HTTP endpoint, cmd/nmtop) read out of.
+//
+// The paper's whole argument is about *when* progress happens — overlap,
+// submission latency, wakeups — and before this package that was only
+// visible post-hoc through scattered Stats structs and bench JSON. The
+// registry gives every counter a stable hierarchical name (dot-separated,
+// keyed by node, rail and peer rank: "node0.rail.shm.eager_sent",
+// "node0.peer.1.sent_msgs") so live tooling can watch a run instead of
+// dissecting it afterwards.
+//
+// Design rules, in order:
+//
+//   - Recording must cost nanoseconds and zero allocations: counters and
+//     gauges are single atomic adds, histogram observation is one
+//     bits.Len plus one atomic add, and the write-hot global counters
+//     (the buffer pool's) shard across cache lines so concurrent
+//     recorders do not serialize on one word.
+//   - Registration may allocate freely: it happens once, at construction.
+//   - Reading is always a consistent-enough snapshot of live atomics:
+//     Snapshot walks the registry without stopping writers, exactly like
+//     reading nic.Stats always has been.
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Counter is a monotonically increasing counter: one atomic word, so Add
+// is a single uncontended atomic instruction. The zero Counter is ready
+// to use, which lets owners embed counters as plain struct fields (the
+// nic driver's Stats backing) and register them later.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value. Like Counter it is one atomic
+// word and the zero value is ready to use.
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(n uint64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (use with care: gauges are snapshots, not
+// tallies — prefer Set from an authoritative source).
+func (g *Gauge) Add(n uint64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() uint64 { return g.v.Load() }
+
+// shardCount is the number of cache-line-padded shards a ShardedCounter
+// spreads its adds over. Must be a power of two.
+const shardCount = 16
+
+// paddedUint64 is an atomic counter padded to its own cache line, so
+// adjacent shards never false-share.
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// ShardedCounter is a Counter for write-hot shared paths: adds spread
+// over cache-line-padded shards so goroutines hammering the same logical
+// counter (the buffer pool's hit tally under a message storm) do not
+// serialize on one cache line. Load sums the shards, so reads are a few
+// nanoseconds slower — the right trade for a counter written millions of
+// times a second and read once per scrape. The zero value is ready to use.
+type ShardedCounter struct{ shards [shardCount]paddedUint64 }
+
+// Add increments the counter by n. The shard is picked from the address
+// of a stack variable: goroutine stacks are disjoint, so concurrent
+// goroutines land on different shards with no runtime support needed,
+// and the pick costs a shift and a mask.
+func (c *ShardedCounter) Add(n uint64) {
+	var probe byte
+	i := (uintptr(unsafe.Pointer(&probe)) >> 10) & (shardCount - 1)
+	c.shards[i].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *ShardedCounter) Inc() { c.Add(1) }
+
+// Load returns the current total across shards. Concurrent adds may or
+// may not be included — the usual torn-snapshot semantics every Stats
+// reader in this repo already lives with.
+func (c *ShardedCounter) Load() uint64 {
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// histBuckets is the number of log2 buckets a Histogram holds: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. bucket 0 is
+// exactly 0, bucket i covers [2^(i-1), 2^i). 48 buckets span 1ns..~1.6
+// days when observing nanoseconds, and 0..2^47 for dimensionless values
+// like batch occupancy — everything this repo measures.
+const histBuckets = 48
+
+// Histogram is a log2-bucketed histogram of non-negative integer
+// observations (durations in nanoseconds, batch occupancies, byte
+// counts). Observe is one bits.Len64 plus two atomic adds — no locks, no
+// allocation, no floating point — which is what lets the engine observe
+// progress-loop dwell and rendezvous handshake latency on live paths.
+// Quantiles are estimated at read time from the bucket counts
+// (HistogramValue.Quantile); log2 buckets bound the relative error at 2x,
+// plenty for the p50-vs-p99 shape questions nmtop answers.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one observation. Nil receivers are no-ops, matching
+// the repo's nil-Recorder idiom: instrumented components hold an
+// optional histogram and pay one predictable branch when it is absent.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := bits.Len64(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[i].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds; negative durations
+// (clock steps) are dropped rather than recorded as huge unsigned values.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observations so far; 0 on a nil receiver.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Kind discriminates the metric types a registry holds.
+type Kind uint8
+
+// Metric kinds.
+const (
+	// KindCounter is a monotonically increasing tally.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value.
+	KindGauge
+	// KindHistogram is a log2-bucketed distribution.
+	KindHistogram
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind Kind
+	read func() uint64 // counter/gauge value source
+	hist *Histogram
+}
+
+// Registry maps stable hierarchical metric names to live metric sources.
+// Names are dot-separated paths — "node0.rail.shm.eager_sent" — whose
+// segments tooling groups on (nmtop splits on node/rail/peer). A name
+// may be registered once; a duplicate registration panics, because two
+// writers behind one name is a construction-time wiring bug, not a
+// runtime condition. Registration takes a lock and allocates; recording
+// through the returned handles never does.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// register adds one entry, enforcing name uniqueness.
+func (r *Registry) register(e *entry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[e.name] {
+		panic(fmt.Sprintf("telemetry: duplicate metric name %q", e.name))
+	}
+	r.names[e.name] = true
+	r.entries = append(r.entries, e)
+}
+
+// Registered reports whether name is already registered — the guard
+// process-global registrations (the buffer pool's) use to stay
+// idempotent when several in-process nodes share one registry. False on
+// a nil registry.
+func (r *Registry) Registered(name string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.names[name]
+}
+
+// Counter creates, registers and returns a counter under name. A nil
+// registry returns a live but unregistered counter, so callers can
+// instrument unconditionally and let wiring decide whether anything
+// reads it.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.RegisterCounter(name, help, c.Load)
+	return c
+}
+
+// RegisterCounter registers an existing counter-shaped value source —
+// any func returning a monotone uint64, such as (*Counter).Load, a
+// ShardedCounter's Load, or a nic driver's existing atomic field — under
+// name. This is how subsystems that already keep atomic counts join the
+// registry without changing their hot paths. No-op on a nil registry.
+func (r *Registry) RegisterCounter(name, help string, read func() uint64) {
+	r.register(&entry{name: name, help: help, kind: KindCounter, read: read})
+}
+
+// Gauge creates, registers and returns a gauge under name. A nil
+// registry returns a live but unregistered gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.RegisterGauge(name, help, g.Load)
+	return g
+}
+
+// RegisterGauge registers a gauge-shaped value source (sampled at
+// snapshot time, so the source must be safe to call from any goroutine).
+// No-op on a nil registry.
+func (r *Registry) RegisterGauge(name, help string, read func() uint64) {
+	r.register(&entry{name: name, help: help, kind: KindGauge, read: read})
+}
+
+// Histogram creates, registers and returns a histogram under name. A nil
+// registry returns a live but unregistered histogram, so recording sites
+// need no nil checks beyond their own gating.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{}
+	if r != nil {
+		r.register(&entry{name: name, help: help, kind: KindHistogram, hist: h})
+	}
+	return h
+}
+
+// Snapshot reads every registered metric into a point-in-time value set,
+// sorted by name. Writers are not stopped: each value is an atomic read
+// (or a sum of shard reads), the same consistency every Stats() snapshot
+// in this repo has always offered. Snapshot allocates; it is the read
+// path, not the record path.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return &Snapshot{}
+	}
+	r.mu.Lock()
+	entries := make([]*entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	s := &Snapshot{
+		TakenUnixNano: time.Now().UnixNano(),
+		Metrics:       make([]MetricValue, 0, len(entries)),
+	}
+	for _, e := range entries {
+		mv := MetricValue{Name: e.name, Help: e.help, Kind: e.kind}
+		switch e.kind {
+		case KindHistogram:
+			hv := &HistogramValue{}
+			for i := range e.hist.buckets {
+				if n := e.hist.buckets[i].Load(); n > 0 {
+					hv.Buckets = append(hv.Buckets, BucketCount{Bit: i, Count: n})
+				}
+			}
+			// Count is summed from the captured buckets rather than read
+			// from the live count word, so Count always equals the bucket
+			// total even when observations race the walk.
+			for _, b := range hv.Buckets {
+				hv.Count += b.Count
+			}
+			hv.Sum = e.hist.sum.Load()
+			mv.Hist = hv
+		default:
+			mv.Value = e.read()
+		}
+		s.Metrics = append(s.Metrics, mv)
+	}
+	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Name < s.Metrics[j].Name })
+	return s
+}

@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count", "test counter")
+	g := r.Gauge("a.gauge", "test gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	s := r.Snapshot()
+	if got := s.Value("a.count"); got != 5 {
+		t.Fatalf("snapshot counter = %d, want 5", got)
+	}
+	if got := s.Value("a.gauge"); got != 7 {
+		t.Fatalf("snapshot gauge = %d, want 7", got)
+	}
+}
+
+func TestShardedCounterConcurrent(t *testing.T) {
+	var c ShardedCounter
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*per {
+		t.Fatalf("sharded counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0) // bucket 0
+	h.Observe(1) // bucket 1
+	h.Observe(2) // bucket 2
+	h.Observe(3) // bucket 2
+	h.Observe(1 << 40)
+	h.Observe(1<<63 + 5) // clamps into the last bucket
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	r := NewRegistry()
+	hr := r.Histogram("h", "test")
+	for i := 0; i < 100; i++ {
+		hr.Observe(100) // bucket 7, upper bound 127
+	}
+	hr.Observe(100000) // bucket 17
+	s := r.Snapshot()
+	hv := s.Get("h").Hist
+	if hv.Count != 101 {
+		t.Fatalf("snapshot count = %d, want 101", hv.Count)
+	}
+	if p50 := hv.Quantile(0.50); p50 != 127 {
+		t.Fatalf("p50 = %d, want 127", p50)
+	}
+	if p99 := hv.Quantile(0.99); p99 != 127 {
+		t.Fatalf("p99 = %d, want 127", p99)
+	}
+	if max := hv.Quantile(1.0); max != (1<<17)-1 {
+		t.Fatalf("p100 = %d, want %d", max, (1<<17)-1)
+	}
+}
+
+func TestObserveDurationDropsNegative(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(-time.Second)
+	if h.Count() != 0 {
+		t.Fatal("negative duration was recorded")
+	}
+	h.ObserveDuration(time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatal("positive duration was not recorded")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup", "")
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	g := r.Gauge("y", "")
+	g.Set(1)
+	h := r.Histogram("z", "")
+	h.Observe(1)
+	s := r.Snapshot()
+	if len(s.Metrics) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+// TestConcurrentSnapshot hammers every metric type from writer goroutines
+// while a reader loops Snapshot; under -race this proves the record and
+// read paths share no unsynchronized state.
+func TestConcurrentSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "")
+	var sc ShardedCounter
+	r.RegisterCounter("sc", "", sc.Load)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					c.Inc()
+					g.Set(42)
+					h.Observe(1000)
+					sc.Inc()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		s := r.Snapshot()
+		hv := s.Get("h").Hist
+		var sum uint64
+		for _, b := range hv.Buckets {
+			sum += b.Count
+		}
+		if sum != hv.Count {
+			t.Fatalf("histogram bucket sum %d != count %d", sum, hv.Count)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestRecordPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	h := r.Histogram("h", "")
+	var sc ShardedCounter
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		h.Observe(12345)
+		sc.Inc()
+	}); n != 0 {
+		t.Fatalf("record path allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("node0.rail.shm.eager_sent", "eager frames sent").Add(3)
+	r.Gauge("node0.engine.pending", "pending requests").Set(2)
+	h := r.Histogram("node0.engine.dwell_ns", "progress dwell")
+	h.Observe(100)
+	h.Observe(200)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE pioman_node0_rail_shm_eager_sent counter",
+		"pioman_node0_rail_shm_eager_sent 3",
+		"# TYPE pioman_node0_engine_pending gauge",
+		"pioman_node0_engine_pending 2",
+		"# TYPE pioman_node0_engine_dwell_ns histogram",
+		"pioman_node0_engine_dwell_ns_count 2",
+		"pioman_node0_engine_dwell_ns_sum 300",
+		`pioman_node0_engine_dwell_ns_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	if err := checkPromText(strings.NewReader(text)); err != nil {
+		t.Fatalf("prometheus text does not parse: %v", err)
+	}
+}
+
+// checkPromText is a minimal exposition-format parser: every
+// non-comment line must be "name[{labels}] value" with a numeric value,
+// and histogram buckets must be cumulative.
+func checkPromText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return fmt.Errorf("no value separator in %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err != nil {
+			return fmt.Errorf("bad value in %q: %v", line, err)
+		}
+	}
+	return sc.Err()
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", "help a").Add(9)
+	r.Histogram("b", "").Observe(5)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value("a") != 9 {
+		t.Fatalf("round-tripped a = %d, want 9", s.Value("a"))
+	}
+	if hv := s.Get("b").Hist; hv == nil || hv.Count != 1 {
+		t.Fatalf("round-tripped histogram = %+v", s.Get("b").Hist)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	h := r.Histogram("h", "")
+	c.Add(10)
+	h.Observe(100)
+	prev := r.Snapshot()
+	c.Add(5)
+	h.Observe(100)
+	h.Observe(200)
+	cur := r.Snapshot()
+	d := Delta(prev, cur)
+	if d["c"].Value != 5 {
+		t.Fatalf("counter delta = %d, want 5", d["c"].Value)
+	}
+	if d["h"].Hist.Count != 2 {
+		t.Fatalf("histogram delta count = %d, want 2", d["h"].Hist.Count)
+	}
+}
+
+func TestHandlerServesBothFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", "").Add(1)
+	addr, stop, err := Serve(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "pioman_hits 1") {
+		t.Fatalf("/metrics body missing counter:\n%s", body)
+	}
+	resp, err = http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&s)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value("hits") != 1 {
+		t.Fatalf("/metrics.json hits = %d, want 1", s.Value("hits"))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindCounter.String() != "counter" || KindGauge.String() != "gauge" || KindHistogram.String() != "histogram" {
+		t.Fatal("kind names wrong")
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}

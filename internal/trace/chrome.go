@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// ChromeStream pairs one recorder's events with the process identity
+// they render under in a Chrome trace: one stream per node, so a
+// two-rank exchange shows as two process tracks in the Perfetto UI with
+// each node's cores as threads beneath it.
+type ChromeStream struct {
+	// PID is the trace-event process id — by convention the node rank.
+	PID int
+	// Name labels the process track (e.g. "node0 multithreaded").
+	Name string
+	// Events are the recorder's events (Recorder.Events order).
+	Events []Event
+}
+
+// chromeEvent is one entry of the Chrome trace-event format's
+// traceEvents array — the JSON schema chrome://tracing and Perfetto
+// load. Instant events use ph "i"; metadata events (process and thread
+// names) use ph "M".
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: "t" (thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object envelope of the trace-event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTID maps an event's core to a trace thread id. Core n renders as
+// thread n+1 so core-less events (Core == -1, recorded off the simulated
+// cores) keep a valid non-negative tid of 0.
+func chromeTID(core int) int {
+	if core < 0 {
+		return 0
+	}
+	return core + 1
+}
+
+// WriteChromeTrace renders the streams as Chrome trace-event JSON —
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing — writing
+// one instant event per recorded engine event, grouped into one process
+// track per stream and one thread track per core. Timestamps are
+// microseconds relative to the earliest event across all streams, so
+// both nodes of an exchange share one timeline, which is exactly the
+// cross-node submission/wire/completion alignment of the paper's Fig. 1
+// made scrollable.
+func WriteChromeTrace(w io.Writer, streams []ChromeStream) error {
+	var t0 time.Time
+	for _, s := range streams {
+		for _, e := range s.Events {
+			if t0.IsZero() || e.At.Before(t0) {
+				t0 = e.At
+			}
+		}
+	}
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	for _, s := range streams {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: s.PID, TID: 0,
+			Args: map[string]any{"name": s.Name},
+		})
+		named := map[int]bool{}
+		for _, e := range s.Events {
+			tid := chromeTID(e.Core)
+			if !named[tid] {
+				named[tid] = true
+				label := "no core"
+				if e.Core >= 0 {
+					label = "core " + strconv.Itoa(e.Core)
+				}
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", PID: s.PID, TID: tid,
+					Args: map[string]any{"name": label},
+				})
+			}
+			args := map[string]any{}
+			if e.Tag >= 0 {
+				args["tag"] = e.Tag
+			}
+			if e.Size > 0 {
+				args["size"] = e.Size
+			}
+			if e.Note != "" {
+				args["note"] = e.Note
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Kind.String(),
+				Ph:   "i",
+				Ts:   float64(e.At.Sub(t0)) / float64(time.Microsecond),
+				PID:  s.PID,
+				TID:  tid,
+				S:    "t",
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// CheckChromeTrace validates that r holds Chrome trace-event JSON of the
+// shape Perfetto loads: a traceEvents array whose entries all carry a
+// name, a known phase, non-negative pid/tid, and (for instant events) a
+// non-negative timestamp. It is the schema gate the exporter's tests and
+// the CI smoke check (tools/obscheck) share, so "loads in Perfetto" is
+// asserted by one implementation everywhere.
+func CheckChromeTrace(r io.Reader) error {
+	var t chromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return fmt.Errorf("chrome trace: not valid JSON: %w", err)
+	}
+	if len(t.TraceEvents) == 0 {
+		return fmt.Errorf("chrome trace: empty traceEvents array")
+	}
+	instants := 0
+	for i, e := range t.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("chrome trace: event %d has no name", i)
+		}
+		switch e.Ph {
+		case "i", "I": // instant (Perfetto accepts both spellings)
+			instants++
+			if e.Ts < 0 {
+				return fmt.Errorf("chrome trace: event %d (%s) has negative ts %v", i, e.Name, e.Ts)
+			}
+		case "M": // metadata
+		default:
+			return fmt.Errorf("chrome trace: event %d (%s) has unsupported phase %q", i, e.Name, e.Ph)
+		}
+		if e.PID < 0 || e.TID < 0 {
+			return fmt.Errorf("chrome trace: event %d (%s) has negative pid/tid", i, e.Name)
+		}
+	}
+	if instants == 0 {
+		return fmt.Errorf("chrome trace: no instant events, only metadata")
+	}
+	return nil
+}

@@ -37,6 +37,11 @@ const (
 	KindPoll              // one polling pass of the event server
 	KindOffload           // submission executed by an idle core
 	KindBlockingCall      // fallback blocking syscall engaged
+
+	// kindCount sentinel: keep this last. The String exhaustiveness test
+	// walks [0, kindCount) against kindNames, so adding a Kind above
+	// without a name entry fails tests instead of printing "kind(16)".
+	kindCount
 )
 
 var kindNames = map[Kind]string{

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -121,5 +123,106 @@ func TestKindString(t *testing.T) {
 	}
 	if !strings.Contains(Kind(200).String(), "200") {
 		t.Fatalf("unknown kind = %q", Kind(200).String())
+	}
+}
+
+// TestKindNamesExhaustive walks every declared Kind against kindNames:
+// adding a Kind without a name entry fails here instead of printing
+// "kind(16)" in timelines and Perfetto tracks. It also catches stale
+// map entries beyond the declared range.
+func TestKindNamesExhaustive(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		if _, ok := kindNames[k]; !ok {
+			t.Errorf("Kind %d has no kindNames entry; its String() would be %q", uint8(k), k.String())
+		}
+	}
+	if len(kindNames) != int(kindCount) {
+		t.Errorf("kindNames has %d entries, %d kinds declared: a stale or duplicate entry exists", len(kindNames), kindCount)
+	}
+}
+
+// TestChromeTraceExport renders a recorded two-node exchange and
+// validates the output against the trace-event schema gate — the same
+// check CI runs on nmtrace -perfetto output, so passing here is what
+// "loads in Perfetto" means for this repo.
+func TestChromeTraceExport(t *testing.T) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	r0 := NewRecorder(16)
+	r0.Record(Event{At: base, Kind: KindRegister, Core: -1, Tag: 7, Size: 64, Note: "isend"})
+	r0.Record(Event{At: base.Add(2 * time.Microsecond), Kind: KindSubmit, Core: 1, Tag: 7, Size: 64})
+	r1 := NewRecorder(16)
+	r1.Record(Event{At: base.Add(5 * time.Microsecond), Kind: KindWireRecv, Core: 0, Tag: 7, Size: 64})
+	r1.Record(Event{At: base.Add(6 * time.Microsecond), Kind: KindComplete, Core: 0, Tag: 7, Size: 64, Note: "recv"})
+
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf, []ChromeStream{
+		{PID: 0, Name: "node0", Events: r0.Events()},
+		{PID: 1, Name: "node1", Events: r1.Events()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exported trace fails schema gate: %v\n%s", err, buf.String())
+	}
+
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	// 4 instant events + 2 process_name + 3 distinct (pid,tid) thread names.
+	var instants, meta int
+	sawSubmit := false
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "i":
+			instants++
+			if e.Name == "submit" {
+				sawSubmit = true
+				if e.Ts != 2.0 {
+					t.Errorf("submit ts = %v µs, want 2 (relative to first event)", e.Ts)
+				}
+				if e.PID != 0 {
+					t.Errorf("submit pid = %d, want 0", e.PID)
+				}
+			}
+		case "M":
+			meta++
+		}
+	}
+	if instants != 4 {
+		t.Errorf("instant events = %d, want 4", instants)
+	}
+	if !sawSubmit {
+		t.Error("no submit event in trace")
+	}
+	if meta < 2 {
+		t.Errorf("metadata events = %d, want at least process names", meta)
+	}
+}
+
+// TestCheckChromeTraceRejectsGarbage pins the gate's failure modes: CI
+// depends on this check failing loudly rather than uploading a broken
+// artifact that Perfetto refuses.
+func TestCheckChromeTraceRejectsGarbage(t *testing.T) {
+	for name, in := range map[string]string{
+		"not json":       "]]]",
+		"empty events":   `{"traceEvents":[]}`,
+		"nameless event": `{"traceEvents":[{"ph":"i","ts":1,"pid":0,"tid":0}]}`,
+		"bad phase":      `{"traceEvents":[{"name":"x","ph":"Z","ts":1,"pid":0,"tid":0}]}`,
+		"negative ts":    `{"traceEvents":[{"name":"x","ph":"i","ts":-5,"pid":0,"tid":0}]}`,
+		"metadata only":  `{"traceEvents":[{"name":"process_name","ph":"M","pid":0,"tid":0}]}`,
+	} {
+		if err := CheckChromeTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: CheckChromeTrace accepted invalid input", name)
+		}
 	}
 }

@@ -1,0 +1,142 @@
+// Command obscheck validates observability artifacts in CI's bench
+// smoke: the Prometheus text and JSON snapshots scraped from a live
+// -metrics endpoint, and the Chrome trace-event JSON nmtrace -perfetto
+// writes. It exits nonzero with a diagnostic when an artifact would be
+// rejected by its consumer (Prometheus' text parser, nmtop's snapshot
+// decoder, the Perfetto UI), so a broken exporter fails the build
+// instead of uploading an unloadable artifact.
+//
+// Usage:
+//
+//	obscheck -prom metrics.txt -json metrics.json -trace trace.json
+//
+// Any subset of the three flags may be given; each names a file to
+// validate with the matching checker.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pioman/internal/telemetry"
+	"pioman/internal/trace"
+)
+
+func main() {
+	prom := flag.String("prom", "", "Prometheus text exposition file to validate")
+	jsonPath := flag.String("json", "", "telemetry JSON snapshot file to validate")
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	flag.Parse()
+	if *prom == "" && *jsonPath == "" && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (give -prom, -json and/or -trace)")
+		os.Exit(2)
+	}
+	code := 0
+	check := func(name, path string, fn func(io.Reader) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+			code = 1
+			return
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s %s: %v\n", name, path, err)
+			code = 1
+			return
+		}
+		fmt.Printf("obscheck: %s %s ok\n", name, path)
+	}
+	check("prom", *prom, checkProm)
+	check("json", *jsonPath, checkJSON)
+	check("trace", *tracePath, trace.CheckChromeTrace)
+	os.Exit(code)
+}
+
+// checkProm validates the Prometheus text exposition format the way its
+// scraper would: every non-comment line is "name value" with a
+// pioman_-prefixed identifier, every series is preceded by a TYPE
+// header, and at least one sample is present.
+func checkProm(f io.Reader) error {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := map[string]bool{}
+	samples := 0
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				typed[fields[2]] = true
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return fmt.Errorf("line %d: %d fields, want \"name value\"", line, len(fields))
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("line %d: unterminated label set in %q", line, name)
+			}
+			name = name[:i]
+		}
+		if !strings.HasPrefix(name, "pioman_") {
+			return fmt.Errorf("line %d: series %q lacks the pioman_ namespace", line, name)
+		}
+		// Histogram series carry the family name plus a suffix; the TYPE
+		// header names the family.
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suf); ok && typed[f] {
+				family = f
+				break
+			}
+		}
+		if !typed[family] {
+			return fmt.Errorf("line %d: series %q has no preceding TYPE header", line, name)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples")
+	}
+	return nil
+}
+
+// checkJSON validates a /metrics.json capture: it must decode as a
+// telemetry snapshot with a timestamp and at least one named metric —
+// what cmd/nmtop needs from every poll.
+func checkJSON(f io.Reader) error {
+	var s telemetry.Snapshot
+	if err := json.NewDecoder(f).Decode(&s); err != nil {
+		return err
+	}
+	if s.TakenUnixNano == 0 {
+		return fmt.Errorf("snapshot has no timestamp")
+	}
+	if len(s.Metrics) == 0 {
+		return fmt.Errorf("snapshot has no metrics")
+	}
+	for i, m := range s.Metrics {
+		if m.Name == "" {
+			return fmt.Errorf("metric %d has no name", i)
+		}
+	}
+	return nil
+}
