@@ -1,14 +1,16 @@
 package main
 
-// The -json mode: the three-backend RTT/allocation benchmark behind
+// The -json mode: the four-backend RTT/allocation benchmark behind
 // BENCH_pingpong.json. One process opens each fabric backend in turn —
 // the wire simulator, real loopback TCP sockets, real mmap'd
-// shared-memory rings — and measures raw-endpoint eager round trips at
+// shared-memory rings, real loopback UDP datagrams under the udpfab
+// reliability sublayer — and measures raw-endpoint eager round trips at
 // the paper's three regimes, recording RTT percentiles and the
-// steady-state allocation cost per exchange. CI runs it on every build
-// and uploads the file as an artifact, so the transports' latency and
-// the zero-allocation hot path are tracked PR over PR instead of
-// regressing silently.
+// steady-state allocation cost per exchange, then WAN-conditioned UDP
+// rows with seeded loss and latency injected beneath the sublayer. CI
+// runs it on every build and uploads the file as an artifact, so the
+// transports' latency and the zero-allocation hot path are tracked PR
+// over PR instead of regressing silently.
 
 import (
 	"encoding/json"
@@ -22,6 +24,7 @@ import (
 	"pioman/internal/fabric/shmfab"
 	"pioman/internal/fabric/simfab"
 	"pioman/internal/fabric/tcpfab"
+	"pioman/internal/fabric/udpfab"
 	"pioman/internal/nic"
 	"pioman/internal/telemetry"
 	"pioman/internal/wire"
@@ -46,11 +49,34 @@ type benchRow struct {
 	// Only the batched message-rate rows carry it (the per-frame control
 	// never ticks the batch counters).
 	BatchOccupancy float64 `json:"batch_occupancy,omitempty"`
+	// LossPct and DelayNs describe the injected WAN conditions of the
+	// "pingpong_rtt_wan" rows: the seeded datagram drop rate (percent)
+	// and the added one-way latency. Zero on every clean-wire row.
+	LossPct float64 `json:"loss_pct,omitempty"`
+	DelayNs int64   `json:"delay_ns,omitempty"`
 }
 
 // benchJSONSizes spans the latency-bound, eager and rendezvous-class
 // regimes, matching internal/fabric's RTT benchmarks.
 var benchJSONSizes = []int{64, 4 << 10, 64 << 10}
+
+// benchUDPSizes replaces the 64 KiB cell on the UDP backend: a 64 KiB
+// payload exceeds udpfab's single-datagram frame ceiling (~64 KiB minus
+// the reliability and codec headers), so the rendezvous-class cell runs
+// at the rail's actual 32 KiB chunk size instead.
+var benchUDPSizes = []int{64, 4 << 10, 32 << 10}
+
+// benchWANLossPcts are the injected datagram drop rates of the WAN rows,
+// in percent; benchWANDelay is their added one-way latency. Together
+// they put numbers on what the reliability sublayer costs when the wire
+// actually misbehaves — the committed rows CI tracks per build.
+var benchWANLossPcts = []float64{0, 1, 5}
+
+const benchWANDelay = 2 * time.Millisecond
+
+// benchWANSize is the WAN rows' payload: the eager-class 4 KiB cell,
+// where added latency and retransmit stalls dominate the wire time.
+const benchWANSize = 4 << 10
 
 // benchMsgRateSize is the message-rate benchmark's frame size: the
 // 64-byte storm regime where fixed per-event costs dominate and the
@@ -73,13 +99,17 @@ func runBenchJSON(path string, quick bool) int {
 		// NoIdlePolling and block, leaving the CPU to the kernel and
 		// the runtime's network poller.
 		spinWait bool
+		// sizes overrides benchJSONSizes for transports whose frame
+		// ceiling cannot carry the default cells (udpfab's datagrams).
+		sizes []int
 	}
 	backends := []backend{
 		{"sim", func() (fabric.Fabric, error) {
 			return simfab.New(wire.NewFabric(2, wire.MYRI10G())), nil
-		}, true},
-		{"tcp", func() (fabric.Fabric, error) { return tcpfab.NewLocal(2) }, false},
-		{"shm", func() (fabric.Fabric, error) { return shmfab.NewLocal(2, "") }, false},
+		}, true, nil},
+		{"tcp", func() (fabric.Fabric, error) { return tcpfab.NewLocal(2) }, false, nil},
+		{"shm", func() (fabric.Fabric, error) { return shmfab.NewLocal(2, "") }, false, nil},
+		{"udp", func() (fabric.Fabric, error) { return udpfab.NewLocal(2) }, false, benchUDPSizes},
 	}
 	// At millions of messages per second the storm must run long enough
 	// that the rate reflects the steady state, not scheduler transients:
@@ -90,7 +120,11 @@ func runBenchJSON(path string, quick bool) int {
 	}
 	var rows []benchRow
 	for _, be := range backends {
-		for _, size := range benchJSONSizes {
+		sizes := be.sizes
+		if sizes == nil {
+			sizes = benchJSONSizes
+		}
+		for _, size := range sizes {
 			f, err := be.open()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pingpong: open %s fabric: %v\n", be.name, err)
@@ -127,6 +161,7 @@ func runBenchJSON(path string, quick bool) int {
 		{"pingpong_msgrate", 0, true, false},
 		{"pingpong_msgrate", 1, true, false},
 		{"pingpong_msgrate", 2, true, false},
+		{"pingpong_msgrate", 3, true, false},
 		{"pingpong_msgrate_ctrl", 2, false, false},
 		{"pingpong_msgrate_telem", 2, true, true},
 	}
@@ -161,6 +196,43 @@ func runBenchJSON(path string, quick bool) int {
 	if shmRate > 0 && shmTelemRate > 0 {
 		fmt.Printf("pingpong: telemetry overhead on shm storm: %+.1f%%\n",
 			(shmRate-shmTelemRate)/shmRate*100)
+	}
+	// The WAN rows: the same raw-endpoint round trip over udpfab, but
+	// with seeded chaos injected beneath the reliability sublayer — 2 ms
+	// of added one-way latency at 0%, 1% and 5% datagram loss. The 0%
+	// row isolates the latency floor; the lossy rows price the
+	// retransmit stalls (RTO-bound, visible in p99 long before p50) that
+	// a WAN-grade wire extracts from the window machinery. Exchanges
+	// still complete intact — that is the sublayer's contract — so these
+	// rows measure cost, not correctness. Fewer iterations than the
+	// loopback cells: each round trip floors at twice the injected
+	// latency.
+	wanIters, wanWarm := 200, 20
+	if quick {
+		wanIters, wanWarm = 50, 5
+	}
+	for _, lossPct := range benchWANLossPcts {
+		f, err := udpfab.NewLocalChaos(2, &udpfab.ChaosParams{
+			Seed:  7,
+			Drop:  lossPct / 100,
+			Delay: benchWANDelay,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pingpong: open udp WAN fabric: %v\n", err)
+			return 1
+		}
+		row, err := benchOneRTT(f, "udp", benchWANSize, wanWarm, wanIters, false)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pingpong: bench udp WAN %.0f%%: %v\n", lossPct, err)
+			return 1
+		}
+		row.Bench = "pingpong_rtt_wan"
+		row.LossPct = lossPct
+		row.DelayNs = benchWANDelay.Nanoseconds()
+		rows = append(rows, row)
+		fmt.Printf("pingpong: udp  %8d B  rtt p50 %9v  p99 %9v  (wan: %.0f%% loss, %v delay)\n",
+			benchWANSize, time.Duration(row.RTTP50Ns), time.Duration(row.RTTP99Ns), lossPct, benchWANDelay)
 	}
 	out, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
@@ -298,7 +370,13 @@ func benchOneMsgRate(f fabric.Fabric, bench, name string, msgs int, spinWait, ba
 	}
 	// RealParams carries no modeled CPU costs, so the driver layer adds
 	// exactly its bookkeeping — what the engine pays — to every drain.
-	drv := nic.New(nic.RealParams(), ep1)
+	// The UDP preset is the same shape with an MTU the datagram frame
+	// ceiling accepts (nic.New rejects the mismatch at construction).
+	params := nic.RealParams()
+	if name == "udp" {
+		params = nic.UdpParams()
+	}
+	drv := nic.New(params, ep1)
 	if metered {
 		drv.RegisterMetrics(telemetry.NewRegistry(), "bench.rail."+name)
 	}

@@ -8,9 +8,9 @@ import (
 )
 
 // TestBenchJSON runs the -json mode end to end in quick form and
-// validates the BENCH_pingpong.json rows: all three backends, all
-// sizes, sane percentiles. This is the bench-trajectory artifact CI
-// uploads, so its shape is pinned here.
+// validates the BENCH_pingpong.json rows: all four backends, all
+// sizes, the WAN-conditioned UDP rows, sane percentiles. This is the
+// bench-trajectory artifact CI uploads, so its shape is pinned here.
 func TestBenchJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs hundreds of timed round trips per backend")
@@ -27,9 +27,10 @@ func TestBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &rows); err != nil {
 		t.Fatalf("rows are not valid JSON: %v", err)
 	}
-	rtt := map[string]int{"sim": 0, "tcp": 0, "shm": 0}
-	rate := map[string]int{"sim": 0, "tcp": 0, "shm": 0}
+	rtt := map[string]int{"sim": 0, "tcp": 0, "shm": 0, "udp": 0}
+	rate := map[string]int{"sim": 0, "tcp": 0, "shm": 0, "udp": 0}
 	ctrl, telem := 0, 0
+	wan := map[float64]bool{}
 	var shmRate, telemRate float64
 	for _, r := range rows {
 		if _, ok := rtt[r.Backend]; !ok {
@@ -45,6 +46,30 @@ func TestBenchJSON(t *testing.T) {
 			if r.RTTP50Ns <= 0 || r.RTTP99Ns < r.RTTP50Ns {
 				t.Errorf("backend %s size %d: implausible percentiles p50=%d p99=%d",
 					r.Backend, r.SizeBytes, r.RTTP50Ns, r.RTTP99Ns)
+			}
+			if r.LossPct != 0 || r.DelayNs != 0 {
+				t.Errorf("clean-wire RTT row carries WAN conditions: %+v", r)
+			}
+		case "pingpong_rtt_wan":
+			if r.Backend != "udp" {
+				t.Errorf("WAN row on backend %q, want udp", r.Backend)
+			}
+			if wan[r.LossPct] {
+				t.Errorf("duplicate WAN row at %.0f%% loss", r.LossPct)
+			}
+			wan[r.LossPct] = true
+			if r.RTTP50Ns <= 0 || r.RTTP99Ns < r.RTTP50Ns {
+				t.Errorf("WAN %.0f%% loss: implausible percentiles p50=%d p99=%d",
+					r.LossPct, r.RTTP50Ns, r.RTTP99Ns)
+			}
+			if r.DelayNs != benchWANDelay.Nanoseconds() {
+				t.Errorf("WAN row delay %d ns, want %d", r.DelayNs, benchWANDelay.Nanoseconds())
+			}
+			// The injected latency is a hard floor: one round trip
+			// cannot beat two one-way delays.
+			if r.RTTP50Ns < 2*benchWANDelay.Nanoseconds() {
+				t.Errorf("WAN %.0f%% loss: p50 %d ns beats the injected 2×%v floor",
+					r.LossPct, r.RTTP50Ns, benchWANDelay)
 			}
 		case "pingpong_msgrate", "pingpong_msgrate_ctrl", "pingpong_msgrate_telem":
 			if r.Bench == "pingpong_msgrate_ctrl" {
@@ -87,9 +112,21 @@ func TestBenchJSON(t *testing.T) {
 		}
 	}
 	for be, n := range rtt {
-		if n != len(benchJSONSizes) {
-			t.Errorf("backend %s has %d RTT rows, want %d", be, n, len(benchJSONSizes))
+		want := len(benchJSONSizes)
+		if be == "udp" {
+			want = len(benchUDPSizes)
 		}
+		if n != want {
+			t.Errorf("backend %s has %d RTT rows, want %d", be, n, want)
+		}
+	}
+	for _, lossPct := range benchWANLossPcts {
+		if !wan[lossPct] {
+			t.Errorf("missing WAN row at %.0f%% loss", lossPct)
+		}
+	}
+	if len(wan) != len(benchWANLossPcts) {
+		t.Errorf("%d WAN rows, want %d", len(wan), len(benchWANLossPcts))
 	}
 	for be, n := range rate {
 		if n != 1 {

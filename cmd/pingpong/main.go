@@ -34,6 +34,18 @@
 // either rank may start first — ring files are created by whoever
 // arrives first and adopted by the other.
 //
+// Over UDP datagrams (fabric/udpfab), the one transport whose wire
+// genuinely loses and reorders, with the reliability sublayer earning
+// delivery back:
+//
+//	pingpong -udp 127.0.0.1:9877 -rank 0      # binds, sweeps
+//	pingpong -udp 127.0.0.1:9877 -rank 1      # echoes, other process
+//
+// Rank 0 binds the named address (port 0 picks an ephemeral port,
+// printed on startup); rank 1 binds an ephemeral port and reaches rank 0
+// at the named address. Rank 1 speaks first, so rank 0 learns its return
+// path from the first valid datagram.
+//
 // Combining the TCP flags with -shm bonds BOTH real transports into one
 // world — the paper's multirail configuration, MX + shared memory, with
 // real fabrics standing in — and runs the sweep three times: data forced
@@ -45,13 +57,15 @@
 //	pingpong -listen 127.0.0.1:9777 -shm /tmp/pp-rings    # rank 0
 //	pingpong -connect 127.0.0.1:9777 -shm /tmp/pp-rings   # rank 1
 //
-// With -json it runs the in-process three-backend benchmark —
-// raw-endpoint eager round trips over the wire simulator, loopback TCP
-// and shared-memory rings, then the back-to-back 64-byte message-rate
-// storm per backend — and writes BENCH_pingpong.json rows (RTT p50/p99
-// and allocs/op per size; msgs/sec and batch occupancy for the storm,
-// including a per-frame-drain shm control row), the file CI tracks per
-// build:
+// With -json it runs the in-process four-backend benchmark —
+// raw-endpoint eager round trips over the wire simulator, loopback TCP,
+// shared-memory rings and reliable UDP datagrams, then the back-to-back
+// 64-byte message-rate storm per backend, then WAN-conditioned UDP
+// round trips with seeded loss and latency injected beneath the
+// reliability sublayer — and writes BENCH_pingpong.json rows (RTT
+// p50/p99 and allocs/op per size; msgs/sec and batch occupancy for the
+// storm, including a per-frame-drain shm control row), the file CI
+// tracks per build:
 //
 //	pingpong -json BENCH_pingpong.json
 //
@@ -85,6 +99,7 @@ import (
 	"pioman/internal/fabric/bufpool"
 	"pioman/internal/fabric/shmfab"
 	"pioman/internal/fabric/tcpfab"
+	"pioman/internal/fabric/udpfab"
 	"pioman/internal/mpi"
 	"pioman/internal/nic"
 	"pioman/internal/telemetry"
@@ -98,15 +113,19 @@ func main() {
 	listen := flag.String("listen", "", "run as rank 0 over real TCP, accepting on this address (replaces the simulated -rails set; with -shm too, bonds both transports into one multirail world)")
 	connect := flag.String("connect", "", "run as rank 1 over real TCP, dialing rank 0 at this address (replaces the simulated -rails set; with -shm too, bonds both transports into one multirail world)")
 	shmDir := flag.String("shm", "", "run over real shared memory, ring files in this fresh directory (replaces the simulated -rails set; alone it needs -rank; with -listen/-connect it bonds shm with TCP)")
-	rank := flag.Int("rank", 0, "with -shm alone: this process's rank (0 sweeps, 1 echoes)")
-	jsonPath := flag.String("json", "", "alone: write the three-backend (sim, tcp loopback, shm) RTT/allocation rows to this file and exit; in bonded mode: merge the bonded tcp/shm/multirail rows into this file (rank 0)")
+	udpAddr := flag.String("udp", "", "run over real UDP datagrams with the reliability sublayer (fabric/udpfab): rank 0 binds this address, rank 1 reaches rank 0 at it; needs -rank (replaces the simulated -rails set)")
+	rank := flag.Int("rank", 0, "with -shm or -udp: this process's rank (0 sweeps, 1 echoes)")
+	jsonPath := flag.String("json", "", "alone: write the four-backend (sim, tcp loopback, shm, udp) RTT/allocation rows plus the UDP WAN rows to this file and exit; in bonded mode: merge the bonded tcp/shm/multirail rows into this file (rank 0)")
 	metricsAddr := flag.String("metrics", "", "serve live telemetry over HTTP on this address while the sweep runs: Prometheus text at /metrics, JSON at /metrics.json (port 0 picks one, printed on startup)")
 	linger := flag.Duration("linger", 0, "with -metrics: keep the endpoint up this long after the sweep, so scripted scrapes never race the exit")
 	flag.Parse()
 	exp.Quick = *quick
 
-	real := *listen != "" || *connect != "" || *shmDir != ""
+	real := *listen != "" || *connect != "" || *shmDir != "" || *udpAddr != ""
 	bonded := *shmDir != "" && (*listen != "" || *connect != "")
+	if *udpAddr != "" && (*listen != "" || *connect != "" || *shmDir != "") {
+		fail("-udp runs a two-process UDP world on its own; it cannot be combined with -listen/-connect/-shm")
+	}
 	rankSet, railsSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -118,7 +137,7 @@ func main() {
 	})
 	if *jsonPath != "" && !bonded {
 		if real || rankSet || railsSet {
-			fail("-json runs its own in-process three-backend benchmark; outside bonded mode (-listen/-connect together with -shm) it cannot be combined with -listen/-connect/-shm/-rank/-rails")
+			fail("-json runs its own in-process benchmark; outside bonded mode (-listen/-connect together with -shm) it cannot be combined with -listen/-connect/-shm/-udp/-rank/-rails")
 		}
 		if *metricsAddr != "" {
 			fail("-json benchmarks raw endpoints with its own metered/unmetered rows; it has no engine world for -metrics to expose")
@@ -161,11 +180,11 @@ func main() {
 	if real && railsSet {
 		fail("-rails configures the simulated sweep; -listen/-connect/-shm replace the simulated rails with real transports, so the flags cannot be combined")
 	}
-	if rankSet && (*shmDir == "" || bonded) {
-		fail("-rank only selects a role under -shm alone (TCP and bonded runs infer the rank: -listen is 0, -connect is 1)")
+	if rankSet && ((*shmDir == "" && *udpAddr == "") || bonded) {
+		fail("-rank only selects a role under -shm alone or -udp (TCP and bonded runs infer the rank: -listen is 0, -connect is 1)")
 	}
-	if *shmDir != "" && (*rank < 0 || *rank > 1) {
-		fail(fmt.Sprintf("-rank %d: the shared-memory pingpong has ranks 0 and 1", *rank))
+	if (*shmDir != "" || *udpAddr != "") && (*rank < 0 || *rank > 1) {
+		fail(fmt.Sprintf("-rank %d: the two-process pingpong has ranks 0 and 1", *rank))
 	}
 	withSHM := true
 	switch *rails {
@@ -180,7 +199,7 @@ func main() {
 		finish(runBonded(*listen, *connect, *shmDir, *quick, *jsonPath, metrics))
 	}
 	if real {
-		finish(runReal(*listen, *connect, *shmDir, *rank, *quick, metrics))
+		finish(runReal(*listen, *connect, *shmDir, *udpAddr, *rank, *quick, metrics))
 	}
 
 	var sizes []int
@@ -217,9 +236,10 @@ var realSizes = []int{64, 1 << 10, 4 << 10, 32 << 10, 64 << 10, 256 << 10}
 
 // runReal executes one rank of the two-process pingpong over a real
 // transport — TCP when listen/connect is set, shared-memory rings when
-// shmDir is — and returns the process exit code. metrics, when non-nil,
-// receives the world's engine/rail registrations (-metrics).
-func runReal(listen, connect, shmDir string, shmRank int, quick bool, metrics *telemetry.Registry) int {
+// shmDir is, reliable UDP datagrams when udpAddr is — and returns the
+// process exit code. metrics, when non-nil, receives the world's
+// engine/rail registrations (-metrics).
+func runReal(listen, connect, shmDir, udpAddr string, cfgRank int, quick bool, metrics *telemetry.Registry) int {
 	iters := 50
 	if quick {
 		iters = 5
@@ -240,8 +260,23 @@ func runReal(listen, connect, shmDir string, shmRank int, quick bool, metrics *t
 		err  error
 	)
 	switch {
+	case udpAddr != "":
+		rank = cfgRank
+		rail = nic.UdpParams()
+		var uep *udpfab.Endpoint
+		if rank == 0 {
+			uep, err = udpfab.New(udpfab.Config{Self: 0, Nodes: 2, Listen: udpAddr})
+			if err == nil {
+				// Rank 1 speaks first; the return path is learned from
+				// its first valid datagram.
+				fmt.Printf("pingpong: rank 0 listening on %s\n", uep.Addr())
+			}
+		} else {
+			uep, err = udpfab.New(udpfab.Config{Self: 1, Nodes: 2, Peers: map[int]string{0: udpAddr}})
+		}
+		ep = uep
 	case shmDir != "":
-		rank = shmRank
+		rank = cfgRank
 		rail = nic.ShmParams()
 		ep, err = shmfab.New(shmfab.Config{
 			Self: rank, Nodes: 2, Dir: shmDir,

@@ -103,7 +103,7 @@ func TestHelperRank0(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "rank0" {
 		t.Skip("helper entry point")
 	}
-	if code := runReal("127.0.0.1:0", "", "", 0, true, nil); code != 0 {
+	if code := runReal("127.0.0.1:0", "", "", "", 0, true, nil); code != 0 {
 		t.Fatalf("rank 0 exited %d", code)
 	}
 }
@@ -113,7 +113,113 @@ func TestHelperRank1(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "rank1" {
 		t.Skip("helper entry point")
 	}
-	if code := runReal("", os.Getenv("PINGPONG_CONNECT"), "", 0, true, nil); code != 0 {
+	if code := runReal("", os.Getenv("PINGPONG_CONNECT"), "", "", 0, true, nil); code != 0 {
+		t.Fatalf("rank 1 exited %d", code)
+	}
+}
+
+// TestTwoProcessPingpongUDP is the UDP-datagram acceptance exchange: two
+// separate OS processes complete the full eager and rendezvous sweep
+// over fabric/udpfab on loopback — real datagrams, reliability sublayer
+// and all, with rendezvous payloads chunked to the single-datagram frame
+// ceiling.
+func TestTwoProcessPingpongUDP(t *testing.T) {
+	if os.Getenv("PINGPONG_HELPER") != "" {
+		t.Skip("helper invocation")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rank0 := exec.Command(exe, "-test.run", "TestHelperUDPRank0", "-test.v")
+	rank0.Env = append(os.Environ(), "PINGPONG_HELPER=udprank0")
+	out0, err := rank0.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank0.Stderr = os.Stderr
+	if err := rank0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rank0.Process.Kill()
+
+	// Scrape the ephemeral port from rank 0's banner, then keep the
+	// pipe drained so the child never stalls on a full stdout buffer.
+	sc := bufio.NewScanner(out0)
+	addr := ""
+	lines0 := make(chan string, 64)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("rank 0 never announced its listen address")
+	}
+	go func() {
+		defer close(lines0)
+		for sc.Scan() {
+			lines0 <- sc.Text()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rank1 := exec.CommandContext(ctx, exe, "-test.run", "TestHelperUDPRank1", "-test.v")
+	rank1.Env = append(os.Environ(), "PINGPONG_HELPER=udprank1", "PINGPONG_UDP="+addr)
+	out1, err := rank1.CombinedOutput()
+	if err != nil {
+		t.Fatalf("rank 1 process failed (ctx: %v): %v\n%s", ctx.Err(), err, out1)
+	}
+	if !strings.Contains(string(out1), "rank 1 ok") {
+		t.Fatalf("rank 1 did not report success:\n%s", out1)
+	}
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- rank0.Wait() }()
+	var log0 []string
+	for line := range lines0 {
+		log0 = append(log0, line)
+	}
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("rank 0 process failed: %v\n%s", err, strings.Join(log0, "\n"))
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("rank 0 did not exit\n%s", strings.Join(log0, "\n"))
+	}
+
+	all := strings.Join(log0, "\n")
+	if !strings.Contains(all, "rank 0 ok") {
+		t.Fatalf("rank 0 did not report success:\n%s", all)
+	}
+	// The sweep must have crossed both protocols.
+	if !strings.Contains(all, "eager") || !strings.Contains(all, "rendezvous") {
+		t.Fatalf("sweep missing a protocol:\n%s", all)
+	}
+}
+
+// TestHelperUDPRank0 is the re-exec body of the binding UDP rank; it
+// only runs inside TestTwoProcessPingpongUDP's child process.
+func TestHelperUDPRank0(t *testing.T) {
+	if os.Getenv("PINGPONG_HELPER") != "udprank0" {
+		t.Skip("helper entry point")
+	}
+	if code := runReal("", "", "", "127.0.0.1:0", 0, true, nil); code != 0 {
+		t.Fatalf("rank 0 exited %d", code)
+	}
+}
+
+// TestHelperUDPRank1 is the re-exec body of the echoing UDP rank.
+func TestHelperUDPRank1(t *testing.T) {
+	if os.Getenv("PINGPONG_HELPER") != "udprank1" {
+		t.Skip("helper entry point")
+	}
+	if code := runReal("", "", "", os.Getenv("PINGPONG_UDP"), 1, true, nil); code != 0 {
 		t.Fatalf("rank 1 exited %d", code)
 	}
 }
@@ -320,7 +426,7 @@ func TestHelperShmRank0(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "shmrank0" {
 		t.Skip("helper entry point")
 	}
-	if code := runReal("", "", os.Getenv("PINGPONG_SHM"), 0, true, nil); code != 0 {
+	if code := runReal("", "", os.Getenv("PINGPONG_SHM"), "", 0, true, nil); code != 0 {
 		t.Fatalf("rank 0 exited %d", code)
 	}
 }
@@ -330,7 +436,7 @@ func TestHelperShmRank1(t *testing.T) {
 	if os.Getenv("PINGPONG_HELPER") != "shmrank1" {
 		t.Skip("helper entry point")
 	}
-	if code := runReal("", "", os.Getenv("PINGPONG_SHM"), 1, true, nil); code != 0 {
+	if code := runReal("", "", os.Getenv("PINGPONG_SHM"), "", 1, true, nil); code != 0 {
 		t.Fatalf("rank 1 exited %d", code)
 	}
 }

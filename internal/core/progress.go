@@ -692,6 +692,12 @@ func (e *Engine) sendRdvData(core topo.CoreID, s *SendReq) {
 			// single frame above the rail MTU is exactly what a real
 			// transport's ceiling would refuse.
 			e.sendSpan(rails[0], h, s.data, chunkSpan{off: 0, end: s.Len()})
+		} else if lim := rails[0].MaxFrame(); lim > 0 && s.Len() > lim {
+			// The transport refuses single frames this large outright
+			// (udpfab's one-datagram frame ceiling): chunk at the rail
+			// MTU. The receive side reassembles chunks by offset under
+			// every strategy, so only the submission shape changes.
+			e.sendSpan(rails[0], h, s.data, chunkSpan{off: 0, end: s.Len()})
 		} else {
 			// Other strategies model the classical single-DMA submission;
 			// the simulator's wire does its own fragmenting.

@@ -30,6 +30,7 @@ func GatedDirsFromRoot() []string {
 		"internal/fabric/shmfab",
 		"internal/fabric/simfab",
 		"internal/fabric/tcpfab",
+		"internal/fabric/udpfab",
 		"internal/nic",
 		"internal/mpi",
 		// internal/wire carries exported fabric-facing surface too (the

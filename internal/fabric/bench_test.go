@@ -9,17 +9,22 @@ import (
 	"pioman/internal/fabric/shmfab"
 	"pioman/internal/fabric/simfab"
 	"pioman/internal/fabric/tcpfab"
+	"pioman/internal/fabric/udpfab"
 	"pioman/internal/wire"
 )
 
-// Raw-endpoint round-trip latency, simulated wire vs real localhost TCP
-// vs real shared-memory rings, at the paper's three regimes:
-// latency-bound (64 B), eager (4 KiB) and rendezvous-class (64 KiB)
-// messages. This is the number BENCH_*.json tracks so the real
+// Raw-endpoint round-trip latency — simulated wire, real localhost TCP,
+// real shared-memory rings, real loopback UDP — at the paper's three
+// regimes: latency-bound (64 B), eager (4 KiB) and rendezvous-class
+// (64 KiB) messages. This is the number BENCH_*.json tracks so the real
 // transports' progress is measurable PR over PR — and where the shm rail's
 // win over loopback TCP for co-located ranks shows up.
 
 var benchSizes = []int{64, 4 << 10, 64 << 10}
+
+// benchSizesUDP caps at 32 KiB: udpfab's one-datagram frame ceiling
+// (~64 KiB minus headers) refuses the 64 KiB cell.
+var benchSizesUDP = []int{64, 4 << 10, 32 << 10}
 
 // echoPeer bounces every packet on ep back to its source.
 func echoPeer(ep fabric.Endpoint, quit <-chan struct{}) {
@@ -69,6 +74,9 @@ func benchRTT(b *testing.B, f fabric.Fabric, size int) {
 		for ep0.BlockingRecv(time.Second) == nil {
 		}
 	}
+	// The deferred fabric Close runs before the harness stops the clock;
+	// keep its bounded drain out of the measurement.
+	b.StopTimer()
 }
 
 func BenchmarkRTTSimfab(b *testing.B) {
@@ -98,6 +106,19 @@ func BenchmarkRTTShmfab(b *testing.B) {
 	for _, size := range benchSizes {
 		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
 			f, err := shmfab.NewLocal(2, b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			benchRTT(b, f, size)
+		})
+	}
+}
+
+func BenchmarkRTTUdpfab(b *testing.B) {
+	for _, size := range benchSizesUDP {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			f, err := udpfab.NewLocal(2)
 			if err != nil {
 				b.Fatal(err)
 			}

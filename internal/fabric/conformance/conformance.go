@@ -17,7 +17,6 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -568,132 +567,96 @@ func RunBatchOrdering(t *testing.T, open OpenFabric, strictFIFO bool) {
 	})
 }
 
-// Lossy wraps a fabric so that every frame its endpoints accept is
-// dropped and counted in LostFrames — the loss-injection harness of the
-// rail-failure case. It models the worst shape of a real transport
-// failure the fabric contract allows: Send reports success (the frames
-// were accepted), the bytes never arrive, and the only evidence is the
-// loss counter. Reception still works, so a wrapped rail stays pollable.
-type Lossy struct {
-	inner fabric.Fabric
-
-	mu  sync.Mutex
-	eps map[int]*lossyEndpoint
-}
-
-// NewLossy wraps inner; see Lossy.
-func NewLossy(inner fabric.Fabric) *Lossy {
-	return &Lossy{inner: inner, eps: make(map[int]*lossyEndpoint)}
-}
-
-// Nodes implements fabric.Fabric.
-func (l *Lossy) Nodes() int { return l.inner.Nodes() }
-
-// Close implements fabric.Fabric.
-func (l *Lossy) Close() error { return l.inner.Close() }
-
-// Endpoint implements fabric.Fabric, handing out one stable wrapper per
-// rank so loss counts accumulate per endpoint as on a real transport.
-func (l *Lossy) Endpoint(rank int) (fabric.Endpoint, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if ep := l.eps[rank]; ep != nil {
-		return ep, nil
+// failoverParams builds the rail parameters the failover and telemetry
+// cases bond. The MTU stays within every backend's payload ceiling —
+// udpfab frames must fit one UDP datagram, which caps payloads just
+// short of 64 KiB.
+func failoverParams(name string) nic.Params {
+	return nic.Params{
+		Name:         name,
+		Link:         wire.MYRI10G(),
+		EagerMax:     32 << 10,
+		MTU:          32 << 10,
+		StripeWeight: 1,
 	}
-	inner, err := l.inner.Endpoint(rank)
+}
+
+// runFailover drives one rail-failure scenario: a two-rank world bonded
+// over two rails of the backend under test, the secondary wrapped in a
+// Chaos with the given drop rate. The multirail strategy stripes the
+// rendezvous payload across both rails; the engine must observe the
+// chaotic rail's loss counter move, re-stripe the lost spans onto the
+// surviving rail, and complete the transfer intact — with the loss left
+// visible in LostFrames.
+func runFailover(t *testing.T, open OpenFabric, drop float64, seed int64, msgBytes int) {
+	good := open(t, 2)
+	lossy := NewChaos(open(t, 2), ChaosConfig{Seed: seed, Drop: drop})
+	w := mpi.NewWorld(mpi.Config{
+		Nodes:          2,
+		Machine:        topo.Machine{Sockets: 1, CoresPerSocket: 2},
+		Mode:           core.Multithreaded,
+		OffloadEager:   true,
+		EnableBlocking: true,
+		Strategy:       "multirail",
+		MultirailMin:   64 << 10,
+		MX:             failoverParams("railA"),
+		ExtraRails:     []nic.Params{failoverParams("railB")},
+		Fabrics:        map[string]fabric.Fabric{"railA": good, "railB": lossy},
+	})
+	defer closeWorld(t, w)
+	msg := patterned(msgBytes)
+	w.RunAll(func(p *mpi.Proc) {
+		if p.Rank() == 0 {
+			r := p.Isend(1, 5, msg)
+			if !r.Rendezvous() {
+				t.Errorf("%d KiB send did not pick the rendezvous protocol", msgBytes>>10)
+			}
+			p.WaitSend(r)
+			var ack [1]byte
+			p.Recv(1, 6, ack[:])
+		} else {
+			buf := make([]byte, len(msg))
+			if n, _ := p.Recv(0, 5, buf); n != len(msg) || !bytes.Equal(buf, msg) {
+				t.Errorf("rendezvous over the surviving rail corrupted (n=%d)", n)
+			}
+			p.Send(0, 6, []byte{1})
+		}
+	})
+	ep0, err := lossy.Endpoint(0)
 	if err != nil {
-		return nil, err
+		t.Fatalf("lossy endpoint: %v", err)
 	}
-	ep := &lossyEndpoint{Endpoint: inner}
-	l.eps[rank] = ep
-	return ep, nil
+	if ep0.(fabric.LossCounter).LostFrames() == 0 {
+		t.Error("chaotic rail counted no lost frames: striping never dropped a chunk on it")
+	}
 }
 
-// lossyEndpoint accepts every frame and delivers none.
-type lossyEndpoint struct {
-	fabric.Endpoint
-	lost atomic.Uint64
-}
-
-// Send implements fabric.Endpoint: the frame is consumed and dropped,
-// and the loss is counted — the asynchronous-loss shape (accepted, then
-// gone) rather than a synchronous rejection.
-func (le *lossyEndpoint) Send(p *wire.Packet) error {
-	le.lost.Add(1)
-	return nil
-}
-
-// SendCaptures implements fabric.SendCapturer: Send fully consumes (by
-// dropping) the packet, so callers may recycle it immediately.
-func (le *lossyEndpoint) SendCaptures() bool { return true }
-
-// LostFrames implements fabric.LossCounter.
-func (le *lossyEndpoint) LostFrames() uint64 { return le.lost.Load() }
-
-// RunRailFailover runs the rail-failure case against the backend: a
-// two-rank world bonded over two rails of the backend under test, the
-// secondary wrapped in Lossy so it silently drops every frame it
-// accepts. The multirail strategy stripes a rendezvous payload across
-// both rails; the engine must observe the secondary's loss counter move,
-// re-stripe the lost span onto the surviving rail, and complete the
-// transfer intact — with the loss left visible in LostFrames.
+// RunRailFailover runs the rail-failure cases against the backend. The
+// total-loss case is the original harness: the secondary rail drops
+// every frame it accepts (Chaos with Drop=1, the old Lossy), so the
+// engine must re-stripe everything onto the survivor. The partial-loss
+// case is harsher in a different way: at Drop=0.5 roughly half the
+// secondary's chunks do land, so the receiver ends up holding spans
+// from the chaotic rail interleaved with the survivor's re-striped
+// copies of the lost ones — completion proves the engine's reassembly
+// tolerates partially-delivered spans rather than merely switching
+// rails wholesale.
 func RunRailFailover(t *testing.T, open OpenFabric) {
 	t.Run("RailFailover", func(t *testing.T) {
-		good := open(t, 2)
-		lossy := NewLossy(open(t, 2))
-		mk := func(name string) nic.Params {
-			return nic.Params{
-				Name:         name,
-				Link:         wire.MYRI10G(),
-				EagerMax:     32 << 10,
-				MTU:          64 << 10,
-				StripeWeight: 1,
-			}
-		}
-		w := mpi.NewWorld(mpi.Config{
-			Nodes:          2,
-			Machine:        topo.Machine{Sockets: 1, CoresPerSocket: 2},
-			Mode:           core.Multithreaded,
-			OffloadEager:   true,
-			EnableBlocking: true,
-			Strategy:       "multirail",
-			MultirailMin:   64 << 10,
-			MX:             mk("railA"),
-			ExtraRails:     []nic.Params{mk("railB")},
-			Fabrics:        map[string]fabric.Fabric{"railA": good, "railB": lossy},
-		})
-		defer closeWorld(t, w)
-		msg := patterned(256 << 10)
-		w.RunAll(func(p *mpi.Proc) {
-			if p.Rank() == 0 {
-				r := p.Isend(1, 5, msg)
-				if !r.Rendezvous() {
-					t.Errorf("256 KiB send did not pick the rendezvous protocol")
-				}
-				p.WaitSend(r)
-				var ack [1]byte
-				p.Recv(1, 6, ack[:])
-			} else {
-				buf := make([]byte, len(msg))
-				if n, _ := p.Recv(0, 5, buf); n != len(msg) || !bytes.Equal(buf, msg) {
-					t.Errorf("rendezvous over the surviving rail corrupted (n=%d)", n)
-				}
-				p.Send(0, 6, []byte{1})
-			}
-		})
-		ep0, err := lossy.Endpoint(0)
-		if err != nil {
-			t.Fatalf("lossy endpoint: %v", err)
-		}
-		if ep0.(fabric.LossCounter).LostFrames() == 0 {
-			t.Error("lossy rail counted no lost frames: striping never placed a chunk on it")
-		}
+		runFailover(t, open, 1, 0, 256<<10)
+	})
+	t.Run("RailFailoverPartialLoss", func(t *testing.T) {
+		// The fixed seed keeps the drop pattern replayable; with eight
+		// 32 KiB chunks headed for the chaotic rail, this seed's draw
+		// sequence drops some and passes others.
+		runFailover(t, open, 0.5, 1, 512<<10)
 	})
 }
 
 // RunTelemetrySnapshot runs the observability case against the backend:
-// the RailFailover scenario (bonded rails, the secondary wrapped in
-// Lossy) with a telemetry registry attached to the world, asserting the
+// the RailFailover scenario (bonded rails, the secondary wrapped in a
+// drop-everything Chaos) with a telemetry registry attached to the world,
+// asserting the
 // rail failure is visible in a registry snapshot — the lossy rail's
 // "node0.rail.railB.lost_frames" series must be nonzero the moment the
 // transfer completes. The lost_frames metric is registered as a live
@@ -705,16 +668,7 @@ func RunRailFailover(t *testing.T, open OpenFabric) {
 func RunTelemetrySnapshot(t *testing.T, open OpenFabric) {
 	t.Run("TelemetrySnapshot", func(t *testing.T) {
 		good := open(t, 2)
-		lossy := NewLossy(open(t, 2))
-		mk := func(name string) nic.Params {
-			return nic.Params{
-				Name:         name,
-				Link:         wire.MYRI10G(),
-				EagerMax:     32 << 10,
-				MTU:          64 << 10,
-				StripeWeight: 1,
-			}
-		}
+		lossy := NewChaos(open(t, 2), ChaosConfig{Drop: 1})
 		reg := telemetry.NewRegistry()
 		w := mpi.NewWorld(mpi.Config{
 			Nodes:          2,
@@ -724,8 +678,8 @@ func RunTelemetrySnapshot(t *testing.T, open OpenFabric) {
 			EnableBlocking: true,
 			Strategy:       "multirail",
 			MultirailMin:   64 << 10,
-			MX:             mk("railA"),
-			ExtraRails:     []nic.Params{mk("railB")},
+			MX:             failoverParams("railA"),
+			ExtraRails:     []nic.Params{failoverParams("railB")},
 			Fabrics:        map[string]fabric.Fabric{"railA": good, "railB": lossy},
 			Metrics:        reg,
 		})

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"time"
 
+	"pioman/internal/telemetry"
 	"pioman/internal/wire"
 )
 
@@ -125,6 +126,19 @@ type LossCounter interface {
 type PayloadLimiter interface {
 	// MaxPayload returns the largest payload one Send can carry.
 	MaxPayload() int
+}
+
+// MetricSource is an optional Endpoint capability: transports whose
+// internals keep health counters beyond the portable contract — udpfab's
+// retransmit/ack/duplicate/reject accounting is the motivating case —
+// register them here. The nic driver forwards its own RegisterMetrics
+// call to the endpoint, so a rail's transport-level series appear under
+// the same "node<rank>.rail.<name>" prefix as the driver's portable
+// counters, with no per-backend wiring above the fabric layer.
+type MetricSource interface {
+	// RegisterMetrics registers the transport's internal counters with
+	// reg under dot-separated names below prefix.
+	RegisterMetrics(reg *telemetry.Registry, prefix string)
 }
 
 // Fabric hands out the endpoints of a communication domain. In-process

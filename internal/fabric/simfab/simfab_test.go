@@ -2,6 +2,7 @@ package simfab_test
 
 import (
 	"testing"
+	"time"
 
 	"pioman/internal/fabric"
 	"pioman/internal/fabric/conformance"
@@ -24,6 +25,31 @@ func TestWorldConformance(t *testing.T) {
 		// pre-fabric simulation result was measured on.
 		cfg := mpi.DefaultMultithreaded(2)
 		cfg.Machine = topo.Machine{Sockets: 1, CoresPerSocket: 2}
+		return mpi.NewWorld(cfg)
+	})
+}
+
+// TestChaosSoakConformance drives the engine-level soak workload over
+// the simulated wire wrapped in a seeded Chaos injecting frame
+// reordering and latency on top of the simulator's own fragment
+// interleaving. (Drop/duplicate/corrupt would violate the delivery
+// contract the simulator guarantees; udpfab's soak injects those below
+// its reliability sublayer instead.)
+func TestChaosSoakConformance(t *testing.T) {
+	seed := conformance.ChaosSeed(t)
+	conformance.RunChaosSoak(t, func(t *testing.T) *mpi.World {
+		cfg := mpi.DefaultMultithreaded(2)
+		cfg.Machine = topo.Machine{Sockets: 1, CoresPerSocket: 2}
+		cfg.Fabrics = map[string]fabric.Fabric{
+			cfg.MX.Name: conformance.NewChaos(
+				simfab.New(wire.NewFabric(2, cfg.MX.Link)),
+				conformance.ChaosConfig{
+					Seed:         seed,
+					Reorder:      0.15,
+					ReorderDelay: time.Millisecond,
+					Latency:      200 * time.Microsecond,
+				}),
+		}
 		return mpi.NewWorld(cfg)
 	})
 }

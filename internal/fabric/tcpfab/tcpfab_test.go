@@ -51,6 +51,39 @@ func TestWorldConformance(t *testing.T) {
 	conformance.RunWorld(t, realWorld)
 }
 
+// TestChaosSoakConformance drives the engine-level soak workload over
+// localhost sockets wrapped in a seeded Chaos injecting the disorder a
+// reliable stream transport legitimately exhibits at the frame level:
+// reordering across the wrapper's delivery queues plus added latency.
+// (Drop/duplicate/corrupt would violate the delivery contract tcpfab
+// itself guarantees; udpfab's soak injects those below its reliability
+// sublayer instead.)
+func TestChaosSoakConformance(t *testing.T) {
+	seed := conformance.ChaosSeed(t)
+	conformance.RunChaosSoak(t, func(t *testing.T) *mpi.World {
+		l, err := tcpfab.NewLocal(2)
+		if err != nil {
+			t.Fatalf("NewLocal: %v", err)
+		}
+		chaotic := conformance.NewChaos(l, conformance.ChaosConfig{
+			Seed:         seed,
+			Reorder:      0.15,
+			ReorderDelay: time.Millisecond,
+			Latency:      200 * time.Microsecond,
+		})
+		rail := nic.RealParams()
+		return mpi.NewWorld(mpi.Config{
+			Nodes:          2,
+			Machine:        topo.Machine{Sockets: 1, CoresPerSocket: 2},
+			Mode:           core.Multithreaded,
+			OffloadEager:   true,
+			EnableBlocking: true,
+			MX:             rail,
+			Fabrics:        map[string]fabric.Fabric{rail.Name: chaotic},
+		})
+	})
+}
+
 // TestBatchOrderingConformance runs the batched-receive ordering case:
 // two concurrent senders, a PollBatch-only receiver, per-sender FIFO and
 // no loss or duplication across batch boundaries.

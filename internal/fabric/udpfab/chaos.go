@@ -1,0 +1,106 @@
+package udpfab
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// ChaosParams injects disorder into an endpoint's transmit path, at the
+// datagram level — beneath the reliability sublayer, which must absorb
+// every injected failure before the fabric contract is visible above:
+// drops and corruptions are recovered by the retransmit timer,
+// duplicates by the receive-side dedup filter, reordering and latency
+// by delivery-on-arrival plus the consumers' own sequence reordering.
+// This is the knob the chaos soak suite and the WAN-profile pingpong
+// benches turn. All randomness is drawn from one explicit seeded source
+// per endpoint, so a failing run is replayable from its logged seed.
+//
+// Contrast conformance.Chaos, which wraps any fabric at the frame level
+// and therefore must respect the wrapped backend's delivery contract;
+// this one may be as hostile as a real network because udpfab was built
+// to survive it.
+type ChaosParams struct {
+	// Seed drives the endpoint's random source (deterministic given the
+	// same transmit schedule).
+	Seed int64
+	// Drop is the probability a datagram is silently discarded.
+	Drop float64
+	// Duplicate is the probability a datagram is transmitted twice.
+	Duplicate float64
+	// Reorder is the probability a datagram is held back by
+	// ReorderDelay, letting later datagrams overtake it.
+	Reorder float64
+	// Corrupt is the probability one bit of the datagram is flipped in
+	// transit (the receiver's checksum turns this into a drop).
+	Corrupt float64
+	// Delay is added latency applied to every datagram.
+	Delay time.Duration
+	// ReorderDelay is the extra hold applied to reordered datagrams
+	// (default 2ms).
+	ReorderDelay time.Duration
+}
+
+// chaosState applies one endpoint's ChaosParams under a mutex-guarded
+// seeded source.
+type chaosState struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	p   ChaosParams
+}
+
+func newChaosState(p ChaosParams) *chaosState {
+	return &chaosState{rng: rand.New(rand.NewSource(p.Seed)), p: p}
+}
+
+// transmit applies the configured disorder to one sealed datagram and
+// forwards what survives to the socket. Deferred and duplicated
+// transmissions copy the datagram: the caller's buffer is pooled and
+// will be patched (retransmissions) or recycled (acks) after return.
+func (c *chaosState) transmit(e *Endpoint, b []byte, addr netip.AddrPort) {
+	c.mu.Lock()
+	drop := c.p.Drop > 0 && c.rng.Float64() < c.p.Drop
+	dup := c.p.Duplicate > 0 && c.rng.Float64() < c.p.Duplicate
+	corrupt := c.p.Corrupt > 0 && c.rng.Float64() < c.p.Corrupt
+	reorder := c.p.Reorder > 0 && c.rng.Float64() < c.p.Reorder
+	var flip int
+	if corrupt {
+		flip = c.rng.Intn(len(b) * 8)
+	}
+	c.mu.Unlock()
+	if drop {
+		return
+	}
+	delay := c.p.Delay
+	if reorder {
+		rd := c.p.ReorderDelay
+		if rd <= 0 {
+			rd = 2 * time.Millisecond
+		}
+		delay += rd
+	}
+	if delay <= 0 && !corrupt && !dup {
+		e.conn.WriteToUDPAddrPort(b, addr)
+		return
+	}
+	emit := func(mutate bool) {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		if mutate {
+			cp[flip/8] ^= 1 << (flip % 8)
+		}
+		if delay <= 0 {
+			e.conn.WriteToUDPAddrPort(cp, addr)
+			return
+		}
+		// A write after Close fails harmlessly: the datagram is "lost in
+		// transit", which is the one thing every consumer of this fabric
+		// already survives.
+		time.AfterFunc(delay, func() { e.conn.WriteToUDPAddrPort(cp, addr) })
+	}
+	emit(corrupt)
+	if dup {
+		emit(false)
+	}
+}

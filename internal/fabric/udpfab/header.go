@@ -1,0 +1,158 @@
+package udpfab
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"pioman/internal/fabric"
+)
+
+// Datagram wire format, little-endian throughout. Every datagram — data
+// or pure ack — starts with the same 64-byte header, so one validation
+// pass (parseDatagram, the udpx-style packet filter) gates everything
+// that arrives on the socket before a single byte is allocated:
+//
+//	u32  magic ("PIOU")
+//	u8   header version
+//	u8   datagram type (1 data, 2 ack)
+//	u16  source rank
+//	u64  session      (sender incarnation; random, nonzero)
+//	u64  seq          (data stream sequence, from 1; 0 on pure acks)
+//	u64  base         (sender's lowest possibly-unacked seq)
+//	u64  ack session  (the peer incarnation being acked; 0 = no ack info)
+//	u64  cumulative ack
+//	u64  selective ack bits (cum+1 .. cum+64)
+//	u32  frame length (codec frame bytes that follow; 0 on pure acks)
+//	u32  crc32 (IEEE) over the whole datagram with this field zeroed
+//	...  one fabric codec frame (data datagrams only)
+//
+// The checksum covers header and payload both: a flipped bit anywhere
+// rejects the datagram whole, and the reliability sublayer's retransmit
+// timer recovers the frame — corruption degrades to loss.
+const (
+	dgMagic   = 0x50494F55 // "PIOU"
+	dgVersion = 1
+
+	// Datagram types.
+	dgData = 1
+	dgAck  = 2
+
+	// dgHeaderBytes is the fixed preamble every datagram carries.
+	dgHeaderBytes = 64
+
+	// maxDatagramBytes is the largest UDP payload a single IPv4 datagram
+	// can carry (65535 minus IP and UDP headers) — the hard ceiling the
+	// fabric's own frame bound derives from.
+	maxDatagramBytes = 65507
+
+	// maxFrameBytes bounds the codec frame inside one datagram.
+	maxFrameBytes = maxDatagramBytes - dgHeaderBytes
+
+	// maxPayloadBytes is the largest packet payload one Send can carry:
+	// the datagram ceiling minus this header and the codec's framing.
+	maxPayloadBytes = maxFrameBytes - fabric.HeaderScratchBytes
+)
+
+// crcTable is the shared IEEE table; crc32.Update against it allocates
+// nothing.
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// dgHeader is one parsed datagram preamble. Plain value type: parsing
+// fills a caller-provided struct so the validation path stays
+// allocation-free.
+type dgHeader struct {
+	dtype      byte
+	src        int
+	session    uint64
+	seq        uint64
+	base       uint64
+	ackSession uint64
+	cumAck     uint64
+	sack       uint64
+	flen       int
+}
+
+// putHeader writes h into b's first dgHeaderBytes, leaving the checksum
+// field zero for sealDatagram.
+func putHeader(b []byte, h *dgHeader) {
+	binary.LittleEndian.PutUint32(b[0:], dgMagic)
+	b[4] = dgVersion
+	b[5] = h.dtype
+	binary.LittleEndian.PutUint16(b[6:], uint16(h.src))
+	binary.LittleEndian.PutUint64(b[8:], h.session)
+	binary.LittleEndian.PutUint64(b[16:], h.seq)
+	binary.LittleEndian.PutUint64(b[24:], h.base)
+	binary.LittleEndian.PutUint64(b[32:], h.ackSession)
+	binary.LittleEndian.PutUint64(b[40:], h.cumAck)
+	binary.LittleEndian.PutUint64(b[48:], h.sack)
+	binary.LittleEndian.PutUint32(b[56:], uint32(h.flen))
+	binary.LittleEndian.PutUint32(b[60:], 0)
+}
+
+// dgChecksum computes the datagram checksum of b: crc32 over everything
+// with the checksum field treated as zero (skipped, which is equivalent
+// and avoids mutating b).
+func dgChecksum(b []byte) uint32 {
+	crc := crc32.Update(0, crcTable, b[:60])
+	return crc32.Update(crc, crcTable, b[dgHeaderBytes:])
+}
+
+// sealDatagram stamps b's checksum field. Call after putHeader and after
+// the frame bytes are in place; retransmissions re-seal after patching
+// the piggybacked ack fields.
+func sealDatagram(b []byte) {
+	binary.LittleEndian.PutUint32(b[60:], 0)
+	binary.LittleEndian.PutUint32(b[60:], dgChecksum(b))
+}
+
+// parseDatagram is the packet filter: it validates one received datagram
+// against the wire format — length bounds, magic, version, type, rank
+// range, frame-length consistency, checksum — and fills h on success.
+// Everything runs before any allocation or frame decode, so truncated,
+// corrupt, oversized or alien datagrams cost the endpoint one bounded
+// scan and a rejected_datagrams tick, never a panic or a delivery. The
+// checksum runs last: it is the only check that touches every byte, and
+// most garbage fails the cheap fixed-offset checks first.
+func parseDatagram(b []byte, self, nodes int, h *dgHeader) bool {
+	if len(b) < dgHeaderBytes || len(b) > maxDatagramBytes {
+		return false
+	}
+	if binary.LittleEndian.Uint32(b) != dgMagic {
+		return false
+	}
+	if b[4] != dgVersion {
+		return false
+	}
+	dt := b[5]
+	if dt != dgData && dt != dgAck {
+		return false
+	}
+	src := int(binary.LittleEndian.Uint16(b[6:]))
+	if src >= nodes || src == self {
+		return false
+	}
+	flen := int(binary.LittleEndian.Uint32(b[56:]))
+	if flen != len(b)-dgHeaderBytes {
+		return false
+	}
+	if dt == dgAck && flen != 0 {
+		return false
+	}
+	// A data frame is at least the codec's length prefix plus header.
+	if dt == dgData && flen < fabric.HeaderScratchBytes {
+		return false
+	}
+	if binary.LittleEndian.Uint32(b[60:]) != dgChecksum(b) {
+		return false
+	}
+	h.dtype = dt
+	h.src = src
+	h.session = binary.LittleEndian.Uint64(b[8:])
+	h.seq = binary.LittleEndian.Uint64(b[16:])
+	h.base = binary.LittleEndian.Uint64(b[24:])
+	h.ackSession = binary.LittleEndian.Uint64(b[32:])
+	h.cumAck = binary.LittleEndian.Uint64(b[40:])
+	h.sack = binary.LittleEndian.Uint64(b[48:])
+	h.flen = flen
+	return true
+}

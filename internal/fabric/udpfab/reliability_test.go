@@ -1,0 +1,307 @@
+package udpfab
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"pioman/internal/telemetry"
+	"pioman/internal/wire"
+)
+
+// silentPeer is a raw UDP socket posing as rank 1: it reads whatever the
+// endpoint under test transmits and acknowledges nothing unless the test
+// crafts a reply by hand — the harness for window and ack edge cases.
+type silentPeer struct {
+	t    *testing.T
+	conn *net.UDPConn
+}
+
+func newSilentPeer(t *testing.T) *silentPeer {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &silentPeer{t: t, conn: conn}
+}
+
+func (s *silentPeer) addr() string { return s.conn.LocalAddr().String() }
+
+// read returns the next datagram the endpoint transmitted, with the
+// sender's address, or nil on timeout.
+func (s *silentPeer) read(timeout time.Duration) ([]byte, *net.UDPAddr) {
+	s.t.Helper()
+	s.conn.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, readBufBytes)
+	n, from, err := s.conn.ReadFromUDP(buf)
+	if err != nil {
+		return nil, nil
+	}
+	return buf[:n], from
+}
+
+// counters registers the endpoint's sublayer metrics and returns a
+// getter over live snapshots, so every assertion reads the same series a
+// bonded world would expose under node<r>.rail.udp.*.
+func counters(e *Endpoint) func(name string) uint64 {
+	reg := telemetry.NewRegistry()
+	e.RegisterMetrics(reg, "node0.rail.udp")
+	return func(name string) uint64 {
+		return reg.Snapshot().Value("node0.rail.udp." + name)
+	}
+}
+
+func sendSmall(t *testing.T, e *Endpoint, dst int, seq uint64) {
+	t.Helper()
+	if err := e.Send(&wire.Packet{
+		Kind: wire.PktEager, Src: e.Self(), Dst: dst, Seq: seq,
+		Payload: bytes.Repeat([]byte{byte(seq)}, 16),
+	}); err != nil {
+		t.Fatalf("send %d: %v", seq, err)
+	}
+}
+
+// TestWindowFullSendBackpressure pins the bounded-window contract: sends
+// beyond the in-flight window return promptly (Send never blocks),
+// queue in FIFO overflow, and each tick the window_stalls counter — and
+// frames the drain could not deliver are all accounted lost on Close.
+func TestWindowFullSendBackpressure(t *testing.T) {
+	peer := newSilentPeer(t)
+	e, err := New(Config{
+		Self: 0, Nodes: 2, Listen: "127.0.0.1:0",
+		Peers:  map[int]string{1: peer.addr()},
+		Window: 4, RTO: 30 * time.Millisecond, RTOMax: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := counters(e)
+	const total = 10
+	start := time.Now()
+	for i := 1; i <= total; i++ {
+		sendSmall(t, e, 1, uint64(i))
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("sends against a full window took %v: Send blocked", d)
+	}
+	if got := get("window_stalls"); got != total-4 {
+		t.Fatalf("window_stalls = %d, want %d (window 4, %d sends)", got, total-4, total)
+	}
+	// Only the window's worth of distinct sequences ever hits the wire —
+	// the overflow queue must not leak past the in-flight bound while no
+	// acks arrive.
+	seqs := make(map[uint64]bool)
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		b, _ := peer.read(50 * time.Millisecond)
+		if b == nil {
+			continue
+		}
+		var h dgHeader
+		if parseDatagram(b, 1, 2, &h) && h.dtype == dgData {
+			seqs[h.seq] = true
+		}
+	}
+	if len(seqs) != 4 {
+		t.Fatalf("%d distinct sequences on the wire, want exactly the window of 4", len(seqs))
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lost := e.LostFrames(); lost != total {
+		t.Fatalf("LostFrames = %d after draining against a dead peer, want %d", lost, total)
+	}
+}
+
+// TestAckOfUnsentSeqIgnored pins ack validation: an ack acknowledging a
+// sequence this incarnation never sent (replay, corrupt peer) must be
+// ignored and counted in bad_acks — trusting it would tear undelivered
+// frames out of the window. A valid ack afterwards still retires the
+// frame.
+func TestAckOfUnsentSeqIgnored(t *testing.T) {
+	peer := newSilentPeer(t)
+	e, err := New(Config{
+		Self: 0, Nodes: 2, Listen: "127.0.0.1:0",
+		Peers: map[int]string{1: peer.addr()},
+		RTO:   20 * time.Millisecond, RTOMax: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	get := counters(e)
+	sendSmall(t, e, 1, 1)
+	b, _ := peer.read(time.Second)
+	if b == nil {
+		t.Fatal("endpoint transmitted nothing")
+	}
+	session := binary.LittleEndian.Uint64(b[8:16])
+
+	// cumAck 99 acknowledges sequences never sent (nextSeq is 2).
+	bogus := mkAck(t, 1, 7777, session, 99, 0)
+	if _, err := peer.conn.WriteToUDP(bogus, e.Addr().(*net.UDPAddr)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return get("bad_acks") == 1 })
+	if get("acks_recv") != 1 {
+		t.Fatalf("acks_recv = %d, want 1", get("acks_recv"))
+	}
+	// The frame must still be in flight: retransmission continues.
+	base := get("retransmits")
+	waitFor(t, 2*time.Second, func() bool { return get("retransmits") > base })
+
+	// A genuine cumulative ack retires it and the window drains clean.
+	good := mkAck(t, 1, 7777, session, 1, 0)
+	if _, err := peer.conn.WriteToUDP(good, e.Addr().(*net.UDPAddr)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return get("acks_recv") >= 2 })
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lost := e.LostFrames(); lost != 0 {
+		t.Fatalf("LostFrames = %d after a valid ack, want 0", lost)
+	}
+	if get("bad_acks") != 1 {
+		t.Fatalf("bad_acks = %d at exit, want exactly the one bogus ack", get("bad_acks"))
+	}
+}
+
+// TestRetransmitStormBoundedByBackoffCap pins the backoff policy: a
+// frame toward a dead peer is resent on an exponential schedule capped
+// at RTOMax, so the observed retransmit count over a fixed horizon is
+// bounded well below the tick rate.
+func TestRetransmitStormBoundedByBackoffCap(t *testing.T) {
+	peer := newSilentPeer(t)
+	e, err := New(Config{
+		Self: 0, Nodes: 2, Listen: "127.0.0.1:0",
+		Peers: map[int]string{1: peer.addr()},
+		RTO:   10 * time.Millisecond, RTOMax: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := counters(e)
+	sendSmall(t, e, 1, 1)
+	const horizon = 600 * time.Millisecond
+	time.Sleep(horizon)
+	got := get("retransmits")
+	// Schedule: 10+20+40+40+... — at most ~17 resends fit in 600ms, vs
+	// ~120 if every 5ms tick resent. Generous slack for a loaded box.
+	if got > 25 {
+		t.Fatalf("%d retransmits in %v: backoff cap not bounding the storm", got, horizon)
+	}
+	if got < 3 {
+		t.Fatalf("%d retransmits in %v: the timer is not retransmitting", got, horizon)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.LostFrames() != 1 {
+		t.Fatalf("LostFrames = %d, want the one undeliverable frame", e.LostFrames())
+	}
+}
+
+// TestReceiverRestartMidWindow pins the restart story end to end: a
+// receiver dies with the sender's window half in flight, a fresh
+// incarnation comes up on a new port, SetPeerAddr re-routes the window,
+// and retransmission delivers the outstanding frames to the new receiver
+// exactly once — nothing lost, nothing duplicated, counters visible.
+func TestReceiverRestartMidWindow(t *testing.T) {
+	a, err := New(Config{Self: 0, Nodes: 2, Listen: "127.0.0.1:0",
+		RTO: 20 * time.Millisecond, RTOMax: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	getA := counters(a)
+	b1, err := New(Config{Self: 1, Nodes: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetPeerAddr(1, b1.Addr().String())
+	b1.SetPeerAddr(0, a.Addr().String())
+
+	// Phase 1: frames 1..5 delivered and acked through the first
+	// incarnation.
+	for i := 1; i <= 5; i++ {
+		sendSmall(t, a, 1, uint64(i))
+	}
+	for i := 0; i < 5; i++ {
+		if p := b1.BlockingRecv(5 * time.Second); p == nil {
+			t.Fatalf("first incarnation lost frame %d", i+1)
+		}
+	}
+
+	// Phase 2: the receiver dies; frames 6..8 pile up in the window and
+	// start retransmitting into the void.
+	if err := b1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i <= 8; i++ {
+		sendSmall(t, a, 1, uint64(i))
+	}
+	base := getA("retransmits")
+	waitFor(t, 3*time.Second, func() bool { return getA("retransmits") > base })
+
+	// Phase 3: a fresh incarnation on a fresh port; SetPeerAddr is the
+	// out-of-band restart signal and the in-flight window must re-route.
+	b2, err := New(Config{Self: 1, Nodes: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	b2.SetPeerAddr(0, a.Addr().String())
+	a.SetPeerAddr(1, b2.Addr().String())
+
+	// Drain until the retransmit machinery goes quiet (the 300ms lull is
+	// past the backoff cap, so an unacked frame would have reappeared).
+	// Frames 6..8 must arrive; frames 1..5 may legally reappear once —
+	// only if the first incarnation died before its acks flushed, in
+	// which case the transport never saw them delivered — but nothing is
+	// ever handed to the new incarnation twice.
+	got := make(map[uint64]int)
+	for {
+		p := b2.BlockingRecv(300 * time.Millisecond)
+		if p == nil {
+			if got[6] > 0 && got[7] > 0 && got[8] > 0 {
+				break
+			}
+			t.Fatalf("restarted receiver stalled holding %v", got)
+		}
+		if p.Seq < 1 || p.Seq > 8 {
+			t.Fatalf("restarted receiver got unknown frame %d", p.Seq)
+		}
+		got[p.Seq]++
+	}
+	for s, n := range got {
+		if n != 1 {
+			t.Fatalf("frame %d delivered %d times to one incarnation", s, n)
+		}
+	}
+	// The sender's window drains against the new incarnation: Close has
+	// nothing left to abandon.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lost := a.LostFrames(); lost != 0 {
+		t.Fatalf("LostFrames = %d after restart recovery, want 0", lost)
+	}
+}
+
+// waitFor polls cond at the tick cadence until it holds or the deadline
+// fails the test.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within deadline")
+		}
+		time.Sleep(tickPeriod)
+	}
+}

@@ -1,0 +1,117 @@
+package udpfab_test
+
+import (
+	"testing"
+	"time"
+
+	"pioman/internal/core"
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/conformance"
+	"pioman/internal/fabric/udpfab"
+	"pioman/internal/mpi"
+	"pioman/internal/nic"
+	"pioman/internal/telemetry"
+	"pioman/internal/topo"
+)
+
+func openLocal(t *testing.T, nodes int) fabric.Fabric {
+	t.Helper()
+	l, err := udpfab.NewLocal(nodes)
+	if err != nil {
+		t.Fatalf("NewLocal(%d): %v", nodes, err)
+	}
+	return l
+}
+
+func TestEndpointConformance(t *testing.T) {
+	conformance.RunEndpoint(t, openLocal)
+}
+
+// udpWorld builds a 2-node engine world whose inter-node rail runs over
+// real loopback UDP datagrams, reliability sublayer and all.
+func udpWorld(t *testing.T) *mpi.World {
+	t.Helper()
+	l, err := udpfab.NewLocal(2)
+	if err != nil {
+		t.Fatalf("NewLocal: %v", err)
+	}
+	rail := nic.UdpParams()
+	return mpi.NewWorld(mpi.Config{
+		Nodes:          2,
+		Machine:        topo.Machine{Sockets: 1, CoresPerSocket: 2},
+		Mode:           core.Multithreaded,
+		OffloadEager:   true,
+		EnableBlocking: true,
+		MX:             rail,
+		Fabrics:        map[string]fabric.Fabric{rail.Name: l},
+	})
+}
+
+func TestWorldConformance(t *testing.T) {
+	conformance.RunWorld(t, udpWorld)
+}
+
+// TestBatchOrderingConformance runs the batched-receive ordering case.
+// Not strict-FIFO: datagrams legally reorder in flight and delivery is
+// on arrival (receivers reorder by sequence number — the portable
+// contract).
+func TestBatchOrderingConformance(t *testing.T) {
+	conformance.RunBatchOrdering(t, openLocal, false)
+}
+
+// TestRailFailoverConformance runs the two-rail loss-injection cases:
+// total frame loss on the secondary rail, then partial (50%) loss, and
+// rendezvous transfers must still complete over the surviving UDP rail.
+func TestRailFailoverConformance(t *testing.T) {
+	conformance.RunRailFailover(t, openLocal)
+}
+
+// TestTelemetrySnapshotConformance runs the observability case: a bonded
+// world with a metrics registry attached, the lossy rail's failure
+// visible in a registry snapshot under its documented name.
+func TestTelemetrySnapshotConformance(t *testing.T) {
+	conformance.RunTelemetrySnapshot(t, openLocal)
+}
+
+// TestChaosSoakConformance drives the engine-level soak workload over a
+// loopback UDP fabric whose transmit path injects datagram-level drop,
+// duplication, reordering and corruption beneath the reliability
+// sublayer. Every message must still arrive exactly once and intact,
+// and the recovery work must be visible in the rail's telemetry: the
+// whole point of carrying a retransmit window is that this test cannot
+// pass by luck at these injection rates.
+func TestChaosSoakConformance(t *testing.T) {
+	seed := conformance.ChaosSeed(t)
+	reg := telemetry.NewRegistry()
+	conformance.RunChaosSoak(t, func(t *testing.T) *mpi.World {
+		l, err := udpfab.NewLocalChaos(2, &udpfab.ChaosParams{
+			Seed:         seed,
+			Drop:         0.02,
+			Duplicate:    0.02,
+			Reorder:      0.15,
+			Corrupt:      0.01,
+			ReorderDelay: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("NewLocalChaos: %v", err)
+		}
+		rail := nic.UdpParams()
+		return mpi.NewWorld(mpi.Config{
+			Nodes:          2,
+			Machine:        topo.Machine{Sockets: 1, CoresPerSocket: 2},
+			Mode:           core.Multithreaded,
+			OffloadEager:   true,
+			EnableBlocking: true,
+			MX:             rail,
+			Fabrics:        map[string]fabric.Fabric{rail.Name: l},
+			Metrics:        reg,
+		})
+	})
+	snap := reg.Snapshot()
+	retrans := snap.Value("node0.rail.udp.retransmits") + snap.Value("node1.rail.udp.retransmits")
+	dups := snap.Value("node0.rail.udp.dup_dropped") + snap.Value("node1.rail.udp.dup_dropped")
+	t.Logf("soak recovery: %d retransmits, %d duplicates suppressed", retrans, dups)
+	if retrans == 0 {
+		t.Error("soak under 2% datagram loss drove zero retransmits: the reliability sublayer was not exercised")
+	}
+}

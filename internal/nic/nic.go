@@ -151,6 +151,24 @@ func ShmParams() Params {
 	}
 }
 
+// UdpParams describes a rail whose endpoint is the real UDP-datagram
+// transport (fabric/udpfab): no simulated costs, like every real-
+// transport preset. The MTU must fit udpfab's single-datagram frame
+// ceiling (~64 KiB minus the reliability and codec headers), so
+// rendezvous payloads chunk at 32 KiB; the 32 KiB eager threshold
+// matches RealParams so protocol selection behaves identically across
+// the real transports. The stripe weight is seeded below the TCP rail's
+// baseline: the reliability sublayer's acking and retransmit window
+// cost bandwidth a kernel TCP stack gets for free.
+func UdpParams() Params {
+	return Params{
+		Name:         "udp",
+		EagerMax:     32 << 10,
+		MTU:          32 << 10,
+		StripeWeight: 2500,
+	}
+}
+
 // TCPParams models a TCP/10GbE rail.
 func TCPParams() Params {
 	return Params{
@@ -209,6 +227,12 @@ type Driver struct {
 	// outbound packet structs through the fabric packet pool instead of
 	// leaving one heap allocation per submission to the GC.
 	captures bool
+	// maxFrame is the endpoint's hard single-frame payload ceiling
+	// (fabric.PayloadLimiter), 0 when the transport declares none. The
+	// engine consults it before posting a rendezvous payload as one
+	// frame: a transport like udpfab, whose frames are single datagrams,
+	// would refuse the submission outright.
+	maxFrame int
 	// stripeWeight is the live striping weight (float64 bits): it starts
 	// at Params.StripeWeight and may be retuned at runtime from measured
 	// bandwidth, so it lives outside the immutable Params copy.
@@ -253,11 +277,15 @@ func New(p Params, ep fabric.Endpoint) *Driver {
 	if p.MTU <= 0 {
 		p.MTU = 64 << 10
 	}
-	if lim, ok := ep.(fabric.PayloadLimiter); ok && p.MTU > lim.MaxPayload() {
-		panic(fmt.Sprintf("nic: rail %q MTU %d exceeds its fabric's payload limit %d",
-			p.Name, p.MTU, lim.MaxPayload()))
+	maxFrame := 0
+	if lim, ok := ep.(fabric.PayloadLimiter); ok {
+		maxFrame = lim.MaxPayload()
+		if p.MTU > maxFrame {
+			panic(fmt.Sprintf("nic: rail %q MTU %d exceeds its fabric's payload limit %d",
+				p.Name, p.MTU, maxFrame))
+		}
 	}
-	d := &Driver{p: p, ep: ep, self: ep.Self()}
+	d := &Driver{p: p, ep: ep, self: ep.Self(), maxFrame: maxFrame}
 	d.stripeWeight.Store(math.Float64bits(p.StripeWeight))
 	if c, ok := ep.(fabric.SendCapturer); ok && c.SendCaptures() {
 		d.captures = true
@@ -341,6 +369,12 @@ func (d *Driver) LostFrames() uint64 {
 
 // MTU returns the per-packet payload bound.
 func (d *Driver) MTU() int { return d.p.MTU }
+
+// MaxFrame returns the transport's hard single-frame payload ceiling
+// (fabric.PayloadLimiter), or 0 when the endpoint declares none. Unlike
+// the MTU — a tuning parameter — exceeding this in one submission is
+// refused by the transport outright.
+func (d *Driver) MaxFrame() int { return d.maxFrame }
 
 // SendEager transmits payload eagerly. The caller's core pays the
 // submission cost: descriptor setup plus either a PIO transfer (very small
@@ -549,6 +583,11 @@ func (d *Driver) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 		return uint64(d.StripeWeight())
 	})
 	d.occupancy = reg.Histogram(prefix+".batch_occupancy", "frames per non-empty PollBatch drain")
+	// Transports with internal health counters (fabric.MetricSource —
+	// udpfab's retransmit/ack/reject series) join under the same prefix.
+	if ms, ok := d.ep.(fabric.MetricSource); ok {
+		ms.RegisterMetrics(reg, prefix)
+	}
 }
 
 // Stats returns a snapshot of activity counters.
