@@ -14,9 +14,13 @@ import (
 	"pioman/internal/telemetry"
 )
 
-// railRow accumulates one node-rail's interval deltas.
+// railRow accumulates one node-rail's interval deltas, plus the two
+// lifecycle gauges (carried at their live value, not as deltas): the
+// engine's health state and the rail's current striping weight.
 type railRow struct {
 	sent, recv, lost, errs uint64
+	weight                 uint64
+	health                 uint64 // 0 active, 1 probation
 	occ                    *telemetry.HistogramValue
 }
 
@@ -58,6 +62,10 @@ func renderTop(delta map[string]telemetry.MetricValue, elapsed time.Duration) st
 				r.lost += m.Value
 			case "send_errs":
 				r.errs += m.Value
+			case "stripe_weight":
+				r.weight = m.Value
+			case "health_state":
+				r.health = m.Value
 			case "batch_occupancy":
 				r.occ = m.Hist
 			}
@@ -104,12 +112,16 @@ func renderTop(delta map[string]telemetry.MetricValue, elapsed time.Duration) st
 	sec := elapsed.Seconds()
 	rate := func(v uint64) float64 { return float64(v) / sec }
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %10s %10s %8s %8s %6s %6s\n",
-		"RAIL", "sent/s", "recv/s", "occ p50", "occ p99", "lost", "errs")
+	fmt.Fprintf(&b, "%-16s %10s %10s %8s %8s %6s %6s %7s %6s\n",
+		"RAIL", "sent/s", "recv/s", "occ p50", "occ p99", "lost", "errs", "weight", "state")
 	for _, key := range sortedKeys(rails) {
 		r := rails[key]
-		fmt.Fprintf(&b, "%-16s %10.0f %10.0f %8d %8d %6d %6d\n",
-			key, rate(r.sent), rate(r.recv), r.occ.Quantile(0.5), r.occ.Quantile(0.99), r.lost, r.errs)
+		state := "up"
+		if r.health != 0 {
+			state = "PROB"
+		}
+		fmt.Fprintf(&b, "%-16s %10.0f %10.0f %8d %8d %6d %6d %7d %6s\n",
+			key, rate(r.sent), rate(r.recv), r.occ.Quantile(0.5), r.occ.Quantile(0.99), r.lost, r.errs, r.weight, state)
 	}
 	if len(peers) > 0 {
 		fmt.Fprintf(&b, "\n%-16s %12s %14s\n", "PEER", "sent msg/s", "recv frames/s")

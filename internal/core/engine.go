@@ -76,6 +76,15 @@ type Config struct {
 	// Strategy picks the optimizer: "fifo" (default), "aggreg",
 	// "multirail".
 	Strategy string
+	// AutoStripeWeights enables online stripe-weight tuning: the engine's
+	// maintenance tick measures each rail's goodput (bytes moved per
+	// microsecond, discounted by its loss ratio) from Stats deltas and
+	// folds it into the live stripe weight as an EWMA, so a
+	// degraded-but-alive rail sheds load mid-run instead of stalling
+	// stripe tails. Off by default: benchmarks that sweep rails solo
+	// (ForceDataRail phases) must not have their measured weights
+	// re-tuned underneath them.
+	AutoStripeWeights bool
 	// MultirailMin is the smallest rendezvous payload the multirail
 	// strategy splits across rails.
 	MultirailMin int
@@ -108,6 +117,16 @@ type Stats struct {
 	Unexpected     uint64
 	Aggregated     uint64
 	ProgressPasses uint64
+	// Self-healing counters (docs/FABRIC.md "Self-healing rendezvous"):
+	// RdvReplays counts unacked rendezvous spans (or their RTS) re-posted
+	// by the resend timer; RdvAcked counts rendezvous sends completed by
+	// a receiver DATA-ack; RailReadmits counts probation rails returned
+	// to the stripe set by a successful health probe; StripeRetunes
+	// counts online EWMA stripe-weight adjustments applied.
+	RdvReplays    uint64
+	RdvAcked      uint64
+	RailReadmits  uint64
+	StripeRetunes uint64
 }
 
 // Engine is one node's communication engine.
@@ -132,6 +151,27 @@ type Engine struct {
 	// make stray DATA chunks a designed occurrence, so the composite key
 	// is load-bearing, not defensive.
 	rdvRecv map[rdvKey]*rdvRecvState
+	// await holds rendezvous sends whose DATA has been posted but whose
+	// receiver DATA-ack has not arrived yet — the sender half of the
+	// acked-replay protocol. The application buffer doubles as the replay
+	// buffer (the send is not complete, so the caller must not touch it),
+	// which keeps replay zero-copy. Guarded by qlock.
+	await map[uint64]*SendReq
+	// rdvDone remembers recently completed rendezvous receptions so a
+	// replayed RTS or DATA chunk for one of them is re-acked instead of
+	// re-executed — the receive-side idempotence of the replay protocol.
+	// Bounded: a ring of doneRingCap keys backs the set, oldest evicted
+	// first. Guarded by qlock.
+	rdvDone  map[rdvKey]struct{}
+	doneRing []rdvKey
+	donePos  int
+	doneFull bool
+	// session identifies this engine incarnation; every RTS carries it so
+	// a receiver can tell a restarted sender's fresh stream from a replay
+	// of the old one (peerSession tracks the last session seen per peer).
+	// peerSession is guarded by qlock.
+	session     uint64
+	peerSession map[int]uint64
 
 	// Stream ordering: the wire interleaves small packets past bulk
 	// transfers, so matchable packets (eager data and RTS) carry a
@@ -194,6 +234,27 @@ type Engine struct {
 	// policy.
 	railFilter atomic.Pointer[string]
 
+	// health tracks per-rail lifecycle state, indexed parallel to rails.
+	// The slice is sized once at construction and its elements are only
+	// ever addressed in place (they embed atomics).
+	health []railHealth
+	// probationCount mirrors how many rails are on probation, so hot
+	// paths (dataRails, the maintenance gate) learn "all rails active"
+	// from one atomic load instead of a scan.
+	probationCount atomic.Int32
+	// pendingRdv counts rendezvous sends the replay timer still owns
+	// (posted but not yet DATA-acked); the maintenance gate skips the
+	// timer scan entirely while it is zero.
+	pendingRdv atomic.Int64
+	// nextMaint is the unix-nanos time before which maybeMaint does
+	// nothing; CAS-advanced so exactly one core pays each maintenance
+	// scan. maintLock serializes the scan body; maintBuf and maintDone
+	// are its reusable work lists (maintLock-owned).
+	nextMaint atomic.Int64
+	maintLock sync2.SpinLock
+	maintBuf  []*SendReq
+	maintDone []*SendReq
+
 	sendSeq atomic.Uint64
 	msgID   atomic.Uint64
 
@@ -205,6 +266,10 @@ type Engine struct {
 	nUnexp    atomic.Uint64
 	nAggr     atomic.Uint64
 	nProgress atomic.Uint64
+	nReplays  atomic.Uint64
+	nAcks     atomic.Uint64
+	nReadmits atomic.Uint64
+	nRetunes  atomic.Uint64
 
 	// tel holds the registered metric handles when Config.Metrics was
 	// set; nil otherwise. Hot paths guard on this one pointer.
@@ -231,17 +296,27 @@ func New(node int, sch *sched.Scheduler, srv *piom.Server, rails []*nic.Driver, 
 		cfg.MultirailMin = 128 << 10
 	}
 	e := &Engine{
-		node:     node,
-		cfg:      cfg,
-		sch:      sch,
-		srv:      srv,
-		rails:    rails,
-		rdvSend:  make(map[uint64]*SendReq),
-		rdvRecv:  make(map[rdvKey]*rdvRecvState),
-		orderOut: make(map[int]uint64),
-		orderIn:  make(map[int]uint64),
-		stash:    make(map[int]map[uint64]*stashedEv),
-		pollBuf:  make([]*wire.Packet, pollBatchSize),
+		node:        node,
+		cfg:         cfg,
+		sch:         sch,
+		srv:         srv,
+		rails:       rails,
+		rdvSend:     make(map[uint64]*SendReq),
+		rdvRecv:     make(map[rdvKey]*rdvRecvState),
+		await:       make(map[uint64]*SendReq),
+		rdvDone:     make(map[rdvKey]struct{}),
+		doneRing:    make([]rdvKey, doneRingCap),
+		session:     newSessionID(),
+		peerSession: make(map[int]uint64),
+		health:      make([]railHealth, len(rails)),
+		orderOut:    make(map[int]uint64),
+		orderIn:     make(map[int]uint64),
+		stash:       make(map[int]map[uint64]*stashedEv),
+		pollBuf:     make([]*wire.Packet, pollBatchSize),
+	}
+	for i := range e.health {
+		e.health[i].probeGap.Store(int64(probeGapInit))
+		e.health[i].lastAt = time.Now().UnixNano()
 	}
 	e.strat = newStrategy(cfg.Strategy)
 	e.mtuOf = func(dst int) int { return e.railFor(dst).MTU() }
@@ -357,5 +432,9 @@ func (e *Engine) Stats() Stats {
 		Unexpected:     e.nUnexp.Load(),
 		Aggregated:     e.nAggr.Load(),
 		ProgressPasses: e.nProgress.Load(),
+		RdvReplays:     e.nReplays.Load(),
+		RdvAcked:       e.nAcks.Load(),
+		RailReadmits:   e.nReadmits.Load(),
+		StripeRetunes:  e.nRetunes.Load(),
 	}
 }

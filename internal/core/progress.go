@@ -238,7 +238,8 @@ func (e *Engine) drainRail(rail *nic.Driver, core topo.CoreID) bool {
 // packets, which is what keeps the per-event cost of a message storm
 // near zero.
 func (e *Engine) Progress(core topo.CoreID) bool {
-	t0, sampled := e.tel.dwellStart(e.nProgress.Add(1))
+	n := e.nProgress.Add(1)
+	t0, sampled := e.tel.dwellStart(n)
 	worked := false
 	if e.pollLock.TryLock() {
 		worked = e.drainWoken(core)
@@ -260,6 +261,10 @@ func (e *Engine) Progress(core topo.CoreID) bool {
 			worked = true
 		}
 	}
+	// Self-healing maintenance rides the progress loop: replay timers,
+	// probation probes, weight retunes. Gated to near-zero cost when
+	// nothing is pending.
+	e.maybeMaint(n)
 	if sampled {
 		e.tel.dwell.ObserveDuration(time.Since(t0))
 	}
@@ -273,7 +278,8 @@ func (e *Engine) Progress(core topo.CoreID) bool {
 // is capped at pollBatchSize frames, the batched analog of the classical
 // big-locked engine's one-event-per-hold discipline.
 func (e *Engine) progressOne(core topo.CoreID) bool {
-	t0, sampled := e.tel.dwellStart(e.nProgress.Add(1))
+	n := e.nProgress.Add(1)
+	t0, sampled := e.tel.dwellStart(n)
 	worked := false
 	if e.pollLock.TryLock() {
 		worked = e.drainWoken(core)
@@ -291,6 +297,7 @@ func (e *Engine) progressOne(core topo.CoreID) bool {
 		}
 		e.submitLock.Unlock()
 	}
+	e.maybeMaint(n)
 	if sampled {
 		e.tel.dwell.ObserveDuration(time.Since(t0))
 	}
@@ -489,6 +496,15 @@ func (e *Engine) handlePacket(rail *nic.Driver, core topo.CoreID, p *wire.Packet
 			e.handleMatchable(core, ev)
 		}
 	case wire.PktRTS:
+		if p.Offset == 1 {
+			// A replayed RTS (the sender's resend timer fired): it
+			// travels outside the stream ordering, because the original
+			// may already hold — or have consumed — the sequence number.
+			e.handleReplayRTS(rail, core, p)
+			fabric.ReleasePacket(p)
+			return
+		}
+		e.noteSession(p.Src, nic.DecodeRTSSession(p.Payload), p.Seq)
 		ev := getStash()
 		ev.isRTS = true
 		ev.src, ev.tag, ev.seq, ev.msgID = p.Src, p.Tag, p.Seq, p.MsgID
@@ -501,7 +517,16 @@ func (e *Engine) handlePacket(rail *nic.Driver, core topo.CoreID, p *wire.Packet
 		e.handleCTS(core, p)
 		fabric.ReleasePacket(p)
 	case wire.PktData:
-		e.handleData(core, p)
+		e.handleData(rail, core, p)
+		fabric.ReleasePacket(p)
+	case wire.PktDataAck:
+		e.handleDataAck(core, p)
+		fabric.ReleasePacket(p)
+	case wire.PktPing:
+		e.handlePing(rail, p)
+		fabric.ReleasePacket(p)
+	case wire.PktPong:
+		e.handlePong(rail, p)
 		fabric.ReleasePacket(p)
 	case wire.PktCtrl:
 		if h := e.ctrlHandler.Load(); h != nil {
@@ -524,12 +549,26 @@ func (e *Engine) handleMatchable(core topo.CoreID, ev *stashedEv) {
 	if ev.seq != next {
 		if ev.seq < next {
 			e.qlock.Unlock()
+			if ev.isRTS {
+				// A replayed RTS already advanced the stream past this
+				// sequence (the replay machinery races slow originals by
+				// design); the late original carries nothing new.
+				e.finishEv(ev)
+				return
+			}
 			panic("core: duplicate sequence number in sender stream")
 		}
 		m := e.stash[src]
 		if m == nil {
 			m = make(map[uint64]*stashedEv)
 			e.stash[src] = m
+		}
+		if m[ev.seq] != nil {
+			// The slot is taken: a replay overtook its stashed original
+			// (or vice versa). Keep the first, drop the newcomer.
+			e.qlock.Unlock()
+			e.finishEv(ev)
+			return
 		}
 		m[ev.seq] = ev
 		e.qlock.Unlock()
@@ -645,19 +684,26 @@ func (e *Engine) handleRTS(rail *nic.Driver, core topo.CoreID, ev *stashedEv) {
 	}
 }
 
-// handleCTS reacts to a rendezvous acknowledgement: the receiver is ready,
-// post the zero-copy data transfer. Complete runs last; the request is
-// not touched afterwards.
+// handleCTS reacts to a rendezvous acknowledgement: the receiver is
+// ready, post the zero-copy data transfer. The send does not complete
+// here — it moves to the await set and completes when the receiver's
+// DATA-ack arrives (handleDataAck), so the application buffer stays
+// valid for replay if a rail dies after submission.
 func (e *Engine) handleCTS(core topo.CoreID, p *wire.Packet) {
 	e.qlock.Lock()
 	s := e.rdvSend[p.MsgID]
-	delete(e.rdvSend, p.MsgID)
 	if s != nil {
+		delete(e.rdvSend, p.MsgID)
 		s.ctsSeen = true
+		// Fresh deadline for the data phase; the RTS phase may have
+		// backed the request's timer off.
+		s.backoff = replayRTOInit
+		s.nextResend = time.Now().Add(replayRTOInit)
+		e.await[p.MsgID] = s
 	}
 	e.qlock.Unlock()
 	if s == nil {
-		return // duplicate CTS; already handled
+		return // duplicate CTS; the data phase (or its replay) owns the request
 	}
 	// Handshake latency stamps: rendezvous CTSes are rare (one per bulk
 	// message), so reading the clock here is off the eager hot path by
@@ -672,9 +718,8 @@ func (e *Engine) handleCTS(core topo.CoreID, p *wire.Packet) {
 		e.tel.ctsToData.ObserveDuration(time.Since(ctsAt))
 	}
 	if e.tracing() {
-		e.cfg.Trace.Recordf(trace.KindComplete, int(core), s.tag, s.Len(), "rdv send msgid=%d", s.msgID)
+		e.cfg.Trace.Recordf(trace.KindData, int(core), s.tag, s.Len(), "rdv data posted msgid=%d", s.msgID)
 	}
-	s.req.Complete()
 }
 
 // sendRdvData posts the DATA transfer, striped across rails when the
@@ -686,22 +731,28 @@ func (e *Engine) sendRdvData(core topo.CoreID, s *SendReq) {
 		e.cfg.Trace.Recordf(trace.KindData, int(core), s.tag, s.Len(), "msgid=%d rails=%d", s.msgID, len(rails))
 	}
 	if len(rails) == 1 {
+		ok := true
 		if e.strat.Name() == "multirail" {
 			// Even a collapsed stripe set (one weighted rail left, or a
 			// ForceDataRail phase) keeps multirail's MTU discipline: a
 			// single frame above the rail MTU is exactly what a real
 			// transport's ceiling would refuse.
-			e.sendSpan(rails[0], h, s.data, chunkSpan{off: 0, end: s.Len()})
+			ok = e.sendSpan(rails[0], h, s.data, chunkSpan{off: 0, end: s.Len()})
 		} else if lim := rails[0].MaxFrame(); lim > 0 && s.Len() > lim {
 			// The transport refuses single frames this large outright
 			// (udpfab's one-datagram frame ceiling): chunk at the rail
 			// MTU. The receive side reassembles chunks by offset under
 			// every strategy, so only the submission shape changes.
-			e.sendSpan(rails[0], h, s.data, chunkSpan{off: 0, end: s.Len()})
+			ok = e.sendSpan(rails[0], h, s.data, chunkSpan{off: 0, end: s.Len()})
 		} else {
 			// Other strategies model the classical single-DMA submission;
 			// the simulator's wire does its own fragmenting.
 			rails[0].SendData(h, 0, s.data)
+		}
+		if !ok {
+			// No survivor to re-stripe onto; probation + the acked-replay
+			// timer carry the transfer once the rail (or another) heals.
+			e.demoteRail(rails[0], h.Dst)
 		}
 		return
 	}
@@ -751,6 +802,7 @@ func (e *Engine) stripeData(h nic.Header, data []byte, rails []*nic.Driver) {
 		alive[i] = e.sendSpan(r, h, data, spans[i])
 		if !alive[i] {
 			failed = append(failed, spans[i])
+			e.demoteRail(r, h.Dst)
 		}
 	}
 	// Each retry either lands the span or retires another rail, so the
@@ -763,12 +815,16 @@ func (e *Engine) stripeData(h nic.Header, data []byte, rails []*nic.Driver) {
 			}
 		}
 		if best < 0 {
+			// Every rail failed its span. The loss stays visible in the
+			// counters, every failed rail is on probation, and the
+			// acked-replay timer re-stripes once one heals.
 			return
 		}
 		sp := failed[len(failed)-1]
 		failed = failed[:len(failed)-1]
 		if !e.sendSpan(rails[best], h, data, sp) {
 			alive[best] = false
+			e.demoteRail(rails[best], h.Dst)
 			failed = append(failed, sp)
 		}
 	}
@@ -811,9 +867,23 @@ func (e *Engine) dataRails(dst, size int) []*nic.Driver {
 		return []*nic.Driver{e.railFor(dst)}
 	}
 	var out []*nic.Driver
-	for _, r := range e.rails {
+	onProbation := e.probationCount.Load() > 0
+	for i, r := range e.rails {
+		if onProbation && e.health[i].state.Load() != railActive {
+			continue
+		}
 		if r.StripeWeight() > 0 {
 			out = append(out, r)
+		}
+	}
+	if len(out) == 0 && onProbation {
+		// Every weighted rail is on probation: stripe across them anyway
+		// rather than across nothing — a possibly-dead rail plus the
+		// replay timer beats a guaranteed drop.
+		for _, r := range e.rails {
+			if r.StripeWeight() > 0 {
+				out = append(out, r)
+			}
 		}
 	}
 	if len(out) == 0 {
@@ -835,32 +905,39 @@ func (e *Engine) dataRails(dst, size int) []*nic.Driver {
 }
 
 // handleData consumes a rendezvous payload chunk: it lands directly in the
-// application buffer (zero copy). On the final chunk Complete runs last;
-// the request is not touched afterwards.
+// application buffer (zero copy). On the final chunk the receiver acks
+// the whole transfer back on the chunk's arrival rail — the signal that
+// lets the sender retire its replay state — then Complete runs last; the
+// request is not touched afterwards.
 //
-// Under the multirail strategy, a chunk whose msgID has no handshake
-// state is dropped rather than treated as corruption: the failure
-// fallback re-stripes spans whose loss was only suspected (loss
-// counters are an upper bound), so a duplicate of an already-completed
-// transfer is a legitimate late arrival. Every other strategy sends
-// each message's data exactly once, so there the missing state still
-// means a real protocol bug and panics loudly.
-func (e *Engine) handleData(core topo.CoreID, p *wire.Packet) {
+// A chunk whose msgID has no handshake state is a designed occurrence,
+// not corruption: the failure fallback re-stripes spans whose loss was
+// only suspected (loss counters are an upper bound), and the acked-replay
+// timer re-sends whole transfers whose ack was lost. A chunk of a
+// transfer the done-ring remembers completing is re-acked (the sender is
+// replaying because the first ack was lost); anything else is dropped.
+func (e *Engine) handleData(rail *nic.Driver, core topo.CoreID, p *wire.Packet) {
 	key := rdvKey{src: p.Src, msgID: p.MsgID}
 	e.qlock.Lock()
 	st := e.rdvRecv[key]
-	e.qlock.Unlock()
 	if st == nil {
-		if e.strat.Name() != "multirail" {
-			panic("core: rendezvous data without handshake state")
+		_, done := e.rdvDone[key]
+		e.qlock.Unlock()
+		if done {
+			rail.SendDataAck(railHeader(e.node, p.Src, p.Tag, p.Seq, p.MsgID))
+			return
 		}
 		if e.tracing() {
 			e.cfg.Trace.Recordf(trace.KindWireRecv, int(core), p.Tag, len(p.Payload), "late data msgid=%d", p.MsgID)
 		}
 		return
 	}
+	e.qlock.Unlock()
 	// Chunks of one msgID are handled under pollLock, so mutating the
-	// state outside qlock is safe.
+	// state outside qlock is safe. Duplicate and overlapping chunks
+	// (failover re-stripes, replay re-sends) contribute only their newly
+	// covered bytes via the interval set — the idempotence that makes
+	// replays safe to fire on suspicion.
 	copy(st.req.buf[min(p.Offset, len(st.req.buf)):], p.Payload)
 	st.addSpan(p.Offset, p.Offset+len(p.Payload))
 	if st.got < st.msgLen {
@@ -868,7 +945,9 @@ func (e *Engine) handleData(core topo.CoreID, p *wire.Packet) {
 	}
 	e.qlock.Lock()
 	delete(e.rdvRecv, key)
+	e.rdvDoneAdd(key)
 	e.qlock.Unlock()
+	rail.SendDataAck(railHeader(e.node, p.Src, p.Tag, p.Seq, p.MsgID))
 	r := st.req
 	n := st.msgLen
 	if n > len(r.buf) {

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pioman/internal/nic"
+	"pioman/internal/trace"
+	"pioman/internal/wire"
+)
+
+// Rail lifecycle — probation, health probes, live re-admission — plus
+// the online stripe-weight retune. A rail that fails a span submission
+// is not abandoned for the life of the run (the pre-self-healing
+// behavior): it moves to probation, where the maintenance tick probes it
+// with a cheap ping frame at a backoff-spaced cadence; when a pong comes
+// back with quiet loss counters the rail rejoins the stripe set live.
+// Probation state machine per rail (docs/FABRIC.md):
+//
+//	active --span submission failed--> probation
+//	probation --ping answered, counters quiet--> active
+//	probation --probe unanswered--> probation (gap doubles, 50ms → 1s)
+
+const (
+	railActive    = 0
+	railProbation = 1
+	// probeGapInit/probeGapMax bound the probe cadence of a probation
+	// rail: eager enough to readmit within ~100ms of recovery, backed
+	// off enough that a rail dead for minutes costs one frame a second.
+	probeGapInit = 50 * time.Millisecond
+	probeGapMax  = time.Second
+	// weightPeriod spaces online stripe-weight measurements; 50ms
+	// windows are long enough for a goodput estimate to mean something.
+	weightPeriod = 50 * time.Millisecond
+	// weightAlpha is the EWMA blend: w' = (1-α)·w + α·measured.
+	weightAlpha = 0.4
+	// weightDeadband suppresses SetStripeWeight churn: retunes apply
+	// only when the new weight moved more than 10% relative.
+	weightDeadband = 0.10
+)
+
+// railHealth is one rail's lifecycle state, held in the engine's health
+// slice parallel to rails. Fields crossed by the polling path
+// (demotion from stripeData, re-admission from handlePong) and the
+// maintenance tick are atomics; the EWMA bookkeeping is touched only
+// under maintLock.
+type railHealth struct {
+	state     atomic.Int32  // railActive or railProbation
+	errsBase  atomic.Uint64 // SendErrs+LostFrames at the last probe
+	errsSeen  atomic.Uint64 // SendErrs+LostFrames at the last maint scan
+	probeGap  atomic.Int64  // current probe spacing, nanos
+	nextProbe atomic.Int64  // unix nanos of the next due probe
+	probeDst  atomic.Int32  // peer the probe pings (the failed span's dst)
+
+	// EWMA bookkeeping, maintLock-owned.
+	lastBytes uint64
+	lastSent  uint64
+	lastLost  uint64
+	lastAt    int64
+}
+
+// railIndex maps a rail driver back to its engine slot (rail counts are
+// single digits; the scan is cheaper than a map).
+func (e *Engine) railIndex(r *nic.Driver) int {
+	for i, d := range e.rails {
+		if d == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// demoteRail moves a rail whose span submission failed to probation:
+// dataRails stops striping onto it and the maintenance tick starts
+// health-probing it toward dst. Idempotent under races — exactly one
+// caller wins the state transition.
+func (e *Engine) demoteRail(r *nic.Driver, dst int) {
+	i := e.railIndex(r)
+	if i < 0 {
+		return
+	}
+	h := &e.health[i]
+	if !h.state.CompareAndSwap(railActive, railProbation) {
+		return
+	}
+	h.probeDst.Store(int32(dst))
+	h.probeGap.Store(int64(probeGapInit))
+	h.nextProbe.Store(time.Now().UnixNano())
+	h.errsBase.Store(r.Stats().SendErrs + r.LostFrames())
+	e.probationCount.Add(1)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindData, -1, -1, 0, "rail %s -> probation", r.Name())
+	}
+}
+
+// railMaint runs the rail-lifecycle half of the maintenance tick:
+// asynchronous-loss demotions, due probation probes, then the online
+// weight retune; caller holds maintLock.
+//
+// The demotion scan catches what submission-time detection cannot: a
+// stream that dies moments *after* its span was accepted surfaces the
+// loss asynchronously (docs/FABRIC.md on LostFrames vs SendErrs), so
+// sendSpan's counters-quiet check passed. The tick sees the counters
+// move between scans and moves the rail to probation then — the
+// acked-replay timer re-stripes the lost transfer around it.
+func (e *Engine) railMaint(now int64) {
+	for i, r := range e.rails {
+		h := &e.health[i]
+		if h.state.Load() != railActive {
+			continue
+		}
+		cur := r.Stats().SendErrs + r.LostFrames()
+		if cur > h.errsSeen.Load() {
+			h.errsSeen.Store(cur)
+			// No failed destination in hand; probe toward any peer the
+			// rail serves (rank 0, or 1 when we are rank 0).
+			dst := 0
+			if e.node == 0 {
+				dst = 1
+			}
+			e.demoteRail(r, dst)
+		}
+	}
+	if e.probationCount.Load() > 0 {
+		for i := range e.rails {
+			h := &e.health[i]
+			if h.state.Load() != railProbation || now < h.nextProbe.Load() {
+				continue
+			}
+			r := e.rails[i]
+			// Rebaseline before each probe: a readmission requires the
+			// loss counters quiet across the ping round trip itself.
+			h.errsBase.Store(r.Stats().SendErrs + r.LostFrames())
+			r.SendPing(nic.Header{Src: e.node, Dst: int(h.probeDst.Load()), Tag: -1})
+			gap := h.probeGap.Load()
+			h.nextProbe.Store(now + gap)
+			if gap *= 2; gap > int64(probeGapMax) {
+				gap = int64(probeGapMax)
+			}
+			h.probeGap.Store(gap)
+		}
+	}
+	if e.cfg.AutoStripeWeights {
+		e.retuneWeights(now)
+	}
+}
+
+// handlePing answers a peer's rail health probe on the rail it arrived
+// on — the round trip is the health evidence, so the reply must not be
+// rerouted.
+func (e *Engine) handlePing(rail *nic.Driver, p *wire.Packet) {
+	rail.SendPong(nic.Header{Src: e.node, Dst: p.Src, Tag: -1, Seq: p.Seq})
+}
+
+// handlePong judges a probation rail's probe reply: the pong proves the
+// rail carries frames both ways again, and quiet loss counters since the
+// ping prove nothing else died meanwhile — together that readmits the
+// rail to the stripe set, live. A pong with moved counters leaves the
+// rail on probation; the next probe rebaselines and tries again.
+func (e *Engine) handlePong(rail *nic.Driver, p *wire.Packet) {
+	i := e.railIndex(rail)
+	if i < 0 {
+		return
+	}
+	h := &e.health[i]
+	if h.state.Load() != railProbation {
+		return
+	}
+	cur := rail.Stats().SendErrs + rail.LostFrames()
+	if cur != h.errsBase.Load() {
+		return
+	}
+	if !h.state.CompareAndSwap(railProbation, railActive) {
+		return
+	}
+	// Losses accrued while on probation (replay attempts, unanswered
+	// pings) are spent history, not fresh evidence: rebase the demotion
+	// scan so they cannot re-demote the rail on the next tick.
+	h.errsSeen.Store(cur)
+	h.probeGap.Store(int64(probeGapInit))
+	e.probationCount.Add(-1)
+	e.nReadmits.Add(1)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindData, -1, -1, 0, "rail %s readmitted", rail.Name())
+	}
+}
+
+// retuneWeights folds each rail's measured goodput into its live stripe
+// weight as an EWMA; caller holds maintLock. Goodput is bytes moved per
+// microsecond over the window, discounted by the window's loss ratio, so
+// a degraded-but-alive rail (delivering, but slowly or lossily) sheds
+// stripe share continuously instead of stalling tails at full share.
+// Idle rails and rails whose weight is zero (deliberately out of the
+// stripe set) are left alone.
+func (e *Engine) retuneWeights(now int64) {
+	for i, r := range e.rails {
+		h := &e.health[i]
+		if h.state.Load() != railActive {
+			// A probation rail carries no stripe traffic; freeze its weight
+			// so it rejoins with the share it held when it failed instead
+			// of one decayed by idle windows.
+			continue
+		}
+		if now-h.lastAt < int64(weightPeriod) {
+			continue
+		}
+		st := r.Stats()
+		bytes := st.DataBytes + st.EagerBytes
+		sent := st.DataSent + st.EagerSent
+		lost := st.SendErrs + r.LostFrames()
+		dBytes, dSent, dLost := bytes-h.lastBytes, sent-h.lastSent, lost-h.lastLost
+		dt := now - h.lastAt
+		h.lastBytes, h.lastSent, h.lastLost, h.lastAt = bytes, sent, lost, now
+		if dt > 4*int64(weightPeriod) {
+			// Stale window — the rail just came off probation (baselines
+			// frozen) or the engine idled. The deltas span the gap, so a
+			// goodput computed from them is garbage; rebaseline and measure
+			// from the next window.
+			continue
+		}
+		if dSent == 0 || dBytes == 0 {
+			continue
+		}
+		w := r.StripeWeight()
+		if w <= 0 {
+			continue
+		}
+		lossRatio := float64(dLost) / float64(dSent)
+		if lossRatio > 1 {
+			lossRatio = 1
+		}
+		measured := float64(dBytes) / (float64(dt) / 1e3) * (1 - lossRatio)
+		next := (1-weightAlpha)*w + weightAlpha*measured
+		if diff := next - w; diff < w*weightDeadband && diff > -w*weightDeadband {
+			continue
+		}
+		r.SetStripeWeight(next)
+		e.nRetunes.Add(1)
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindData, -1, -1, 0, "rail %s weight %.0f -> %.0f", r.Name(), w, next)
+		}
+	}
+}

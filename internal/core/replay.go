@@ -1,0 +1,299 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pioman/internal/nic"
+	"pioman/internal/topo"
+	"pioman/internal/trace"
+	"pioman/internal/wire"
+)
+
+// Acked rendezvous replay — the engine-level reliability sublayer.
+//
+// A rendezvous send no longer completes when its DATA was posted: the
+// sender keeps the request (and with it the application buffer, which
+// doubles as the replay buffer — zero copies, zero extra allocations)
+// until the receiver's DATA-ack arrives. A maintenance tick piggybacked
+// on the progress loop re-posts whatever went unacknowledged past its
+// deadline, with per-request exponential backoff: an unanswered RTS is
+// re-sent as a replay-RTS, an unacked DATA transfer is re-striped from
+// the retained buffer. The receive side makes both idempotent — interval
+// reassembly absorbs duplicate chunks, a bounded done-ring re-acks
+// transfers that already completed, and the RTS path recognizes
+// duplicates at every stage of the handshake. Together these turn
+// "a rail died after the span was submitted" from a silent hang into a
+// bounded-delay retry, on every backend (docs/FABRIC.md).
+
+const (
+	// replayRTOInit is the first resend deadline for a freshly posted
+	// RTS or DATA transfer: comfortably above any healthy handshake
+	// round trip (µs on the simulator, well under 25ms on loopback
+	// transports), so the no-loss path never replays.
+	replayRTOInit = 25 * time.Millisecond
+	// replayRTOMax caps the exponential backoff between resends of one
+	// request, mirroring udpfab's 250ms retransmit cap at engine scale.
+	replayRTOMax = 400 * time.Millisecond
+	// maintPeriod is the minimum spacing between maintenance scans; the
+	// CAS gate in maybeMaint makes one core pay each scan.
+	maintPeriod = 5 * time.Millisecond
+	// maintPassMask gates the maintenance clock read to 1 pass in 16, so
+	// a spin-polling core is not serialized on time.Now.
+	maintPassMask = 15
+	// doneRingCap bounds the completed-rendezvous memory used for
+	// re-acking duplicates. 512 entries outlive any plausible replay
+	// window (replayRTOMax × a handful of backoffs) at full message rate.
+	doneRingCap = 512
+)
+
+// sessionSalt makes session ids unique across the engines of one
+// process, which share a clock.
+var sessionSalt atomic.Uint64
+
+// newSessionID mints a nonzero engine-incarnation id. Uniqueness needs
+// to hold only against this engine's own predecessors (a restarted peer
+// must look different), so wall-clock nanos salted per-process suffice.
+func newSessionID() uint64 {
+	return uint64(time.Now().UnixNano())<<8 | (sessionSalt.Add(1) & 0xff) | 1
+}
+
+// maybeMaint runs the self-healing maintenance scan when it is due: the
+// rendezvous resend timer, probation-rail health probes, and the online
+// stripe-weight retune. n is the progress-pass count; the pass mask plus
+// three atomic loads keep the common idle case (nothing pending, every
+// rail active, auto-weights off) at a handful of instructions per pass.
+func (e *Engine) maybeMaint(n uint64) {
+	if n&maintPassMask != 0 {
+		return
+	}
+	if e.pendingRdv.Load() == 0 && e.probationCount.Load() == 0 && !e.cfg.AutoStripeWeights {
+		return
+	}
+	now := time.Now().UnixNano()
+	next := e.nextMaint.Load()
+	if now < next || !e.nextMaint.CompareAndSwap(next, now+int64(maintPeriod)) {
+		return
+	}
+	if !e.maintLock.TryLock() {
+		return
+	}
+	defer e.maintLock.Unlock()
+	if e.pendingRdv.Load() > 0 {
+		e.replayDue(now)
+	}
+	e.railMaint(now)
+}
+
+// replayDue re-posts every rendezvous send whose resend deadline passed:
+// rdvSend entries (RTS posted, no CTS yet) get a replay-RTS; await
+// entries (DATA posted, no ack yet) get their transfer re-striped from
+// the retained application buffer. Deadlines and backoff are advanced
+// under qlock; the sends happen outside it. While a request is being
+// replayed its `replaying` flag parks any concurrently arriving ack
+// (handleDataAck defers the completion to us), so the request cannot be
+// completed — and recycled by the application — under the resend.
+func (e *Engine) replayDue(nowNanos int64) {
+	now := time.Unix(0, nowNanos)
+	buf := e.maintBuf[:0]
+	nrts := 0
+	e.qlock.Lock()
+	for _, s := range e.rdvSend {
+		if now.After(s.nextResend) {
+			s.bumpBackoff(now)
+			s.replaying = true
+			buf = append(buf, s)
+		}
+	}
+	nrts = len(buf)
+	for _, s := range e.await {
+		if now.After(s.nextResend) {
+			s.bumpBackoff(now)
+			s.replaying = true
+			buf = append(buf, s)
+		}
+	}
+	e.qlock.Unlock()
+	for i, s := range buf {
+		e.nReplays.Add(1)
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindRTS, -1, s.tag, s.Len(), "replay msgid=%d", s.msgID)
+		}
+		if i < nrts {
+			// No CTS yet: the RTS (or its CTS) was lost, or the receiver
+			// restarted. Replay-RTS frames bypass the receiver's stream
+			// ordering (the original may already have been processed).
+			e.railFor(s.dst).SendRTSReplay(railHeader(e.node, s.dst, s.tag, s.seq, s.msgID), s.Len(), e.session)
+		} else {
+			// CTS seen, ack missing: re-stripe the data from the retained
+			// buffer. dataRails skips probation rails, so the resend
+			// lands on whatever is healthy now.
+			e.sendRdvData(-1, s)
+		}
+	}
+	// Retire the replaying flags and run any completions an ack parked
+	// while we were resending.
+	done := e.maintDone[:0]
+	e.qlock.Lock()
+	for i, s := range buf {
+		buf[i] = nil
+		s.replaying = false
+		if s.ackDeferred {
+			s.ackDeferred = false
+			done = append(done, s)
+		}
+	}
+	e.qlock.Unlock()
+	e.maintBuf = buf
+	for i, s := range done {
+		done[i] = nil
+		s.req.Complete()
+	}
+	e.maintDone = done
+}
+
+// handleDataAck completes a rendezvous send: the receiver has the whole
+// payload. Completion runs last and the request is never touched after
+// it — except when the replay timer holds the request mid-resend, in
+// which case the completion is parked on the request and replayDue runs
+// it once the resend is off the wire.
+func (e *Engine) handleDataAck(core topo.CoreID, p *wire.Packet) {
+	e.qlock.Lock()
+	s := e.await[p.MsgID]
+	if s == nil {
+		// Duplicate ack (the receiver re-acks replayed chunks of a
+		// completed transfer); the first one already completed the send.
+		e.qlock.Unlock()
+		return
+	}
+	delete(e.await, p.MsgID)
+	deferred := s.replaying
+	if deferred {
+		s.ackDeferred = true
+	}
+	e.qlock.Unlock()
+	e.pendingRdv.Add(-1)
+	e.nAcks.Add(1)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindComplete, int(core), s.tag, s.Len(), "rdv send acked msgid=%d", s.msgID)
+	}
+	if !deferred {
+		s.req.Complete()
+	}
+}
+
+// handleReplayRTS processes a resent rendezvous request. Replays arrive
+// outside the sender-stream ordering (the original RTS consumed — or
+// still holds — the sequence number), so the handler walks the receive
+// state to find which stage the handshake reached and re-emits exactly
+// the response the sender is missing:
+//
+//	transfer completed (done-ring)      → re-ack
+//	reception in flight (rdvRecv)       → re-CTS (the CTS was lost)
+//	RTS buffered unexpected             → drop (Irecv will answer it)
+//	original RTS stashed out-of-order   → drop (the gap will deliver it)
+//	sequence not yet reached            → process as the original RTS
+//	sequence long past, no state        → re-ack (aged out of the ring)
+func (e *Engine) handleReplayRTS(rail *nic.Driver, core topo.CoreID, p *wire.Packet) {
+	e.noteSession(p.Src, nic.DecodeRTSSession(p.Payload), p.Seq)
+	key := rdvKey{src: p.Src, msgID: p.MsgID}
+	h := railHeader(e.node, p.Src, p.Tag, p.Seq, p.MsgID)
+	e.qlock.Lock()
+	if _, done := e.rdvDone[key]; done {
+		e.qlock.Unlock()
+		rail.SendDataAck(h)
+		return
+	}
+	if e.rdvRecv[key] != nil {
+		e.qlock.Unlock()
+		rail.SendCTS(h)
+		return
+	}
+	for _, u := range e.unexpected {
+		if u.isRTS && u.src == p.Src && u.msgID == p.MsgID {
+			e.qlock.Unlock()
+			return
+		}
+	}
+	next := e.orderIn[p.Src] + 1
+	if p.Seq >= next {
+		if e.stash[p.Src][p.Seq] != nil {
+			e.qlock.Unlock()
+			return
+		}
+		e.qlock.Unlock()
+		// The original RTS never arrived: feed the replay through the
+		// ordered matchable path as if it were the original.
+		ev := getStash()
+		ev.isRTS = true
+		ev.src, ev.tag, ev.seq, ev.msgID = p.Src, p.Tag, p.Seq, p.MsgID
+		ev.msgLen, ev.rail = nic.DecodeLen(p.Payload), rail
+		e.handleMatchable(core, ev)
+		return
+	}
+	e.qlock.Unlock()
+	// The sequence was processed and no trace of the rendezvous remains:
+	// it completed long enough ago to age out of the done-ring. Re-ack so
+	// the sender stops replaying.
+	rail.SendDataAck(h)
+}
+
+// rdvDoneAdd remembers a completed rendezvous reception in the bounded
+// done-ring, evicting the oldest entry once full; caller holds qlock.
+func (e *Engine) rdvDoneAdd(key rdvKey) {
+	if e.doneFull {
+		delete(e.rdvDone, e.doneRing[e.donePos])
+	}
+	e.doneRing[e.donePos] = key
+	e.rdvDone[key] = struct{}{}
+	e.donePos++
+	if e.donePos == len(e.doneRing) {
+		e.donePos = 0
+		e.doneFull = true
+	}
+}
+
+// noteSession records the sender's engine-incarnation id. A changed id
+// means the peer restarted mid-conversation: the dead incarnation's
+// per-source stream state is discarded and the sequence counter adopts
+// the new stream at seq (the replay carrying it), so the fresh engine's
+// rendezvous proceed instead of colliding with ghosts. Receives that
+// were matched against the dead incarnation's handshakes re-enter the
+// posted list — the restarted sender will replay, and the replay matches
+// them anew.
+func (e *Engine) noteSession(src int, sess uint64, seq uint64) {
+	if sess == 0 || src == e.node {
+		return
+	}
+	var orphans []*stashedEv
+	e.qlock.Lock()
+	old := e.peerSession[src]
+	if old == sess {
+		e.qlock.Unlock()
+		return
+	}
+	e.peerSession[src] = sess
+	if old != 0 {
+		for k, st := range e.rdvRecv {
+			if k.src == src {
+				delete(e.rdvRecv, k)
+				e.posted = append(e.posted, st.req)
+			}
+		}
+		for k := range e.rdvDone {
+			if k.src == src {
+				// Ring entries go stale; eviction tolerates missing keys.
+				delete(e.rdvDone, k)
+			}
+		}
+		for _, ev := range e.stash[src] {
+			orphans = append(orphans, ev)
+		}
+		delete(e.stash, src)
+		e.orderIn[src] = seq - 1
+	}
+	e.qlock.Unlock()
+	for _, ev := range orphans {
+		e.finishEv(ev)
+	}
+}

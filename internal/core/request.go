@@ -33,11 +33,13 @@ func recycleWait(req *piom.Request) {
 	}
 }
 
-// SendReq is an asynchronous send request. Completion semantics follow the
-// paper's benchmarks: an eager send completes when its payload has been
-// submitted to the NIC (copied out of the application buffer); a
-// rendezvous send completes once the zero-copy data transfer has been
-// programmed, i.e. after the CTS arrived and the DATA was posted.
+// SendReq is an asynchronous send request. An eager send completes when
+// its payload has been submitted to the NIC (copied out of the
+// application buffer). A rendezvous send completes when the receiver's
+// DATA-ack arrives — the self-healing protocol's end-to-end
+// acknowledgment — so the application buffer, which doubles as the
+// zero-copy replay buffer, stays untouchable until the peer provably
+// holds the whole payload.
 type SendReq struct {
 	req   piom.Request
 	eng   *Engine
@@ -53,11 +55,31 @@ type SendReq struct {
 	// ctsSeen is set when the rendezvous acknowledgement arrived; guarded
 	// by qlock.
 	ctsSeen bool
+	// Acked-replay timer state, guarded by qlock: the resend deadline
+	// and its capped exponential backoff. replaying marks a request the
+	// maintenance tick is re-sending right now; an ack that lands
+	// mid-resend must not complete (and let the application recycle) the
+	// request under the resend, so it parks the completion in
+	// ackDeferred and replayDue runs it afterwards.
+	nextResend  time.Time
+	backoff     time.Duration
+	replaying   bool
+	ackDeferred bool
 	// rtsAt stamps when the RTS was posted, for the metered engine's
 	// handshake-latency histogram. Only set when metrics are attached,
 	// and only on the rendezvous path — the eager hot path never reads
 	// the clock for it.
 	rtsAt time.Time
+}
+
+// bumpBackoff advances the resend deadline with capped exponential
+// backoff; caller holds qlock.
+func (r *SendReq) bumpBackoff(now time.Time) {
+	r.backoff *= 2
+	if r.backoff > replayRTOMax {
+		r.backoff = replayRTOMax
+	}
+	r.nextResend = now.Add(r.backoff)
 }
 
 // Dst returns the destination node.
@@ -169,6 +191,12 @@ func (e *Engine) Isend(dst, tag int, data []byte) *SendReq {
 		if e.tel != nil {
 			r.rtsAt = time.Now()
 		}
+		// Arm the acked-replay timer: the request stays owned by the
+		// engine (rdvSend, then await) until the receiver's DATA-ack,
+		// and the resend deadline re-posts whatever got lost meanwhile.
+		r.backoff = replayRTOInit
+		r.nextResend = time.Now().Add(replayRTOInit)
+		e.pendingRdv.Add(1)
 		e.qlock.Lock()
 		r.seq = e.orderOut[dst] + 1
 		e.orderOut[dst] = r.seq
@@ -180,8 +208,10 @@ func (e *Engine) Isend(dst, tag int, data []byte) *SendReq {
 		e.nRdv.Add(1)
 		// The RTS is cheap; posting it immediately starts the handshake
 		// with no loss of asynchrony (the expensive part is reacting to
-		// the CTS, which background progression handles).
-		rail.SendRTS(railHeader(e.node, dst, tag, r.seq, r.msgID), len(data))
+		// the CTS, which background progression handles). It carries the
+		// engine's session id so a receiver can tell a restarted
+		// sender's fresh stream from a replay of the old one.
+		rail.SendRTS(railHeader(e.node, dst, tag, r.seq, r.msgID), len(data), e.session)
 		if e.tracing() {
 			e.cfg.Trace.Recordf(trace.KindRTS, -1, tag, len(data), "msgid=%d", r.msgID)
 		}

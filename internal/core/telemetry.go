@@ -63,6 +63,10 @@ func newEngineTelemetry(reg *telemetry.Registry, e *Engine, peers int) *engineTe
 	reg.RegisterCounter(p+".unexpected", "messages buffered as unexpected", e.nUnexp.Load)
 	reg.RegisterCounter(p+".aggregated", "messages sent inside aggregated trains", e.nAggr.Load)
 	reg.RegisterCounter(p+".progress_passes", "progress passes executed", e.nProgress.Load)
+	reg.RegisterCounter(p+".rdv_replays", "unacked rendezvous RTS/data re-posted by the replay timer", e.nReplays.Load)
+	reg.RegisterCounter(p+".rdv_acked", "rendezvous sends completed by a receiver data-ack", e.nAcks.Load)
+	reg.RegisterCounter(p+".rail_readmits", "probation rails readmitted to the stripe set", e.nReadmits.Load)
+	reg.RegisterCounter(p+".stripe_retunes", "online EWMA stripe-weight adjustments applied", e.nRetunes.Load)
 	t := &engineTelemetry{
 		dwell:     reg.Histogram(p+".progress_dwell_ns", "sampled progress-pass duration (ns, 1-in-64 passes)"),
 		park:      reg.Histogram(p+".park_ns", "time parked in the blocking-receive fallback (ns)"),
@@ -93,7 +97,14 @@ func (e *Engine) registerRails(reg *telemetry.Registry) {
 			name = fmt.Sprintf("%s_%d", name, i)
 		}
 		seen[name] = true
-		r.RegisterMetrics(reg, fmt.Sprintf("node%d.rail.%s", e.node, name))
+		prefix := fmt.Sprintf("node%d.rail.%s", e.node, name)
+		r.RegisterMetrics(reg, prefix)
+		// The lifecycle gauge is engine-owned (the driver has no notion
+		// of probation): 0 = active, 1 = probation.
+		h := &e.health[i]
+		reg.RegisterGauge(prefix+".health_state", "rail lifecycle state (0 active, 1 probation)", func() uint64 {
+			return uint64(h.state.Load())
+		})
 	}
 }
 

@@ -56,6 +56,28 @@ type ChaosConfig struct {
 	ReorderDelay time.Duration
 	// Latency is added delay applied to every delivered frame.
 	Latency time.Duration
+	// KillAfter, when positive, kills the endpoint after it has accepted
+	// that many frames: every later frame is silently discarded, exactly
+	// like a stream that dies *between* span submission and delivery —
+	// the today-hangs window the engine's acked-replay protocol exists
+	// for. Unlike Drop, the kill is deterministic (no random draw), so
+	// the scenario replays without a seed.
+	KillAfter int
+	// KillDuration revives a killed endpoint after that long (measured
+	// from its first discarded frame); zero keeps it dead forever. A
+	// revived endpoint delivers again — the rail-recovery half of the
+	// probation/re-admission lifecycle.
+	KillDuration time.Duration
+	// KillLossDelay postpones counting a kill-discarded frame into
+	// LostFrames. With a delay longer than a span submission, the
+	// sender's synchronous counters-quiet check passes and the loss
+	// surfaces only asynchronously — the shape that defeats submission-
+	// time failover and leaves only end-to-end acknowledgment. Zero
+	// counts immediately.
+	KillLossDelay time.Duration
+	// KillRanks restricts the kill to the listed ranks' endpoints; nil
+	// kills every endpoint (each on its own accepted-frame count).
+	KillRanks []int
 	// RecordTrace keeps a per-endpoint log of every Send decision,
 	// retrievable with Trace — the pin for seeded-determinism tests.
 	RecordTrace bool
@@ -115,10 +137,17 @@ func (c *Chaos) Endpoint(rank int) (fabric.Endpoint, error) {
 	if sc, ok := inner.(fabric.SendCapturer); ok {
 		captures = sc.SendCaptures()
 	}
+	killable := c.cfg.KillAfter > 0 && len(c.cfg.KillRanks) == 0
+	for _, r := range c.cfg.KillRanks {
+		if r == rank {
+			killable = c.cfg.KillAfter > 0
+		}
+	}
 	ep := &chaosEndpoint{
 		Endpoint:      inner,
 		cfg:           &c.cfg,
 		innerCaptures: captures,
+		killable:      killable,
 		rng:           rand.New(rand.NewSource(c.cfg.Seed + int64(rank)*1_000_003)),
 	}
 	c.eps[rank] = ep
@@ -147,12 +176,40 @@ type chaosEndpoint struct {
 	fabric.Endpoint
 	cfg           *ChaosConfig
 	innerCaptures bool
+	killable      bool
 
 	mu    sync.Mutex
 	rng   *rand.Rand
 	trace []string
 
 	lost atomic.Uint64
+	// Kill lifecycle: accepted counts frames toward KillAfter; killedAt
+	// stamps (unix nanos) when the first frame was discarded, which
+	// starts the KillDuration revival clock.
+	accepted atomic.Uint64
+	killedAt atomic.Int64
+}
+
+// dead reports whether this frame lands in the kill window: past the
+// accepted-frame budget and, when KillDuration is set, before the
+// revival deadline.
+func (ce *chaosEndpoint) dead() bool {
+	if !ce.killable || ce.accepted.Add(1) <= uint64(ce.cfg.KillAfter) {
+		return false
+	}
+	kt := ce.killedAt.Load()
+	if kt == 0 {
+		now := time.Now().UnixNano()
+		if !ce.killedAt.CompareAndSwap(0, now) {
+			kt = ce.killedAt.Load()
+		} else {
+			kt = now
+		}
+	}
+	if d := ce.cfg.KillDuration; d > 0 && time.Now().UnixNano() >= kt+int64(d) {
+		return false // revived
+	}
+	return true
 }
 
 // Send implements fabric.Endpoint: the fault model decides the frame's
@@ -162,6 +219,17 @@ type chaosEndpoint struct {
 // regardless of the wrapped backend.
 func (ce *chaosEndpoint) Send(p *wire.Packet) error {
 	cfg := ce.cfg
+	if ce.dead() {
+		// The endpoint is in its kill window: the frame vanishes, and the
+		// loss surfaces in LostFrames only after KillLossDelay — invisible
+		// to a sender checking counters right after submission.
+		if d := cfg.KillLossDelay; d > 0 {
+			time.AfterFunc(d, func() { ce.lost.Add(1) })
+		} else {
+			ce.lost.Add(1)
+		}
+		return nil
+	}
 	ce.mu.Lock()
 	drop := cfg.Drop > 0 && ce.rng.Float64() < cfg.Drop
 	dup := cfg.Duplicate > 0 && ce.rng.Float64() < cfg.Duplicate
@@ -233,6 +301,17 @@ func (ce *chaosEndpoint) deliver(q *wire.Packet) error {
 // packet (by copying or dropping it), so callers may recycle it
 // immediately.
 func (ce *chaosEndpoint) SendCaptures() bool { return true }
+
+// MaxPayload implements fabric.PayloadLimiter: the fault model must not
+// hide the wrapped transport's frame ceiling, or the engine would submit
+// frames the inner endpoint refuses (udpfab's one-datagram limit). An
+// inner endpoint declaring no limit gets the codec's universal ceiling.
+func (ce *chaosEndpoint) MaxPayload() int {
+	if lim, ok := ce.Endpoint.(fabric.PayloadLimiter); ok {
+		return lim.MaxPayload()
+	}
+	return fabric.MaxPayloadBytes
+}
 
 // PollBatch implements fabric.Endpoint by delegating to BatchFromPoll:
 // the wrapper must not inherit the inner endpoint's native batch, or a

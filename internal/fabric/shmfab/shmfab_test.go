@@ -111,6 +111,20 @@ func TestRailFailoverConformance(t *testing.T) {
 	})
 }
 
+// TestSelfHealingConformance runs the acked-replay regression: the
+// shared-memory rail is killed right after the rendezvous was submitted,
+// and the transfer must complete via engine-level replay once it
+// revives.
+func TestSelfHealingConformance(t *testing.T) {
+	conformance.RunSelfHealing(t, func(t *testing.T, nodes int) fabric.Fabric {
+		l, err := shmfab.NewLocal(nodes, t.TempDir())
+		if err != nil {
+			t.Fatalf("NewLocal(%d): %v", nodes, err)
+		}
+		return l
+	})
+}
+
 // TestTelemetrySnapshotConformance runs the observability case: a bonded
 // world with a metrics registry attached, the lossy rail's failure
 // visible in a registry snapshot under its documented name.

@@ -74,6 +74,25 @@ func TestRailFailoverConformance(t *testing.T) {
 	})
 }
 
+// TestSelfHealingConformance runs the acked-replay regression: the
+// simulated rail is killed right after the rendezvous was submitted, and
+// the transfer must complete via engine-level replay once it revives.
+func TestSelfHealingConformance(t *testing.T) {
+	conformance.RunSelfHealing(t, func(t *testing.T, nodes int) fabric.Fabric {
+		return simfab.New(wire.NewFabric(nodes, wire.MYRI10G()))
+	})
+}
+
+// TestSelfHealSoakConformance runs the rail death-and-recovery soak:
+// mid-run kill and revival of the secondary simulated rail, probation,
+// probe-driven re-admission, and post-recovery traffic on the healed
+// rail, with online stripe weights enabled throughout.
+func TestSelfHealSoakConformance(t *testing.T) {
+	conformance.RunSelfHealSoak(t, func(t *testing.T, nodes int) fabric.Fabric {
+		return simfab.New(wire.NewFabric(nodes, wire.MYRI10G()))
+	})
+}
+
 // TestTelemetrySnapshotConformance runs the observability case: a bonded
 // world with a metrics registry attached, the lossy rail's failure
 // visible in a registry snapshot under its documented name.

@@ -101,6 +101,7 @@ type Endpoint struct {
 	out     map[int]*peerConn     // send path per peer
 	dialing map[int]chan struct{} // in-flight dial per peer; closed when done
 	open    map[net.Conn]struct{} // every live conn, for teardown
+	stash   map[int]stash         // undelivered frames of a failed stream, per peer
 
 	seq   atomic.Uint64
 	lost  atomic.Uint64 // frames accepted by Send, then lost with a stream
@@ -126,9 +127,36 @@ type peerConn struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	buf     []byte // serialized frames awaiting the writer
+	ends    []int  // end offset of each frame in buf, ascending
 	nframes int    // frames in buf, for loss accounting
-	dead    bool   // stop now, discard the buffer: the conn failed
+	dead    bool   // stop now, surrender the buffer: the conn failed
 	closing bool   // stop once the buffer is drained: endpoint closing
+}
+
+// stash holds serialized frames bound for a peer whose stream failed
+// before they were written. The frame end offsets let a later failure
+// split the run at a write boundary again. A stash primes the next
+// stream adopted toward its peer, so the frames go out ahead of any new
+// traffic; only an endpoint that closes with the stash unconsumed
+// abandons it (counted in LostFrames by Close).
+type stash struct {
+	buf  []byte
+	ends []int // end offset of each frame in buf, ascending
+	n    int   // frame count (== len(ends))
+}
+
+// appendFrames concatenates src's frames after dst's, rebasing the end
+// offsets onto the combined buffer.
+func appendFrames(dst *stash, src stash) {
+	if src.n == 0 {
+		return
+	}
+	base := len(dst.buf)
+	dst.buf = append(dst.buf, src.buf...)
+	for _, end := range src.ends {
+		dst.ends = append(dst.ends, base+end)
+	}
+	dst.n += src.n
 }
 
 func newPeerConn(c net.Conn) *peerConn {
@@ -152,23 +180,24 @@ func (pc *peerConn) enqueue(p *wire.Packet) bool {
 		return false
 	}
 	pc.buf = fabric.AppendPacket(pc.buf, p)
+	pc.ends = append(pc.ends, len(pc.buf))
 	pc.nframes++
 	pc.cond.Signal()
 	return true
 }
 
-// kill marks the stream dead and wakes the writer so it exits, discarding
-// anything still buffered. It returns the number of frames discarded, so
-// every unregistration path can feed the endpoint's loss count; repeat
-// kills return zero.
-func (pc *peerConn) kill() int {
+// kill marks the stream dead and wakes the writer so it exits,
+// surrendering anything still buffered to the caller. None of the
+// returned frames ever reached the socket, so the caller may stash them
+// for the stream's replacement; repeat kills return an empty remainder.
+func (pc *peerConn) kill() stash {
 	pc.mu.Lock()
 	pc.dead = true
-	n := pc.nframes
-	pc.buf, pc.nframes = nil, 0
+	s := stash{pc.buf, pc.ends, pc.nframes}
+	pc.buf, pc.ends, pc.nframes = nil, nil, 0
 	pc.cond.Signal()
 	pc.mu.Unlock()
-	return n
+	return s
 }
 
 // drain asks the writer to finish the queue and then exit. A frame the
@@ -272,6 +301,7 @@ func New(cfg Config) (*Endpoint, error) {
 		out:     make(map[int]*peerConn),
 		dialing: make(map[int]chan struct{}),
 		open:    make(map[net.Conn]struct{}),
+		stash:   make(map[int]stash),
 		done:    make(chan struct{}),
 		inbox:   inbox{notify: make(chan struct{}, 1)},
 	}
@@ -524,10 +554,17 @@ func (e *Endpoint) dialWithBackoff(addr string) (net.Conn, error) {
 }
 
 // adoptConn registers c as the send path toward rank and starts its
-// writer goroutine. Caller holds e.mu and has ruled out Close having
-// started (closed() false under this same lock hold).
+// writer goroutine. A stash banked by a previous stream's failure is
+// loaded into the fresh writer queue first, so the undelivered run goes
+// out ahead of any traffic enqueued on the new stream. Caller holds
+// e.mu and has ruled out Close having started (closed() false under
+// this same lock hold).
 func (e *Endpoint) adoptConn(rank int, c net.Conn) *peerConn {
 	pc := newPeerConn(c)
+	if s, ok := e.stash[rank]; ok {
+		delete(e.stash, rank)
+		pc.buf, pc.ends, pc.nframes = s.buf, s.ends, s.n
+	}
 	e.out[rank] = pc
 	e.wwg.Add(1)
 	go e.writeLoop(pc, rank)
@@ -535,10 +572,14 @@ func (e *Endpoint) adoptConn(rank int, c net.Conn) *peerConn {
 }
 
 // writeLoop drains rank's outbound buffer onto the socket until the
-// stream dies. On a write error it unregisters the conn so the next Send
-// redials; frames still buffered on it are lost with the connection,
-// like any bytes in flight on a failed TCP stream — the loss is counted
-// in LostFrames.
+// stream dies. On a write error it splits the batch at the kernel-write
+// boundary: frames fully handed to the kernel may have reached the peer
+// — re-sending them could deliver duplicates, which the receiver's
+// ordering layer treats as protocol corruption — so they are counted in
+// LostFrames (the documented upper bound on loss). The partially
+// written frame and everything behind it are guaranteed undelivered
+// (the peer discards an incomplete frame along with the stream), so
+// they are stashed for the stream's replacement instead of dropped.
 func (e *Endpoint) writeLoop(pc *peerConn, rank int) {
 	defer e.wwg.Done()
 	for {
@@ -550,15 +591,30 @@ func (e *Endpoint) writeLoop(pc *peerConn, rank int) {
 			pc.mu.Unlock()
 			return
 		}
-		batch, n := pc.buf, pc.nframes
-		pc.buf, pc.nframes = nil, 0
+		batch, ends, n := pc.buf, pc.ends, pc.nframes
+		pc.buf, pc.ends, pc.nframes = nil, nil, 0
 		pc.mu.Unlock()
-		_, err := pc.c.Write(batch)
+		nw, err := pc.c.Write(batch)
 		if err != nil {
-			// dropConn counts frames that raced in behind the swap; this
-			// batch, possibly partially written, is counted on top.
-			e.dropConn(rank, pc)
-			e.lost.Add(uint64(n))
+			i := 0
+			for i < n && ends[i] <= nw {
+				i++
+			}
+			var sal stash
+			if i < n {
+				start := 0
+				if i > 0 {
+					start = ends[i-1]
+				}
+				sal.buf = batch[start:]
+				sal.ends = make([]int, n-i)
+				for j := i; j < n; j++ {
+					sal.ends[j-i] = ends[j] - start
+				}
+				sal.n = n - i
+			}
+			e.lost.Add(uint64(i))
+			e.failConn(rank, pc, sal)
 			return
 		}
 		// Hand the written buffer back for reuse unless new frames
@@ -568,24 +624,53 @@ func (e *Endpoint) writeLoop(pc *peerConn, rank int) {
 		if cap(batch) <= maxRecycledBuf {
 			pc.mu.Lock()
 			if pc.buf == nil {
-				pc.buf = batch[:0]
+				pc.buf, pc.ends = batch[:0], ends[:0]
 			}
 			pc.mu.Unlock()
 		}
 	}
 }
 
-// dropConn removes a failed send path so the next send redials, and
-// stops its writer.
-func (e *Endpoint) dropConn(rank int, pc *peerConn) {
+// failConn tears down rank's failed send path and preserves, in FIFO
+// order, every frame guaranteed undelivered: the salvaged unwritten
+// tail of the failed write (oldest), then any stash a concurrent
+// failure path already banked, then whatever was still enqueued on the
+// writer. The stash primes the next stream adopted toward rank —
+// adoptConn loads it ahead of new traffic — and a background redial is
+// kicked off at once so the frames do not sit waiting for the next
+// Send to trigger reconnection.
+func (e *Endpoint) failConn(rank int, pc *peerConn, sal stash) {
+	tail := pc.kill()
+	redial := false
 	e.mu.Lock()
 	if e.out[rank] == pc {
 		delete(e.out, rank)
 	}
 	delete(e.open, pc.c)
+	if sal.n+tail.n > 0 {
+		var merged stash
+		appendFrames(&merged, sal)
+		appendFrames(&merged, e.stash[rank])
+		appendFrames(&merged, tail)
+		e.stash[rank] = merged
+		if !e.closed() {
+			redial = true
+			// Register with wg under e.mu: Close's teardown also runs
+			// under e.mu after flipping state, so this Add is ordered
+			// before Close can reach its Wait.
+			e.wg.Add(1)
+		}
+	}
 	e.mu.Unlock()
-	e.lost.Add(uint64(pc.kill()))
 	pc.c.Close()
+	if redial {
+		go func() {
+			defer e.wg.Done()
+			// On success adoptConn consumes the stash; on failure it
+			// stays banked for the next Send's redial to carry.
+			e.connTo(rank)
+		}()
+	}
 }
 
 // acceptLoop admits peers. The handshake runs in the per-connection
@@ -700,31 +785,57 @@ func bufferedFrame(br *bufio.Reader) bool {
 }
 
 // forgetConn closes c and unregisters it from the teardown set and, when
-// it was rank's send path, from the routing table (stopping its writer).
+// it was rank's send path, from the routing table (stopping its writer
+// via failConn, which stashes the never-written queue for the redialed
+// stream instead of dropping it).
 func (e *Endpoint) forgetConn(c net.Conn, rank int) {
 	e.mu.Lock()
-	delete(e.open, c)
 	var pc *peerConn
 	if rank >= 0 {
 		if cur := e.out[rank]; cur != nil && cur.c == c {
-			delete(e.out, rank)
 			pc = cur
 		}
 	}
-	e.mu.Unlock()
-	if pc != nil {
-		e.lost.Add(uint64(pc.kill()))
+	if pc == nil {
+		delete(e.open, c)
+		e.mu.Unlock()
+		c.Close()
+		return
 	}
-	c.Close()
+	e.mu.Unlock()
+	e.failConn(rank, pc, stash{})
 }
 
-// LostFrames counts frames Send accepted that were later abandoned with
-// a failed stream (or by Close's bounded drain timing out). The transport
-// cannot return these as Send errors — they fail after Send has returned —
-// so a nonzero count here is the loss signal operators should watch.
-// Writes racing a stream failure may be counted even if their bytes made
-// it out: the count is an upper bound on loss, never an undercount.
+// LostFrames counts frames Send accepted that were later abandoned: the
+// already-written prefix of a failed write batch (those bytes may or
+// may not have reached the peer — re-sending could duplicate, so they
+// can only be written off), plus any failure stash still unconsumed
+// when Close runs. Frames a stream failure left guaranteed-undelivered
+// are NOT counted here while the endpoint is open: they are stashed and
+// re-sent on the redialed stream, so a transient failure with a
+// successful redial is loss-free. The transport cannot return any of
+// this as Send errors — it fails after Send has returned — so a nonzero
+// count here is the loss signal operators should watch. Writes racing a
+// stream failure may be counted even if their bytes made it out: the
+// count is an upper bound on loss, never an undercount.
 func (e *Endpoint) LostFrames() uint64 { return e.lost.Load() }
+
+// KillConn forcibly closes the established stream toward rank, if one
+// exists, and reports whether it did. It simulates an abrupt connection
+// failure (peer crash, cable pull) for tests: both the reader and the
+// writer discover the closed socket asynchronously, exactly as they
+// would a real failure, so the salvage, stash, and redial machinery
+// runs its production path.
+func (e *Endpoint) KillConn(rank int) bool {
+	e.mu.Lock()
+	pc := e.out[rank]
+	e.mu.Unlock()
+	if pc == nil {
+		return false
+	}
+	pc.c.Close()
+	return true
+}
 
 // MaxPayload implements fabric.PayloadLimiter: the codec's frame ceiling
 // bounds what one Send can carry.
@@ -767,6 +878,15 @@ func (e *Endpoint) Close() error {
 	}
 	close(e.done)
 	e.wg.Wait()
+	// Stashes that never met a successful redial are abandoned now: no
+	// reader or writer goroutine is left to bank more, so the count is
+	// final.
+	e.mu.Lock()
+	for r, s := range e.stash {
+		e.lost.Add(uint64(s.n))
+		delete(e.stash, r)
+	}
+	e.mu.Unlock()
 	return nil
 }
 

@@ -293,6 +293,108 @@ func TestReceiverRestartMidWindow(t *testing.T) {
 	}
 }
 
+// flightSize reports frames still unacknowledged (in flight or queued)
+// toward rank.
+func flightSize(e *Endpoint, rank int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ps := e.peers[rank]; ps != nil {
+		return len(ps.flight) + len(ps.pending)
+	}
+	return 0
+}
+
+// drainAll discards everything rank receives until its endpoint closes —
+// the RTO tests only care about the sender's estimator.
+func drainAll(e *Endpoint) {
+	go func() {
+		for e.BlockingRecv(time.Second) != nil {
+		}
+	}()
+}
+
+// TestAdaptiveRTOLowRTT pins the fast half of the adaptive timeout: on a
+// loopback-fast path, measured ack round trips must pull the retransmit
+// timeout well below the fixed 20ms base — down to the adaptive floor —
+// so a lost datagram is recovered in milliseconds instead of sitting out
+// the base timeout.
+func TestAdaptiveRTOLowRTT(t *testing.T) {
+	a, err := New(Config{Self: 0, Nodes: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Config{Self: 1, Nodes: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.SetPeerAddr(1, b.Addr().String())
+	b.SetPeerAddr(0, a.Addr().String())
+	drainAll(b)
+
+	if got := a.PeerRTO(1); got != defaultRTO {
+		t.Fatalf("PeerRTO before any traffic = %v, want the %v base", got, defaultRTO)
+	}
+	// Bursts of ackEvery frames force prompt acks; each ack completes the
+	// one outstanding round-trip sample and the next burst arms a fresh
+	// one. Loopback samples are microseconds, so a handful suffice.
+	deadline := time.Now().Add(10 * time.Second)
+	for a.PeerRTO(1) >= 10*time.Millisecond {
+		if time.Now().After(deadline) {
+			t.Fatalf("PeerRTO stuck at %v: loopback round trips never adapted it below 10ms", a.PeerRTO(1))
+		}
+		for i := 0; i < ackEvery; i++ {
+			sendSmall(t, a, 1, uint64(i))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := a.PeerRTO(1); got < minAdaptiveRTO {
+		t.Fatalf("PeerRTO = %v, below the %v adaptive floor", got, minAdaptiveRTO)
+	}
+}
+
+// TestAdaptiveRTOHighRTTNoSpuriousRetransmit pins the slow half: with
+// ~50ms of injected symmetric latency the true round trip exceeds the
+// 20ms base timeout, so a fixed-RTO sender would retransmit every frame
+// whose ack is merely still in flight. After warmup traffic has fed the
+// estimator, a settled stream must complete with zero further
+// retransmits.
+func TestAdaptiveRTOHighRTTNoSpuriousRetransmit(t *testing.T) {
+	delay := &ChaosParams{Delay: 25 * time.Millisecond}
+	a, err := New(Config{Self: 0, Nodes: 2, Listen: "127.0.0.1:0", Chaos: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Config{Self: 1, Nodes: 2, Listen: "127.0.0.1:0", Chaos: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.SetPeerAddr(1, b.Addr().String())
+	b.SetPeerAddr(0, a.Addr().String())
+	drainAll(b)
+	get := counters(a)
+
+	// Warmup: the first frames necessarily retransmit (20ms base vs ~50ms
+	// true RTT) until a sample lands; wait for the estimator to clear the
+	// round trip.
+	sendSmall(t, a, 1, 1)
+	waitFor(t, 10*time.Second, func() bool { return a.PeerRTO(1) > 50*time.Millisecond })
+	waitFor(t, 10*time.Second, func() bool { return flightSize(a, 1) == 0 })
+
+	base := get("retransmits")
+	const n = 20
+	for i := 2; i <= n+1; i++ {
+		sendSmall(t, a, 1, uint64(i))
+	}
+	waitFor(t, 10*time.Second, func() bool { return flightSize(a, 1) == 0 })
+	if got := get("retransmits"); got != base {
+		t.Fatalf("%d spurious retransmits on a settled high-RTT stream (timeout %v)", got-base, a.PeerRTO(1))
+	}
+}
+
 // waitFor polls cond at the tick cadence until it holds or the deadline
 // fails the test.
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {

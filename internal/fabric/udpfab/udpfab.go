@@ -11,7 +11,10 @@
 // peer acknowledges it. Acks are cumulative plus a 64-bit selective
 // mask, piggybacked on every outbound data datagram and flushed as pure
 // acks by a timer otherwise. A retransmit timer resends unacknowledged
-// datagrams with per-frame exponential backoff up to a cap; the receive
+// datagrams with per-frame exponential backoff up to a cap, starting
+// from a per-peer adaptive timeout (Jacobson SRTT/RTTVAR measured from
+// ack round trips, falling back to a fixed base until samples exist);
+// the receive
 // side suppresses the duplicates this necessarily creates and rejects
 // truncated, corrupt or alien datagrams in a zero-allocation packet
 // filter before any decode. Sender incarnations carry a random session
@@ -47,12 +50,21 @@ const (
 	// (sent, unacknowledged) at once; sends beyond it queue.
 	defaultWindow = 512
 
-	// defaultRTO is the first retransmit timeout of a fresh datagram;
-	// defaultRTOMax caps the exponential backoff between resends of the
-	// same datagram, which is what bounds a retransmit storm against a
-	// dead or partitioned peer.
+	// defaultRTO is the first retransmit timeout of a fresh datagram
+	// toward a peer with no round-trip samples yet; defaultRTOMax caps
+	// the exponential backoff between resends of the same datagram,
+	// which is what bounds a retransmit storm against a dead or
+	// partitioned peer. Once acks provide samples, the initial timeout
+	// adapts per peer (SRTT/RTTVAR, see rtoLocked) between minAdaptiveRTO
+	// and the cap.
 	defaultRTO    = 20 * time.Millisecond
 	defaultRTOMax = 250 * time.Millisecond
+
+	// minAdaptiveRTO floors the measured retransmit timeout: on a
+	// loopback-fast path SRTT+4·RTTVAR computes to microseconds, where a
+	// timeout under the tick granularity would resend everything the
+	// timer ever inspects.
+	minAdaptiveRTO = 5 * time.Millisecond
 
 	// tickPeriod is the retransmit/ack timer cadence: the granularity of
 	// resend deadlines and the worst-case delay of a pure-ack flush.
@@ -92,8 +104,13 @@ type Config struct {
 	// selects the default. Sends beyond it queue without blocking and
 	// tick the window_stalls counter.
 	Window int
-	// RTO is the initial retransmit timeout; RTOMax caps the per-frame
-	// exponential backoff. Zero selects the defaults.
+	// RTO is the retransmit timeout used toward a peer before any ack
+	// round trip has been measured; RTOMax caps the per-frame
+	// exponential backoff. Once acks provide samples the timeout adapts
+	// per peer — Jacobson SRTT/RTTVAR, floored at minAdaptiveRTO and
+	// capped at RTOMax — so a low-RTT link recovers losses faster than
+	// the fixed base and a high-RTT link stops retransmitting frames
+	// whose acks are merely still in flight. Zero selects the defaults.
 	RTO    time.Duration
 	RTOMax time.Duration
 	// Chaos, when non-nil, injects seeded datagram-level disorder (drop,
@@ -129,6 +146,24 @@ type peerState struct {
 	txBase  uint64
 	flight  map[uint64]*outFrame
 	pending []*outFrame
+
+	// Round-trip estimation (Jacobson): srtt/rttvar drive the adaptive
+	// retransmit timeout of fresh frames (rtoLocked); srtt == 0 means no
+	// sample yet. rttSeq is the one in-flight frame currently being
+	// timed (0 = none) and rttSentAt its first-transmission stamp.
+	// Timing runs from the FIRST transmission even if the frame is later
+	// retransmitted — the opposite of Karn's discard rule — because with
+	// a base timeout below the true RTT every timed frame is
+	// retransmitted before its ack returns and discarding would starve
+	// measurement forever. Measuring from the first transmission can
+	// only overestimate the round trip (the ack, whichever copy
+	// triggered it, cannot arrive in less than one true RTT), which errs
+	// on the side of fewer retransmissions and converges once the
+	// timeout clears the real RTT.
+	srtt      time.Duration
+	rttvar    time.Duration
+	rttSeq    uint64
+	rttSentAt time.Time
 
 	// Receive side, keyed by the sender incarnation: rxCum is the
 	// highest contiguously received seq of session rxSess, rxAhead the
@@ -416,10 +451,11 @@ func (e *Endpoint) Send(p *wire.Packet) error {
 	}
 	f.seq = ps.nextSeq
 	ps.nextSeq++
-	f.backoff = e.rto
+	f.backoff = e.rtoLocked(ps)
 	if len(ps.flight) < e.window {
 		ps.flight[f.seq] = f
 		e.transmitLocked(ps, f)
+		e.armRTTSampleLocked(ps, f)
 	} else {
 		e.windowStalls.Add(1)
 		ps.pending = append(ps.pending, f)
@@ -638,10 +674,79 @@ func (e *Endpoint) handleDatagram(b []byte, from netip.AddrPort) {
 	}
 }
 
+// rtoLocked returns the retransmit timeout a fresh frame toward ps
+// starts with: the configured base before any round trip has been
+// measured, afterwards the Jacobson estimate SRTT + 4·RTTVAR clamped
+// between minAdaptiveRTO and the backoff cap. Caller holds e.mu.
+func (e *Endpoint) rtoLocked(ps *peerState) time.Duration {
+	if ps.srtt == 0 {
+		return e.rto
+	}
+	rto := ps.srtt + 4*ps.rttvar
+	if rto < minAdaptiveRTO {
+		rto = minAdaptiveRTO
+	}
+	if rto > e.rtoMax {
+		rto = e.rtoMax
+	}
+	return rto
+}
+
+// armRTTSampleLocked starts timing f's round trip if no frame toward ps
+// is being timed already — one outstanding sample per peer keeps the
+// bookkeeping O(1). Caller holds e.mu; f was just transmitted for the
+// first time.
+func (e *Endpoint) armRTTSampleLocked(ps *peerState, f *outFrame) {
+	if ps.rttSeq == 0 {
+		ps.rttSeq = f.seq
+		ps.rttSentAt = time.Now()
+	}
+}
+
+// observeRTTLocked folds one measured round trip into ps's estimator:
+// RTTVAR += (|rtt−SRTT| − RTTVAR)/4, SRTT += (rtt−SRTT)/8, the
+// Jacobson/Karels gains. Caller holds e.mu.
+func (e *Endpoint) observeRTTLocked(ps *peerState, rtt time.Duration) {
+	if ps.srtt == 0 {
+		ps.srtt, ps.rttvar = rtt, rtt/2
+		return
+	}
+	d := rtt - ps.srtt
+	if d < 0 {
+		d = -d
+	}
+	ps.rttvar += (d - ps.rttvar) / 4
+	ps.srtt += (rtt - ps.srtt) / 8
+}
+
+// PeerRTO reports the retransmit timeout a fresh frame toward rank
+// would start with right now — the configured base until ack round
+// trips have been measured, the adaptive estimate afterwards. An
+// observability hook (and the white-box surface of the adaptive-RTO
+// regression tests); the transport does not need callers to look.
+func (e *Endpoint) PeerRTO(rank int) time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rank < 0 || rank >= e.nodes || e.peers[rank] == nil {
+		return e.rto
+	}
+	return e.rtoLocked(e.peers[rank])
+}
+
 // applyAckLocked retires acknowledged frames from ps's window and
 // promotes queued sends into the space. Caller holds e.mu and has
 // validated cum against nextSeq.
 func (e *Endpoint) applyAckLocked(ps *peerState, cum, sack uint64) {
+	if ps.rttSeq != 0 {
+		covered := cum >= ps.rttSeq
+		if !covered && ps.rttSeq-cum <= 64 {
+			covered = sack&(1<<(ps.rttSeq-cum-1)) != 0
+		}
+		if covered {
+			e.observeRTTLocked(ps, time.Since(ps.rttSentAt))
+			ps.rttSeq = 0
+		}
+	}
 	for s := ps.txBase; s <= cum; s++ {
 		if f := ps.flight[s]; f != nil {
 			delete(ps.flight, s)
@@ -664,8 +769,12 @@ func (e *Endpoint) applyAckLocked(ps *peerState, cum, sack uint64) {
 		f := ps.pending[0]
 		ps.pending[0] = nil
 		ps.pending = ps.pending[1:]
+		// The frame's starting timeout was fixed at Send; refresh it with
+		// whatever the estimator has learned while it sat queued.
+		f.backoff = e.rtoLocked(ps)
 		ps.flight[f.seq] = f
 		e.transmitLocked(ps, f)
+		e.armRTTSampleLocked(ps, f)
 	}
 }
 

@@ -66,6 +66,22 @@ func TestRailFailoverConformance(t *testing.T) {
 	conformance.RunRailFailover(t, openLocal)
 }
 
+// TestSelfHealingConformance runs the acked-replay regression: the UDP
+// rail is killed (above its reliability sublayer, so the sublayer cannot
+// save it) right after the rendezvous was submitted, and the transfer
+// must complete via engine-level replay once the rail revives.
+func TestSelfHealingConformance(t *testing.T) {
+	conformance.RunSelfHealing(t, openLocal)
+}
+
+// TestSelfHealSoakConformance runs the rail death-and-recovery soak:
+// mid-run kill and revival of the secondary UDP rail, probation,
+// probe-driven re-admission, and post-recovery traffic on the healed
+// rail, with online stripe weights enabled throughout.
+func TestSelfHealSoakConformance(t *testing.T) {
+	conformance.RunSelfHealSoak(t, openLocal)
+}
+
 // TestTelemetrySnapshotConformance runs the observability case: a bonded
 // world with a metrics registry attached, the lossy rail's failure
 // visible in a registry snapshot under its documented name.

@@ -43,6 +43,13 @@ type Config struct {
 	// strategy stripes across bonded rails (core.Config.MultirailMin;
 	// zero selects the engine default, 128 KiB).
 	MultirailMin int
+	// AutoStripeWeights mirrors core.Config.AutoStripeWeights: each
+	// engine's maintenance tick continuously re-tunes the live stripe
+	// weights from measured per-rail goodput (EWMA over Stats deltas),
+	// so a degraded rail sheds stripe share mid-run. Leave it off for
+	// benchmarks that calibrate weights themselves (ForceDataRail
+	// sweeps).
+	AutoStripeWeights bool
 	// MX configures the inter-node rail (zero value: nic.MXParams).
 	MX nic.Params
 	// SHM configures the intra-node rail; nil Name disables it.
@@ -274,15 +281,16 @@ func (w *World) startNode(rank int, rails []*nic.Driver) *Node {
 		rec = trace.NewRecorder(cfg.TraceCapacity)
 	}
 	eng := core.New(rank, sch, srv, rails, core.Config{
-		Mode:            cfg.Mode,
-		OffloadEager:    cfg.OffloadEager,
-		AdaptiveOffload: cfg.AdaptiveOffload,
-		Strategy:        cfg.Strategy,
-		MultirailMin:    cfg.MultirailMin,
-		WaitSpin:        waitSpin,
-		Trace:           rec,
-		Metrics:         cfg.Metrics,
-		MetricsPeers:    cfg.Nodes,
+		Mode:              cfg.Mode,
+		OffloadEager:      cfg.OffloadEager,
+		AdaptiveOffload:   cfg.AdaptiveOffload,
+		Strategy:          cfg.Strategy,
+		MultirailMin:      cfg.MultirailMin,
+		AutoStripeWeights: cfg.AutoStripeWeights,
+		WaitSpin:          waitSpin,
+		Trace:             rec,
+		Metrics:           cfg.Metrics,
+		MetricsPeers:      cfg.Nodes,
 	})
 	if cfg.Metrics != nil {
 		registerNodeMetrics(cfg.Metrics, rank, srv)

@@ -402,14 +402,66 @@ func (d *Driver) SendEager(h Header, payload []byte) {
 	d.send(p)
 }
 
-// SendRTS posts a rendezvous request-to-send: header-only, cheap.
-func (d *Driver) SendRTS(h Header, msgLen int) {
+// SendRTS posts a rendezvous request-to-send: header-only, cheap. The
+// payload carries the message length plus the sender engine's session id
+// (see EncodeRTS), so a receiver can tell a restarted sender's fresh
+// rendezvous stream from a stale incarnation's.
+func (d *Driver) SendRTS(h Header, msgLen int, session uint64) {
 	ptime.SpinFor(d.p.Cost.SubmitOverhead)
 	d.rtsSent.Add(1)
 	p := d.outPacket()
 	p.Kind, p.Src, p.Dst, p.Tag = wire.PktRTS, h.Src, h.Dst, h.Tag
 	p.Seq, p.MsgID = h.Seq, h.MsgID
-	p.Payload, p.WireLen = encodeLen(msgLen), HeaderBytes
+	p.Payload, p.WireLen = EncodeRTS(msgLen, session), HeaderBytes
+	d.send(p)
+}
+
+// SendRTSReplay re-posts a rendezvous request-to-send for the engine's
+// acked-replay timer. It is the same wire packet as SendRTS except
+// Offset is set to 1, the replay marker: the receiver handles it outside
+// the per-sender sequence ordering (the original RTS may already have
+// been processed), answering idempotently with a fresh CTS or DATA-ack.
+func (d *Driver) SendRTSReplay(h Header, msgLen int, session uint64) {
+	ptime.SpinFor(d.p.Cost.SubmitOverhead)
+	d.rtsSent.Add(1)
+	p := d.outPacket()
+	p.Kind, p.Src, p.Dst, p.Tag = wire.PktRTS, h.Src, h.Dst, h.Tag
+	p.Seq, p.MsgID, p.Offset = h.Seq, h.MsgID, 1
+	p.Payload, p.WireLen = EncodeRTS(msgLen, session), HeaderBytes
+	d.send(p)
+}
+
+// SendDataAck posts a rendezvous data acknowledgement: header-only,
+// correlated by MsgID. The receiving engine sends it once a rendezvous
+// payload is fully reassembled; the sending engine retains the transfer's
+// replay state until it arrives (see docs/FABRIC.md, "Self-healing").
+func (d *Driver) SendDataAck(h Header) {
+	ptime.SpinFor(d.p.Cost.SubmitOverhead)
+	p := d.outPacket()
+	p.Kind, p.Src, p.Dst, p.Tag = wire.PktDataAck, h.Src, h.Dst, h.Tag
+	p.Seq, p.MsgID, p.WireLen = h.Seq, h.MsgID, HeaderBytes
+	d.send(p)
+}
+
+// SendPing posts a rail health probe: header-only, answered by the peer
+// engine with SendPong on the same rail. The engine's rail-lifecycle
+// maintenance probes probation rails with it and re-admits a rail whose
+// probe round-trips with quiet loss counters.
+func (d *Driver) SendPing(h Header) {
+	ptime.SpinFor(d.p.Cost.SubmitOverhead)
+	p := d.outPacket()
+	p.Kind, p.Src, p.Dst, p.Tag = wire.PktPing, h.Src, h.Dst, h.Tag
+	p.Seq, p.MsgID, p.WireLen = h.Seq, h.MsgID, HeaderBytes
+	d.send(p)
+}
+
+// SendPong answers a rail health probe, echoing the probe's Seq so the
+// prober can correlate the response with its outstanding ping.
+func (d *Driver) SendPong(h Header) {
+	ptime.SpinFor(d.p.Cost.SubmitOverhead)
+	p := d.outPacket()
+	p.Kind, p.Src, p.Dst, p.Tag = wire.PktPong, h.Src, h.Dst, h.Tag
+	p.Seq, p.MsgID, p.WireLen = h.Seq, h.MsgID, HeaderBytes
 	d.send(p)
 }
 
@@ -608,11 +660,15 @@ func (d *Driver) Stats() Stats {
 	}
 }
 
-// encodeLen stores a message length in a small header payload.
-func encodeLen(n int) []byte {
-	b := make([]byte, 8)
+// EncodeRTS builds an RTS payload: the message length in the first 8
+// bytes (little-endian, what DecodeLen reads) and the sender engine's
+// session id in the next 8. Pre-session decoders that only read the
+// length remain compatible.
+func EncodeRTS(msgLen int, session uint64) []byte {
+	b := make([]byte, 16)
 	for i := 0; i < 8; i++ {
-		b[i] = byte(n >> (8 * i))
+		b[i] = byte(msgLen >> (8 * i))
+		b[8+i] = byte(session >> (8 * i))
 	}
 	return b
 }
@@ -627,4 +683,17 @@ func DecodeLen(b []byte) int {
 		n |= int(b[i]) << (8 * i)
 	}
 	return n
+}
+
+// DecodeRTSSession recovers the sender's session id from an RTS payload,
+// or 0 for payloads predating the session field.
+func DecodeRTSSession(b []byte) uint64 {
+	if len(b) < 16 {
+		return 0
+	}
+	var s uint64
+	for i := 0; i < 8; i++ {
+		s |= uint64(b[8+i]) << (8 * i)
+	}
+	return s
 }

@@ -90,13 +90,16 @@ func TestPIOCountsSmallMessages(t *testing.T) {
 func TestRendezvousPacketFlow(t *testing.T) {
 	a, b := pair(t, fastParams())
 	h := Header{Src: 0, Dst: 1, Tag: 9, MsgID: 77}
-	a.SendRTS(h, 128<<10)
+	a.SendRTS(h, 128<<10, 42)
 	rts := pollUntil(t, b, time.Second)
 	if rts.Kind != wire.PktRTS || rts.MsgID != 77 {
 		t.Fatalf("bad RTS %+v", rts)
 	}
 	if got := DecodeLen(rts.Payload); got != 128<<10 {
 		t.Fatalf("DecodeLen = %d, want %d", got, 128<<10)
+	}
+	if got := DecodeRTSSession(rts.Payload); got != 42 {
+		t.Fatalf("DecodeRTSSession = %d, want 42", got)
 	}
 	b.SendCTS(Header{Src: 1, Dst: 0, Tag: 9, MsgID: 77})
 	cts := pollUntil(t, a, time.Second)
@@ -257,14 +260,18 @@ func TestDefaultMTU(t *testing.T) {
 }
 
 func TestLenCodecProperty(t *testing.T) {
-	f := func(n uint32) bool {
-		return DecodeLen(encodeLen(int(n))) == int(n)
+	f := func(n uint32, s uint64) bool {
+		b := EncodeRTS(int(n), s)
+		return DecodeLen(b) == int(n) && DecodeRTSSession(b) == s
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
 	if DecodeLen(nil) != 0 || DecodeLen([]byte{1, 2}) != 0 {
 		t.Error("short buffers must decode to 0")
+	}
+	if DecodeRTSSession(make([]byte, 8)) != 0 {
+		t.Error("sessionless payloads must decode to session 0")
 	}
 }
 

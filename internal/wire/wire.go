@@ -36,6 +36,9 @@ const (
 	PktData                    // rendezvous zero-copy payload
 	PktCtrl                    // control (barrier, shutdown, tests)
 	PktAggr                    // aggregated eager packs (optimizer strategy)
+	PktDataAck                 // rendezvous data acknowledgement (self-healing replay)
+	PktPing                    // rail health probe (probation liveness check)
+	PktPong                    // rail health probe response
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +56,12 @@ func (k PacketKind) String() string {
 		return "ctrl"
 	case PktAggr:
 		return "aggr"
+	case PktDataAck:
+		return "dack"
+	case PktPing:
+		return "ping"
+	case PktPong:
+		return "pong"
 	}
 	return fmt.Sprintf("pkt(%d)", uint8(k))
 }
