@@ -54,6 +54,21 @@ type benchRow struct {
 	// and the added one-way latency. Zero on every clean-wire row.
 	LossPct float64 `json:"loss_pct,omitempty"`
 	DelayNs int64   `json:"delay_ns,omitempty"`
+	// Peers, Goroutines and OpenFDs are the "pingpong_storm" rows'
+	// scalability accounting: in-process spoke endpoints served, and the
+	// process's goroutine/file-descriptor growth with every stream
+	// established — measured before any bench-harness echo workers
+	// start, so they reflect the transport alone. The poller-pool design
+	// keeps Goroutines near one accept loop + pool-bounded pollers per
+	// endpoint; the old goroutine-per-stream design grew it ~2×Peers on
+	// the hub alone.
+	Peers      int `json:"peers,omitempty"`
+	Goroutines int `json:"goroutines,omitempty"`
+	OpenFDs    int `json:"open_fds,omitempty"`
+	// HubPollers is the hub endpoint's event-loop goroutine count with
+	// all Peers streams live — the pool bound itself. The old design
+	// needed 2×Peers goroutines on the hub for the same job.
+	HubPollers int `json:"hub_pollers,omitempty"`
 }
 
 // benchJSONSizes spans the latency-bound, eager and rendezvous-class
@@ -196,6 +211,26 @@ func runBenchJSON(path string, quick bool) int {
 	if shmRate > 0 && shmTelemRate > 0 {
 		fmt.Printf("pingpong: telemetry overhead on shm storm: %+.1f%%\n",
 			(shmRate-shmTelemRate)/shmRate*100)
+	}
+	// The many-peer storm rows: hundreds of in-process tcpfab endpoints
+	// storming 64-byte frames through one hub, tracking msgs/s plus the
+	// goroutine and fd cost of serving that many live streams — the
+	// C10K accounting the poller-pool refactor is judged by.
+	stormPeers := []int{64, 256, 512}
+	stormMsgs := 100000
+	if quick {
+		stormPeers = []int{64, 256}
+		stormMsgs = 20000
+	}
+	for _, peers := range stormPeers {
+		row, err := benchOneStorm(peers, stormMsgs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pingpong: storm %d peers: %v\n", peers, err)
+			return 1
+		}
+		rows = append(rows, row)
+		fmt.Printf("pingpong: tcp  %5d peers %9.0f msgs/s  (%d hub pollers, +%d goroutines, +%d fds)\n",
+			row.Peers, row.MsgsPerSec, row.HubPollers, row.Goroutines, row.OpenFDs)
 	}
 	// The WAN rows: the same raw-endpoint round trip over udpfab, but
 	// with seeded chaos injected beneath the reliability sublayer — 2 ms

@@ -31,6 +31,7 @@ func TestBenchJSON(t *testing.T) {
 	rate := map[string]int{"sim": 0, "tcp": 0, "shm": 0, "udp": 0}
 	ctrl, telem := 0, 0
 	wan := map[float64]bool{}
+	storm := map[int]bool{}
 	var shmRate, telemRate float64
 	for _, r := range rows {
 		if _, ok := rtt[r.Backend]; !ok {
@@ -107,6 +108,34 @@ func TestBenchJSON(t *testing.T) {
 			if r.SizeBytes != benchMsgRateSize || r.MsgsPerSec <= 0 {
 				t.Errorf("malformed message-rate row: %+v", r)
 			}
+		case "pingpong_storm":
+			if r.Backend != "tcp" {
+				t.Errorf("storm row on backend %q, want tcp", r.Backend)
+			}
+			if storm[r.Peers] {
+				t.Errorf("duplicate storm row at %d peers", r.Peers)
+			}
+			storm[r.Peers] = true
+			if r.Peers <= 0 || r.MsgsPerSec <= 0 {
+				t.Errorf("malformed storm row: %+v", r)
+			}
+			// The row the refactor is judged by: servicing goroutines
+			// must scale with the in-process endpoint count (accept
+			// loops and pool-bounded pollers), not at the old design's
+			// ~2 per stream, and the hub must multiplex every spoke
+			// through its bounded poller pool.
+			if r.Goroutines >= 2*r.Peers {
+				t.Errorf("storm at %d peers costs %d goroutines — per-stream servicing is back",
+					r.Peers, r.Goroutines)
+			}
+			if r.HubPollers < 1 || r.HubPollers > maxStormPollers {
+				t.Errorf("storm hub runs %d pollers, want 1..%d", r.HubPollers, maxStormPollers)
+			}
+			// Each spoke holds at least one real socket at each end.
+			if r.OpenFDs < r.Peers {
+				t.Errorf("storm at %d peers reports %d open fds — accounting broken",
+					r.Peers, r.OpenFDs)
+			}
 		default:
 			t.Errorf("unknown bench %q", r.Bench)
 		}
@@ -127,6 +156,11 @@ func TestBenchJSON(t *testing.T) {
 	}
 	if len(wan) != len(benchWANLossPcts) {
 		t.Errorf("%d WAN rows, want %d", len(wan), len(benchWANLossPcts))
+	}
+	for _, peers := range []int{64, 256} {
+		if !storm[peers] {
+			t.Errorf("missing storm row at %d peers", peers)
+		}
 	}
 	for be, n := range rate {
 		if n != 1 {

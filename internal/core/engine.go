@@ -88,6 +88,17 @@ type Config struct {
 	// MultirailMin is the smallest rendezvous payload the multirail
 	// strategy splits across rails.
 	MultirailMin int
+	// MaxPendingRdvPerPeer caps how many rendezvous sends to one
+	// destination may sit in the unacked replay window (RTS posted or
+	// data in flight) at once. The self-healing sublayer retains every
+	// unacked request — and its application buffer — until the
+	// receiver's DATA-ack, so without a cap a sender bursting bulk
+	// messages at a slow or dying peer accumulates replay state without
+	// bound. Excess sends keep their sequence number and park in a
+	// per-peer FIFO with no RTS on the wire; each DATA-ack admits the
+	// next parked send. Isend never blocks. Zero selects
+	// defaultMaxPendingRdv.
+	MaxPendingRdvPerPeer int
 	// WaitSpin bounds inline polling in Wait before blocking on the
 	// completion flag. Zero selects the host-tuned default,
 	// AutoWaitSpin(false); the mpi layer passes its NoIdlePolling flag
@@ -120,11 +131,14 @@ type Stats struct {
 	// Self-healing counters (docs/FABRIC.md "Self-healing rendezvous"):
 	// RdvReplays counts unacked rendezvous spans (or their RTS) re-posted
 	// by the resend timer; RdvAcked counts rendezvous sends completed by
-	// a receiver DATA-ack; RailReadmits counts probation rails returned
-	// to the stripe set by a successful health probe; StripeRetunes
-	// counts online EWMA stripe-weight adjustments applied.
+	// a receiver DATA-ack; RdvParked counts rendezvous sends that hit the
+	// per-peer unacked window cap and waited for an ack before their RTS
+	// went out; RailReadmits counts probation rails returned to the
+	// stripe set by a successful health probe; StripeRetunes counts
+	// online EWMA stripe-weight adjustments applied.
 	RdvReplays    uint64
 	RdvAcked      uint64
+	RdvParked     uint64
 	RailReadmits  uint64
 	StripeRetunes uint64
 }
@@ -157,6 +171,13 @@ type Engine struct {
 	// buffer (the send is not complete, so the caller must not touch it),
 	// which keeps replay zero-copy. Guarded by qlock.
 	await map[uint64]*SendReq
+	// rdvInFlight counts each peer's rendezvous sends inside the unacked
+	// replay window (rdvSend ∪ await); rdvWait holds the overflow — sends
+	// whose sequence number is assigned but whose RTS stays off the wire
+	// until a DATA-ack frees a slot (Config.MaxPendingRdvPerPeer). FIFO,
+	// guarded by qlock.
+	rdvInFlight map[int]int
+	rdvWait     map[int][]*SendReq
 	// rdvDone remembers recently completed rendezvous receptions so a
 	// replayed RTS or DATA chunk for one of them is re-acked instead of
 	// re-executed — the receive-side idempotence of the replay protocol.
@@ -258,18 +279,19 @@ type Engine struct {
 	sendSeq atomic.Uint64
 	msgID   atomic.Uint64
 
-	nSends    atomic.Uint64
-	nRecvs    atomic.Uint64
-	nEager    atomic.Uint64
-	nOffload  atomic.Uint64
-	nRdv      atomic.Uint64
-	nUnexp    atomic.Uint64
-	nAggr     atomic.Uint64
-	nProgress atomic.Uint64
-	nReplays  atomic.Uint64
-	nAcks     atomic.Uint64
-	nReadmits atomic.Uint64
-	nRetunes  atomic.Uint64
+	nSends     atomic.Uint64
+	nRecvs     atomic.Uint64
+	nEager     atomic.Uint64
+	nOffload   atomic.Uint64
+	nRdv       atomic.Uint64
+	nUnexp     atomic.Uint64
+	nAggr      atomic.Uint64
+	nProgress  atomic.Uint64
+	nReplays   atomic.Uint64
+	nAcks      atomic.Uint64
+	nRdvParked atomic.Uint64
+	nReadmits  atomic.Uint64
+	nRetunes   atomic.Uint64
 
 	// tel holds the registered metric handles when Config.Metrics was
 	// set; nil otherwise. Hot paths guard on this one pointer.
@@ -295,6 +317,9 @@ func New(node int, sch *sched.Scheduler, srv *piom.Server, rails []*nic.Driver, 
 	if cfg.MultirailMin <= 0 {
 		cfg.MultirailMin = 128 << 10
 	}
+	if cfg.MaxPendingRdvPerPeer <= 0 {
+		cfg.MaxPendingRdvPerPeer = defaultMaxPendingRdv
+	}
 	e := &Engine{
 		node:        node,
 		cfg:         cfg,
@@ -302,6 +327,8 @@ func New(node int, sch *sched.Scheduler, srv *piom.Server, rails []*nic.Driver, 
 		srv:         srv,
 		rails:       rails,
 		rdvSend:     make(map[uint64]*SendReq),
+		rdvInFlight: make(map[int]int),
+		rdvWait:     make(map[int][]*SendReq),
 		rdvRecv:     make(map[rdvKey]*rdvRecvState),
 		await:       make(map[uint64]*SendReq),
 		rdvDone:     make(map[rdvKey]struct{}),
@@ -434,6 +461,7 @@ func (e *Engine) Stats() Stats {
 		ProgressPasses: e.nProgress.Load(),
 		RdvReplays:     e.nReplays.Load(),
 		RdvAcked:       e.nAcks.Load(),
+		RdvParked:      e.nRdvParked.Load(),
 		RailReadmits:   e.nReadmits.Load(),
 		StripeRetunes:  e.nRetunes.Load(),
 	}

@@ -39,6 +39,7 @@ type clusterParams struct {
 	railsFn  func(node int) []nic.Params
 	fabrics  map[string]*wire.Fabric
 	blocking bool
+	maxRdv   int
 }
 
 func withMode(m Mode) clusterOpt       { return func(p *clusterParams) { p.mode = m } }
@@ -46,6 +47,9 @@ func withCores(c int) clusterOpt       { return func(p *clusterParams) { p.cores
 func withStrategy(s string) clusterOpt { return func(p *clusterParams) { p.strategy = s } }
 func withNoOffload() clusterOpt        { return func(p *clusterParams) { p.offload = false } }
 func withBlockingFallback() clusterOpt { return func(p *clusterParams) { p.blocking = true } }
+func withMaxPendingRdv(n int) clusterOpt {
+	return func(p *clusterParams) { p.maxRdv = n }
+}
 func withRails(fn func(node int) []nic.Params) clusterOpt {
 	return func(p *clusterParams) { p.railsFn = fn }
 }
@@ -94,10 +98,11 @@ func newCluster(t testing.TB, n int, opts ...clusterOpt) *testCluster {
 			rails = append(rails, nic.NewSim(rp, params.fabrics[rp.Name], node))
 		}
 		eng := New(node, sch, srv, rails, Config{
-			Mode:            params.mode,
-			OffloadEager:    params.offload,
-			AdaptiveOffload: params.adaptive,
-			Strategy:        params.strategy,
+			Mode:                 params.mode,
+			OffloadEager:         params.offload,
+			AdaptiveOffload:      params.adaptive,
+			Strategy:             params.strategy,
+			MaxPendingRdvPerPeer: params.maxRdv,
 		})
 		if srv != nil {
 			srv.Start()

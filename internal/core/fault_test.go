@@ -172,6 +172,59 @@ func TestManyConcurrentRendezvous(t *testing.T) {
 	wg.Wait()
 }
 
+// TestBoundedRendezvousWindow pins the per-peer unacked replay window:
+// with a cap of 4, three times that many concurrent Isends to one peer
+// must all complete — the overflow parks with no RTS on the wire and
+// each DATA-ack admits the next parked send — and the sender's
+// RdvParked counter must show the cap actually engaged.
+func TestBoundedRendezvousWindow(t *testing.T) {
+	const window = 4
+	const n = 3 * window
+	const size = 40 << 10
+	c := newCluster(t, 2, withMaxPendingRdv(window))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.run(0, func(th *sched.Thread) {
+			var sends []*SendReq
+			for i := 0; i < n; i++ {
+				sends = append(sends, c.Nodes[0].Eng.Isend(1, 7000+i, payload(size, byte(i))))
+			}
+			for _, s := range sends {
+				c.Nodes[0].Eng.WaitSend(s, th)
+			}
+		})
+	}()
+	bufs := make([][]byte, n)
+	go func() {
+		defer wg.Done()
+		c.run(1, func(th *sched.Thread) {
+			var recvs []*RecvReq
+			for i := 0; i < n; i++ {
+				bufs[i] = make([]byte, size)
+				recvs = append(recvs, c.Nodes[1].Eng.Irecv(0, 7000+i, bufs[i]))
+			}
+			for _, r := range recvs {
+				c.Nodes[1].Eng.WaitRecv(r, th)
+			}
+		})
+	}()
+	wg.Wait()
+	for i := range bufs {
+		if !bytes.Equal(bufs[i], payload(size, byte(i))) {
+			t.Errorf("transfer %d corrupted through the bounded window", i)
+		}
+	}
+	parked := c.Nodes[0].Eng.Stats().RdvParked
+	if parked == 0 {
+		t.Error("no send ever parked: the cap never engaged, the test pins nothing")
+	}
+	if parked > n-window {
+		t.Errorf("%d sends parked, but only %d could ever exceed the window", parked, n-window)
+	}
+}
+
 // TestMixedSizesInterleavedTags covers the matrix of protocol paths in one
 // session: PIO, eager, aggregable bursts and rendezvous, with interleaved
 // tags and both directions active.

@@ -59,7 +59,7 @@ func (e *Engine) pollStep(th *sched.Thread, yieldAt time.Time) time.Time {
 		e.progressOne(th.Core())
 		e.biglock.Unlock()
 	} else {
-		e.srv.Poll(th.Core())
+		e.pollUncounted(th.Core())
 	}
 	if time.Now().After(yieldAt) {
 		th.Yield()

@@ -89,7 +89,7 @@ func (e *Engine) demoteRail(r *nic.Driver, dst int) {
 	h.errsBase.Store(r.Stats().SendErrs + r.LostFrames())
 	e.probationCount.Add(1)
 	if e.tracing() {
-		e.cfg.Trace.Recordf(trace.KindData, -1, -1, 0, "rail %s -> probation", r.Name())
+		e.cfg.Trace.Recordf(trace.KindRailProbation, -1, -1, 0, "rail %s -> probation", r.Name())
 	}
 }
 
@@ -181,7 +181,7 @@ func (e *Engine) handlePong(rail *nic.Driver, p *wire.Packet) {
 	e.probationCount.Add(-1)
 	e.nReadmits.Add(1)
 	if e.tracing() {
-		e.cfg.Trace.Recordf(trace.KindData, -1, -1, 0, "rail %s readmitted", rail.Name())
+		e.cfg.Trace.Recordf(trace.KindRailReadmit, -1, -1, 0, "rail %s readmitted", rail.Name())
 	}
 }
 

@@ -45,6 +45,12 @@ const (
 	// re-acking duplicates. 512 entries outlive any plausible replay
 	// window (replayRTOMax × a handful of backoffs) at full message rate.
 	doneRingCap = 512
+	// defaultMaxPendingRdv is the per-peer unacked rendezvous window when
+	// Config.MaxPendingRdvPerPeer is zero: enough to keep a pipeline of
+	// large transfers striped across every rail, small enough that the
+	// replay timer's scan and the retained replay buffers stay bounded
+	// when an application bursts thousands of Isends at one peer.
+	defaultMaxPendingRdv = 128
 )
 
 // sessionSalt makes session ids unique across the engines of one
@@ -171,7 +177,33 @@ func (e *Engine) handleDataAck(core topo.CoreID, p *wire.Packet) {
 	if deferred {
 		s.ackDeferred = true
 	}
+	// The ack freed a slot in this peer's unacked window: admit the
+	// oldest parked send. Its replay timer restarts now — the deadline
+	// stamped at Isend may be long past, and the RTS is only now going
+	// on the wire.
+	var next *SendReq
+	e.rdvInFlight[s.dst]--
+	if w := e.rdvWait[s.dst]; len(w) > 0 {
+		next = w[0]
+		w[0] = nil
+		if len(w) == 1 {
+			delete(e.rdvWait, s.dst)
+		} else {
+			e.rdvWait[s.dst] = w[1:]
+		}
+		e.rdvInFlight[s.dst]++
+		next.backoff = replayRTOInit
+		next.nextResend = time.Now().Add(replayRTOInit)
+		e.rdvSend[next.msgID] = next
+	}
 	e.qlock.Unlock()
+	if next != nil {
+		e.railFor(next.dst).SendRTS(railHeader(e.node, next.dst, next.tag, next.seq, next.msgID), next.Len(), e.session)
+		if e.tracing() {
+			e.cfg.Trace.Recordf(trace.KindRTS, -1, next.tag, next.Len(), "msgid=%d unparked", next.msgID)
+		}
+		e.kick()
+	}
 	e.pendingRdv.Add(-1)
 	e.nAcks.Add(1)
 	if e.tracing() {

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"pioman/internal/piom"
+	"pioman/internal/ptime"
 	"pioman/internal/sched"
+	"pioman/internal/topo"
 	"pioman/internal/trace"
 )
 
@@ -200,6 +202,22 @@ func (e *Engine) Isend(dst, tag int, data []byte) *SendReq {
 		e.qlock.Lock()
 		r.seq = e.orderOut[dst] + 1
 		e.orderOut[dst] = r.seq
+		// The unacked replay window to this peer is bounded: past the cap
+		// the send keeps its place in the stream but parks, RTS withheld,
+		// until a DATA-ack admits it. Isend still never blocks, and the
+		// replay timer never scans parked requests — they have nothing on
+		// the wire to replay.
+		if e.rdvInFlight[dst] >= e.cfg.MaxPendingRdvPerPeer {
+			e.rdvWait[dst] = append(e.rdvWait[dst], r)
+			e.qlock.Unlock()
+			e.nRdvParked.Add(1)
+			if e.tracing() {
+				e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(data), "isend dst=%d seq=%d parked", dst, r.seq)
+			}
+			e.nRdv.Add(1)
+			return r
+		}
+		e.rdvInFlight[dst]++
 		e.rdvSend[r.msgID] = r
 		e.qlock.Unlock()
 		if e.tracing() {
@@ -340,7 +358,7 @@ func (e *Engine) Wait(req *piom.Request, th *sched.Thread) {
 	}
 	deadline := time.Now().Add(e.cfg.WaitSpin)
 	for !req.Completed() {
-		e.srv.Poll(core)
+		e.pollUncounted(core)
 		if req.Completed() {
 			break
 		}
@@ -357,6 +375,22 @@ func (e *Engine) Wait(req *piom.Request, th *sched.Thread) {
 // sequentialYieldQuantum bounds how long a sequential wait monopolizes a
 // core before letting other runnable threads in.
 const sequentialYieldQuantum = 100 * time.Microsecond
+
+// pollUncounted runs one event-server poll. Under virtual-time CPU
+// charging (ptime.SetVirtual) the poll is wrapped Uncounted: progress
+// work a waiting thread happens to pick up stands in for work an idle
+// core would have done in parallel, so billing it to the waiter would
+// serialize in virtual time what the Multithreaded engine overlaps in
+// real time. The Sequential baseline never comes through here — its
+// inline progress is the cost the engine pays by design, and it stays
+// fully counted.
+func (e *Engine) pollUncounted(core topo.CoreID) {
+	if ptime.VirtualEnabled() {
+		ptime.Uncounted(func() { e.srv.Poll(core) })
+		return
+	}
+	e.srv.Poll(core)
+}
 
 // WaitSend waits for a send request on the calling thread.
 func (e *Engine) WaitSend(r *SendReq, th *sched.Thread) { e.Wait(&r.req, th) }

@@ -188,6 +188,44 @@ func decodeBody(b []byte, dst *wire.Packet, alloc func(int) []byte) error {
 	return nil
 }
 
+// DecodeHeaderPooled parses the length prefix plus fixed header at the
+// start of b — at least HeaderScratchBytes — into a packet from the
+// freelist whose payload buffer is allocated from the fabric buffer pool
+// but left unfilled. It is the entry point for event-driven stream
+// decoders that cannot block in io.ReadFull: the caller consumes
+// HeaderScratchBytes from its staging window, fills p.Payload from the
+// stream as bytes arrive, and owns the packet (ReleasePacket on error or
+// after delivery). frameLen is the full frame size including the
+// prefix, so the caller knows where the next frame starts. Validation
+// matches ReadPacketPooled exactly.
+func DecodeHeaderPooled(b []byte) (p *wire.Packet, frameLen int, err error) {
+	if len(b) < HeaderScratchBytes {
+		return nil, 0, fmt.Errorf("fabric: header scratch of %d bytes, need %d", len(b), HeaderScratchBytes)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > MaxFrameBytes {
+		return nil, 0, fmt.Errorf("fabric: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	if n < headerBytes {
+		return nil, 0, fmt.Errorf("fabric: frame body of %d bytes below header size %d", n, headerBytes)
+	}
+	p = GetPacket()
+	plen, withPayload, err := parseHeader(b[4:4+headerBytes], p)
+	if err != nil {
+		ReleasePacket(p)
+		return nil, 0, err
+	}
+	if n-headerBytes != plen {
+		ReleasePacket(p)
+		return nil, 0, fmt.Errorf("fabric: payload length %d does not match %d trailing bytes", plen, n-headerBytes)
+	}
+	if withPayload {
+		p.Payload = bufpool.Get(int(plen))
+		p.Pooled = true
+	}
+	return p, 4 + int(n), nil
+}
+
 // WritePacket writes p as one frame to w. Oversized payloads are refused
 // as an error before reaching AppendPacket's panic: a stream writer wants
 // a rejected send, not a crashed process.

@@ -18,6 +18,16 @@ func TestEndpointConformance(t *testing.T) {
 	})
 }
 
+// TestManyPeersConformance runs the C10K shape gate over the simulated
+// wire: delivery is synchronous (no servicing goroutines at all), so
+// the budget only covers test-transient runtime goroutines. Not
+// strict-FIFO: the simulator's fragmenting wire may interleave.
+func TestManyPeersConformance(t *testing.T) {
+	conformance.RunManyPeers(t, func(t *testing.T, nodes int) fabric.Fabric {
+		return simfab.New(wire.NewFabric(nodes, wire.MYRI10G()))
+	}, 64, false, 32)
+}
+
 func TestWorldConformance(t *testing.T) {
 	conformance.RunWorld(t, func(t *testing.T) *mpi.World {
 		// The default world path: simulated MX rail built implicitly

@@ -1,0 +1,238 @@
+package tcpfab
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"pioman/internal/fabric"
+	"pioman/internal/wire"
+)
+
+// conn is one poller-owned TCP stream. It splits cleanly into two halves:
+//
+//   - The producer half (qmu-guarded) is what Send touches: an unbounded
+//     buffer of serialized frames plus the dead/closing lifecycle bits.
+//     Serialization happens at enqueue, before Send returns, preserving
+//     the capture contract (the engine may reuse the payload buffer the
+//     moment Send returns).
+//   - The write-IO half (iomu-guarded) is the detached batch being
+//     flushed to the socket (wbuf at offset woff) plus the write-side
+//     lifecycle bits. The owning poller holds iomu across every flush,
+//     and a producer whose Send transitioned the queue from empty may
+//     grab it opportunistically to write its own frame inline — one
+//     syscall on the caller's goroutine instead of a scheduler round
+//     trip through the poller.
+//   - The read half is touched only by the owning poller goroutine: the
+//     inbound staging window and large-frame direct-read state. No lock
+//     guards it — single ownership is the synchronization.
+//
+// The armed flag is the handoff between the producer and IO halves: a
+// producer that enqueues onto an unarmed queue flushes inline or kicks
+// the poller exactly once; whoever flushes disarms only after observing
+// an empty queue under qmu, so a frame can never be enqueued without
+// either a kick in flight or a flusher already committed to another
+// pass.
+type conn struct {
+	e    *Endpoint
+	pl   *poller
+	f    *os.File // dup of the handshaken socket; the poller closes it
+	fd   int
+	rank int
+
+	// Producer half, qmu-guarded.
+	qmu     sync.Mutex
+	qbuf    []byte
+	qends   []int // end offset of each frame in qbuf, ascending
+	qn      int
+	lastEnq int64 // unix nanos of the previous enqueue (inline-flush gate)
+	armed   bool  // a flusher knows about queued data; no kick needed
+	dead    bool  // stream failed or reaped: enqueue must redial
+	closing bool  // endpoint closing: drain, then accept nothing new
+
+	// pendingFrames counts frames accepted into the queue but not yet
+	// fully handed to the kernel — what Close's drain loop polls.
+	pendingFrames atomic.Int64
+
+	// Write-IO half, iomu-guarded.
+	iomu   sync.Mutex
+	ioErr  bool // a write failed; the poller must fail the stream
+	ioDead bool // teardown ran: the fd is no longer writable
+	wbuf   []byte
+	wends  []int
+	wn     int
+	woff   int // bytes of wbuf already written to the kernel
+
+	// Poller half: epoll registration state.
+	added bool // EPOLL_CTL_ADD done
+	gone  bool // torn down; every later visit is a no-op
+	wantW bool // EPOLLOUT armed
+
+	// Poller half: read side. rbuf[ro:rn] is the staged window; pend is
+	// a large frame whose payload is being read directly into its pooled
+	// buffer, pendFill bytes so far.
+	rbuf     []byte
+	ro, rn   int
+	pend     *wire.Packet
+	pendFill int
+
+	// Idle stamps (unix nanos) for reaping; atomic because inline
+	// flushes stamp lastOut from producer goroutines.
+	lastIn, lastOut atomic.Int64
+}
+
+func newConn(e *Endpoint, pl *poller, f *os.File, fd, rank int) *conn {
+	return &conn{e: e, pl: pl, f: f, fd: fd, rank: rank}
+}
+
+// enqueue serializes p onto the stream's outbound queue and reports
+// false when the stream no longer accepts frames (the caller redials).
+// The payload has been bounds-checked by Send, so AppendPacket cannot
+// panic.
+func (c *conn) enqueue(p *wire.Packet) bool {
+	now := time.Now().UnixNano()
+	c.qmu.Lock()
+	if c.dead || c.closing {
+		c.qmu.Unlock()
+		return false
+	}
+	c.qbuf = fabric.AppendPacket(c.qbuf, p)
+	c.qends = append(c.qends, len(c.qbuf))
+	c.qn++
+	c.pendingFrames.Add(1)
+	gap := now - c.lastEnq
+	c.lastEnq = now
+	kick := !c.armed
+	c.armed = true
+	c.qmu.Unlock()
+	if kick && (gap < inlineGapNanos || !c.tryInlineFlush()) {
+		c.pl.kick(c)
+	}
+	return true
+}
+
+// inlineGapNanos separates conversational sends from streaming ones: a
+// Send arriving this soon after the previous frame is part of a burst,
+// and a burst is worth a poller round trip because the poller coalesces
+// the whole backlog into one write syscall. A slower cadence means
+// latency matters more than batching, so the producer writes inline.
+// The gate must sit above the cost of an inline flush itself (~3µs with
+// a loopback write syscall) or a streaming sender could never fall back
+// to batching, and below the tightest request-response cadence (~9µs
+// round trips) or ping-pong latency would pay the poller detour.
+const inlineGapNanos = 5000
+
+// tryInlineFlush is the producer fast path: the Send that transitioned
+// the queue from empty writes its own frame to the socket right here
+// when the write side is uncontended, skipping the kick → wake → poller
+// flush round trip entirely. Reports true only when the queue fully
+// drained and disarmed; any other outcome (contention, residue left,
+// kernel buffer full, write error) falls back to the poller, which owns
+// EPOLLOUT arming and stream failure.
+func (c *conn) tryInlineFlush() bool {
+	if !c.iomu.TryLock() {
+		return false
+	}
+	if c.ioDead || c.ioErr {
+		c.iomu.Unlock()
+		return false
+	}
+	st := c.flushOnce(time.Now().UnixNano())
+	if st == flushFailed {
+		c.ioErr = true
+	}
+	c.iomu.Unlock()
+	return st == flushDone
+}
+
+// flushStatus reports how far one flushOnce pass got.
+type flushStatus int
+
+const (
+	flushDone    flushStatus = iota // queue drained and disarmed
+	flushMore                       // one batch written; more frames remain queued
+	flushBlocked                    // kernel buffer full: EPOLLOUT needed
+	flushFailed                     // write error: the stream must be failed
+)
+
+// flushOnce writes the residue of a previously detached batch, then at
+// most one freshly detached run — the whole run leaves in a single
+// write syscall when the kernel buffer has room. Caller holds iomu;
+// both the owning poller and producer inline flushes arrive here, so
+// every byte of write-side IO stays under one lock no matter which
+// goroutine performs it.
+func (c *conn) flushOnce(now int64) flushStatus {
+	detached := false
+	for {
+		if c.woff == len(c.wbuf) {
+			if c.wn > 0 {
+				// A whole detached batch fully reached the kernel.
+				c.e.coalesced.Add(uint64(c.wn))
+				c.pendingFrames.Add(-int64(c.wn))
+				c.qmu.Lock()
+				if c.qbuf == nil && cap(c.wbuf) <= maxRecycledBuf {
+					c.qbuf, c.qends = c.wbuf[:0], c.wends[:0]
+				}
+				c.qmu.Unlock()
+				c.wbuf, c.wends, c.wn, c.woff = nil, nil, 0, 0
+			}
+			c.qmu.Lock()
+			if c.qn == 0 {
+				c.armed = false
+				c.qmu.Unlock()
+				return flushDone
+			}
+			if detached {
+				c.qmu.Unlock()
+				return flushMore
+			}
+			c.wbuf, c.wends, c.wn = c.qbuf, c.qends, c.qn
+			c.qbuf, c.qends, c.qn = nil, nil, 0
+			c.woff = 0
+			c.qmu.Unlock()
+			detached = true
+		}
+		n, err := syscall.Write(c.fd, c.wbuf[c.woff:])
+		c.e.flushSyscalls.Add(1)
+		if n > 0 {
+			c.woff += n
+			c.lastOut.Store(now)
+		}
+		switch err {
+		case nil:
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return flushBlocked
+		default:
+			return flushFailed
+		}
+	}
+}
+
+// killQueue marks the stream dead and surrenders everything still
+// queued. None of the returned frames ever reached the socket, so the
+// caller may stash them for the stream's replacement; repeat kills
+// return an empty remainder.
+func (c *conn) killQueue() stash {
+	c.qmu.Lock()
+	c.dead = true
+	s := stash{c.qbuf, c.qends, c.qn}
+	c.qbuf, c.qends, c.qn = nil, nil, 0
+	c.armed = false
+	c.pendingFrames.Store(0)
+	c.qmu.Unlock()
+	return s
+}
+
+// markClosing asks the stream to finish its queue and then accept no
+// more: a frame the engine sent before Close must still reach the
+// kernel buffer, exactly as with the old synchronous Send — the
+// shutdown sequencing of both ranks' protocols depends on it.
+func (c *conn) markClosing() {
+	c.qmu.Lock()
+	c.closing = true
+	c.qmu.Unlock()
+}

@@ -1,0 +1,679 @@
+package tcpfab
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"pioman/internal/fabric"
+	"pioman/internal/fabric/bufpool"
+	"pioman/internal/wire"
+)
+
+// readBudgetBytes bounds how much one connection may pull off its
+// socket per poller visit, so a firehose peer cannot starve the other
+// connections on the same poller. Level-triggered epoll re-reports the
+// remaining data on the next wait.
+const readBudgetBytes = 256 << 10
+
+// spinPasses is how many consecutive empty non-blocking poll passes a
+// poller tolerates before it falls back to a blocking epoll_wait. The
+// legacy syscall package has no netpoller integration: a goroutine
+// blocked in EpollWait pins its P until sysmon retakes it, which turns
+// every wakeup during a ping-pong exchange into a scheduler stall of
+// tens of microseconds. Spinning through the hot phase (with a Gosched
+// per empty pass so producers and receivers run interleaved) keeps the
+// poller reactive at syscall latency; once traffic truly pauses, the
+// poller parks in the kernel and costs nothing.
+const spinPasses = 96
+
+// spinPollerMax disables spinning entirely once the process carries
+// more live pollers than this. Spinning buys single-digit-µs latency
+// for the handful of streams a real rank converses over; with hundreds
+// of in-process endpoints (the storm bench, many-peer tests) spinning
+// pollers would stuff the scheduler run queue with empty poll passes
+// and collapse throughput, so everyone falls back to blocking waits,
+// which scale to any count.
+const spinPollerMax = 8
+
+// livePollers counts running poller goroutines process-wide (see
+// spinPollerMax).
+var livePollers atomic.Int32
+
+// wakeByte is the pipe token for wakeLocked. Package-level so the
+// slice header passed to syscall.Write never escapes per call.
+var wakeByte = []byte{1}
+
+// pollerPool is the bounded set of event-loop goroutines that multiplex
+// every connection of one Endpoint. Pollers start lazily: an endpoint
+// that never carries a connection costs zero goroutines, and a 2-rank
+// run costs exactly one.
+type pollerPool struct {
+	pollers []*poller
+	next    int // round-robin cursor, guarded by the Endpoint mutex
+}
+
+func newPollerPool(e *Endpoint, n int) *pollerPool {
+	p := &pollerPool{pollers: make([]*poller, n)}
+	for i := range p.pollers {
+		p.pollers[i] = &poller{e: e, epfd: -1}
+	}
+	return p
+}
+
+// assignLocked picks the poller for a new connection (round robin).
+// Caller holds the Endpoint mutex.
+func (p *pollerPool) assignLocked() *poller {
+	pl := p.pollers[p.next%len(p.pollers)]
+	p.next++
+	return pl
+}
+
+// stop asks every running poller to tear down its connections and
+// exit. Pollers that never started just flip their shutdown flag so a
+// late register fails cleanly.
+func (p *pollerPool) stop() {
+	for _, pl := range p.pollers {
+		pl.mu.Lock()
+		pl.shutdown = true
+		if pl.running && !pl.woken {
+			pl.woken = true
+			syscall.Write(pl.wakeW, wakeByte)
+		}
+		pl.mu.Unlock()
+	}
+}
+
+// poller owns one epoll instance and the connections registered on it.
+// All socket IO and all fd lifecycle for those connections happens on
+// the poller goroutine — producers communicate only through the mu-
+// guarded mailboxes below plus the wake pipe.
+type poller struct {
+	e     *Endpoint
+	epfd  int
+	wakeR int
+	wakeW int
+
+	mu       sync.Mutex
+	running  bool
+	shutdown bool
+	woken    bool    // a wake byte is already in the pipe
+	spinning bool    // poller is in non-blocking passes; mailboxes need no wake byte
+	pending  []*conn // awaiting EPOLL_CTL_ADD
+	kicked   []*conn // have newly queued frames to flush
+	kills    []*conn // KillConn targets: shutdown(2) the socket
+
+	// Poller-goroutine state (no lock).
+	conns    map[int]*conn // fd -> conn, added only
+	resume   []*conn       // flush fairness carry-over to the next loop pass
+	now      int64         // unix nanos, refreshed once per loop pass
+	lastReap int64
+}
+
+// start creates the epoll instance, wake pipe, and loop goroutine on
+// first use. Caller holds the Endpoint mutex (so the wg.Add is ordered
+// before any Close-side Wait).
+func (pl *poller) start() error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.running {
+		return nil
+	}
+	if pl.shutdown {
+		return fabric.ErrClosed
+	}
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return fmt.Errorf("tcpfab: epoll_create1: %w", err)
+	}
+	var fds [2]int
+	if err := syscall.Pipe2(fds[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return fmt.Errorf("tcpfab: wake pipe: %w", err)
+	}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(fds[0])}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, fds[0], &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(fds[0])
+		syscall.Close(fds[1])
+		return fmt.Errorf("tcpfab: arm wake pipe: %w", err)
+	}
+	pl.epfd, pl.wakeR, pl.wakeW = epfd, fds[0], fds[1]
+	pl.conns = make(map[int]*conn)
+	pl.running = true
+	pl.spinning = true // the loop starts in its non-blocking phase
+	livePollers.Add(1)
+	pl.e.nPollers.Add(1)
+	pl.e.wg.Add(1)
+	go pl.loop()
+	return nil
+}
+
+// register hands a freshly handshaken connection to the poller. The
+// EPOLL_CTL_ADD happens on the poller goroutine so fd ownership never
+// leaves it.
+func (pl *poller) register(c *conn) error {
+	pl.mu.Lock()
+	if pl.shutdown || !pl.running {
+		pl.mu.Unlock()
+		return fabric.ErrClosed
+	}
+	pl.pending = append(pl.pending, c)
+	pl.wakeLocked()
+	pl.mu.Unlock()
+	return nil
+}
+
+// kick tells the poller that c has newly queued frames. Callers arrive
+// here at most once per armed-flag transition, so the mailbox cannot
+// grow faster than the poller drains it.
+func (pl *poller) kick(c *conn) {
+	pl.mu.Lock()
+	if !pl.shutdown && pl.running {
+		pl.kicked = append(pl.kicked, c)
+		pl.wakeLocked()
+	}
+	pl.mu.Unlock()
+}
+
+// kill requests a forced failure of c (test hook / chaos injection).
+// The poller owns the fd, so it performs the shutdown(2) itself —
+// killing from another goroutine would race fd reuse.
+func (pl *poller) kill(c *conn) {
+	pl.mu.Lock()
+	if !pl.shutdown && pl.running {
+		pl.kills = append(pl.kills, c)
+		pl.wakeLocked()
+	}
+	pl.mu.Unlock()
+}
+
+func (pl *poller) wakeLocked() {
+	if pl.woken || pl.spinning {
+		// A spinning poller drains its mailboxes every pass without a
+		// wake byte; the spin→block transition rechecks them under mu,
+		// so skipping the pipe write here cannot lose the request.
+		return
+	}
+	pl.woken = true
+	syscall.Write(pl.wakeW, wakeByte)
+}
+
+// loop is the event loop: wait, absorb mailboxes, flush writers, drain
+// readers, reap idlers. While traffic is hot the wait is non-blocking
+// (see spinPasses); only after a quiet stretch does the poller park in
+// a blocking epoll_wait.
+func (pl *poller) loop() {
+	e := pl.e
+	defer e.wg.Done()
+	events := make([]syscall.EpollEvent, 128)
+	var drain [64]byte
+	var run []*wire.Packet
+	idle := 0
+	for {
+		spin := idle < spinPasses && livePollers.Load() <= spinPollerMax
+		msec := 0
+		if !spin && len(pl.resume) == 0 {
+			msec = -1
+			if e.idleTimeout > 0 {
+				msec = int(e.idleTimeout / (4 * time.Millisecond))
+				if msec < 1 {
+					msec = 1
+				} else if msec > 1000 {
+					msec = 1000
+				}
+			}
+			// Spin→block transition: producers that saw us spinning
+			// skipped the wake byte, so recheck the mailboxes under the
+			// same lock before sleeping. Anything that lands after the
+			// flag flips writes the pipe and wakes us.
+			pl.mu.Lock()
+			pl.spinning = false
+			if len(pl.pending)+len(pl.kicked)+len(pl.kills) > 0 || pl.shutdown {
+				pl.spinning = true
+				msec = 0
+			}
+			pl.mu.Unlock()
+		}
+		n, err := syscall.EpollWait(pl.epfd, events, msec)
+		if err != nil && err != syscall.EINTR {
+			// Only possible with a broken epfd; treat as shutdown.
+			pl.mu.Lock()
+			pl.shutdown = true
+			pl.mu.Unlock()
+		}
+		pl.now = time.Now().UnixNano()
+
+		pl.mu.Lock()
+		if !pl.spinning {
+			pl.spinning = true
+		}
+		pending := pl.pending
+		kicked := pl.kicked
+		kills := pl.kills
+		pl.pending, pl.kicked, pl.kills = nil, nil, nil
+		shutdown := pl.shutdown
+		if pl.woken {
+			for {
+				k, rerr := syscall.Read(pl.wakeR, drain[:])
+				if rerr != nil || k < len(drain) {
+					break
+				}
+			}
+			pl.woken = false
+		}
+		pl.mu.Unlock()
+
+		if shutdown {
+			pl.teardownAll(pending)
+			return
+		}
+		worked := n > 0 || len(pending)+len(kicked)+len(kills)+len(pl.resume) > 0
+		for _, c := range pending {
+			pl.add(c)
+		}
+		for _, c := range kills {
+			if !c.gone {
+				syscall.Shutdown(c.fd, syscall.SHUT_RDWR)
+			}
+		}
+		resume := pl.resume
+		pl.resume = nil
+		for _, c := range resume {
+			if !c.gone {
+				pl.flush(c)
+			}
+		}
+		for _, c := range kicked {
+			if c.added && !c.gone {
+				pl.flush(c)
+			}
+		}
+		for i := 0; i < n; i++ {
+			fd := int(events[i].Fd)
+			if fd == pl.wakeR {
+				continue
+			}
+			c := pl.conns[fd]
+			if c == nil || c.gone {
+				continue
+			}
+			evs := events[i].Events
+			if evs&syscall.EPOLLOUT != 0 {
+				pl.flush(c)
+			}
+			if c.gone {
+				continue
+			}
+			if evs&(syscall.EPOLLIN|syscall.EPOLLERR|syscall.EPOLLHUP) != 0 {
+				run = pl.read(c, run)
+			}
+		}
+		if e.idleTimeout > 0 && pl.now-pl.lastReap >= int64(e.idleTimeout)/2 {
+			pl.lastReap = pl.now
+			pl.reap()
+		}
+		if worked {
+			idle = 0
+		} else {
+			idle++
+		}
+		if spin {
+			// After a delivering pass, the notified receivers sit in the
+			// scheduler's runnext slot — yielding hands them the CPU now
+			// instead of making them wait out another empty poll pass.
+			// On an empty pass the yield is what makes spinning fair.
+			runtime.Gosched()
+		}
+	}
+}
+
+// add performs the deferred EPOLL_CTL_ADD and, if frames queued while
+// the connection waited in the mailbox, the initial flush.
+func (pl *poller) add(c *conn) {
+	if c.gone {
+		return
+	}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(c.fd)}
+	if err := syscall.EpollCtl(pl.epfd, syscall.EPOLL_CTL_ADD, c.fd, &ev); err != nil {
+		// Treat exactly like a stream failure: queued frames move to
+		// the stash and the next Send redials.
+		c.added = false
+		pl.fail(c)
+		return
+	}
+	c.added = true
+	pl.conns[c.fd] = c
+	c.lastIn.Store(pl.now)
+	c.lastOut.Store(pl.now)
+	c.qmu.Lock()
+	armed := c.armed
+	c.qmu.Unlock()
+	if armed {
+		pl.flush(c)
+	}
+}
+
+// flush drives c's outbound frames to the socket via flushOnce (shared
+// with producer inline flushes) and applies the poller-only outcomes:
+// EPOLLOUT arming, resume-list fairness parking (so one connection with
+// a deep queue cannot monopolize the pass), and stream failure.
+func (pl *poller) flush(c *conn) {
+	c.iomu.Lock()
+	if c.ioErr || c.ioDead {
+		c.iomu.Unlock()
+		pl.fail(c)
+		return
+	}
+	st := c.flushOnce(pl.now)
+	if st == flushFailed {
+		c.ioErr = true
+	}
+	c.iomu.Unlock()
+	switch st {
+	case flushDone:
+		pl.wantWrite(c, false)
+	case flushMore:
+		pl.resume = append(pl.resume, c)
+	case flushBlocked:
+		pl.wantWrite(c, true)
+	case flushFailed:
+		pl.fail(c)
+	}
+}
+
+// wantWrite arms or disarms EPOLLOUT for c.
+func (pl *poller) wantWrite(c *conn, on bool) {
+	if c.gone || !c.added || c.wantW == on {
+		return
+	}
+	c.wantW = on
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(c.fd)}
+	if on {
+		ev.Events |= syscall.EPOLLOUT
+	}
+	syscall.EpollCtl(pl.epfd, syscall.EPOLL_CTL_MOD, c.fd, &ev)
+}
+
+// read drains the socket into decoded packets. Small frames assemble
+// from the staging window; a frame larger than the window switches the
+// connection into direct-read mode, filling the pooled payload in
+// place with zero extra copies. run is a reusable delivery batch.
+func (pl *poller) read(c *conn, run []*wire.Packet) []*wire.Packet {
+	e := pl.e
+	run = run[:0]
+	deliver := func() {
+		if len(run) > 0 {
+			e.inbox.pushRun(run)
+			for i := range run {
+				run[i] = nil
+			}
+			run = run[:0]
+		}
+	}
+	budget := readBudgetBytes
+	for budget > 0 {
+		if c.pend != nil {
+			n, err := syscall.Read(c.fd, c.pend.Payload[c.pendFill:])
+			if n > 0 {
+				c.pendFill += n
+				budget -= n
+				c.lastIn.Store(pl.now)
+				if c.pendFill == len(c.pend.Payload) {
+					p := c.pend
+					c.pend, c.pendFill = nil, 0
+					p.Src = c.rank
+					run = append(run, p)
+				}
+				continue
+			}
+			if err == syscall.EINTR {
+				continue
+			}
+			if err == syscall.EAGAIN {
+				break
+			}
+			deliver()
+			pl.fail(c)
+			return run
+		}
+		if c.rbuf == nil {
+			c.rbuf = bufpool.Get(readBufBytes)
+		}
+		if c.ro > 0 {
+			copy(c.rbuf, c.rbuf[c.ro:c.rn])
+			c.rn -= c.ro
+			c.ro = 0
+		}
+		n, err := syscall.Read(c.fd, c.rbuf[c.rn:])
+		if n > 0 {
+			c.rn += n
+			budget -= n
+			c.lastIn.Store(pl.now)
+			if !pl.decode(c, &run) {
+				deliver()
+				pl.fail(c)
+				return run
+			}
+			continue
+		}
+		if err == syscall.EINTR {
+			continue
+		}
+		if err == syscall.EAGAIN {
+			break
+		}
+		// EOF or a hard error: the peer is gone.
+		deliver()
+		pl.fail(c)
+		return run
+	}
+	deliver()
+	return run
+}
+
+// decode lifts complete frames out of the staging window; reports false
+// on a malformed frame (stream failure).
+func (pl *poller) decode(c *conn, run *[]*wire.Packet) bool {
+	for {
+		avail := c.rn - c.ro
+		if avail < fabric.HeaderScratchBytes {
+			// The smallest legal frame is exactly HeaderScratchBytes, so
+			// nothing complete can be staged yet.
+			return true
+		}
+		p, _, err := fabric.DecodeHeaderPooled(c.rbuf[c.ro:c.rn])
+		if err != nil {
+			return false
+		}
+		have := avail - fabric.HeaderScratchBytes
+		if have > len(p.Payload) {
+			have = len(p.Payload)
+		}
+		copy(p.Payload[:have], c.rbuf[c.ro+fabric.HeaderScratchBytes:])
+		if have == len(p.Payload) {
+			p.Src = c.rank
+			*run = append(*run, p)
+			c.ro += fabric.HeaderScratchBytes + have
+			continue
+		}
+		// Tail of a large frame: read the rest straight into the pooled
+		// payload. The staging window is fully consumed by construction.
+		c.pend, c.pendFill = p, have
+		c.ro, c.rn = 0, 0
+		return true
+	}
+}
+
+// fail handles a stream death. Frames whose bytes fully reached the
+// kernel before the error may or may not have arrived — they count as
+// lost (LostFrames is an upper bound). The straddler and everything
+// behind it never left, so they are salvaged for replay on the redialed
+// stream, exactly like the old writeLoop split.
+func (pl *poller) fail(c *conn) {
+	if c.gone {
+		return
+	}
+	// Salvage under iomu: a producer inline flush may be advancing woff
+	// right now, and marking ioDead in the same critical section
+	// guarantees no byte of the salvaged residue can still reach the
+	// socket afterwards (which would duplicate it on replay).
+	c.iomu.Lock()
+	c.ioDead = true
+	lostN := 0
+	for lostN < c.wn && c.wends[lostN] <= c.woff {
+		lostN++
+	}
+	var sal stash
+	if lostN < c.wn {
+		start := 0
+		if lostN > 0 {
+			start = c.wends[lostN-1]
+		}
+		sal.buf = c.wbuf[start:]
+		sal.ends = make([]int, 0, c.wn-lostN)
+		for j := lostN; j < c.wn; j++ {
+			sal.ends = append(sal.ends, c.wends[j]-start)
+		}
+		sal.n = c.wn - lostN
+	}
+	c.wbuf, c.wends, c.wn, c.woff = nil, nil, 0, 0
+	c.iomu.Unlock()
+	if lostN > 0 {
+		c.e.lost.Add(uint64(lostN))
+	}
+	pl.teardown(c, sal)
+}
+
+// teardown removes c from the poller and the endpoint, banks the
+// salvage + surrendered queue in the stash, and redials in the
+// background when frames are waiting (unless the endpoint is closing).
+func (pl *poller) teardown(c *conn, sal stash) {
+	if c.gone {
+		return
+	}
+	c.gone = true
+	if c.added {
+		syscall.EpollCtl(pl.epfd, syscall.EPOLL_CTL_DEL, c.fd, nil)
+		delete(pl.conns, c.fd)
+	}
+	if c.pend != nil {
+		fabric.ReleasePacket(c.pend)
+		c.pend = nil
+	}
+	if c.rbuf != nil {
+		bufpool.Put(c.rbuf)
+		c.rbuf = nil
+	}
+	// ioDead under iomu fences out producer inline flushes for good
+	// before the fd is released below (fail already set it when there
+	// was residue to salvage).
+	c.iomu.Lock()
+	c.ioDead = true
+	c.wbuf, c.wends, c.wn, c.woff = nil, nil, 0, 0
+	c.iomu.Unlock()
+	tail := c.killQueue()
+	e := c.e
+	redial := false
+	e.mu.Lock()
+	if e.out[c.rank] == c {
+		delete(e.out, c.rank)
+	}
+	delete(e.conns, c)
+	if sal.n+tail.n > 0 {
+		if e.closed() {
+			// Close's stash sweep may already have run; count the
+			// stranded frames as lost directly.
+			e.lost.Add(uint64(sal.n + tail.n))
+		} else {
+			var merged stash
+			appendFrames(&merged, sal)
+			appendFrames(&merged, e.stash[c.rank])
+			appendFrames(&merged, tail)
+			e.stash[c.rank] = merged
+			redial = true
+			e.wg.Add(1)
+		}
+	}
+	e.mu.Unlock()
+	c.f.Close()
+	e.nConns.Add(-1)
+	if redial {
+		go func() {
+			defer e.wg.Done()
+			e.connTo(c.rank)
+		}()
+	}
+}
+
+// reap tears down connections idle in both directions beyond the
+// configured timeout. Only a fully quiescent stream qualifies — empty
+// queue, no residue, no partial inbound frame — so reaping never loses
+// data; the peer sees a clean EOF and the next Send redials.
+func (pl *poller) reap() {
+	cut := pl.now - int64(pl.e.idleTimeout)
+	var victims []*conn
+	for _, c := range pl.conns {
+		if c.gone || c.lastIn.Load() > cut || c.lastOut.Load() > cut {
+			continue
+		}
+		if c.pend != nil || c.rn != c.ro {
+			continue
+		}
+		// The write residue lives under iomu now that producers may
+		// flush inline; a contended lock means the stream is anything
+		// but idle.
+		if !c.iomu.TryLock() {
+			continue
+		}
+		quiet := c.woff == len(c.wbuf) && !c.ioErr
+		c.iomu.Unlock()
+		if quiet {
+			victims = append(victims, c)
+		}
+	}
+	for _, c := range victims {
+		// Marking dead under qmu closes the race with a concurrent
+		// enqueue: either the frame got in (qn > 0, skip the reap) or
+		// the producer sees dead and redials. The stamps are rechecked
+		// for an inline flush that completed (disarming again) between
+		// the scan above and this lock.
+		c.qmu.Lock()
+		idle := !c.armed && c.qn == 0 && !c.dead && !c.closing &&
+			c.lastIn.Load() <= cut && c.lastOut.Load() <= cut
+		if idle {
+			c.dead = true
+		}
+		c.qmu.Unlock()
+		if !idle {
+			continue
+		}
+		pl.e.reaped.Add(1)
+		pl.teardown(c, stash{})
+	}
+}
+
+// teardownAll fails every connection the poller still owns (including
+// ones parked in the pending mailbox) and releases the epoll + wake
+// fds. Runs once, as the poller's last act.
+func (pl *poller) teardownAll(pending []*conn) {
+	all := make([]*conn, 0, len(pl.conns)+len(pending))
+	for _, c := range pl.conns {
+		all = append(all, c)
+	}
+	all = append(all, pending...)
+	for _, c := range all {
+		pl.fail(c)
+	}
+	syscall.Close(pl.epfd)
+	syscall.Close(pl.wakeR)
+	syscall.Close(pl.wakeW)
+	livePollers.Add(-1)
+	pl.mu.Lock()
+	pl.running = false
+	pl.mu.Unlock()
+	pl.e.nPollers.Add(-1)
+}

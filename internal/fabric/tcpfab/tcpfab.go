@@ -11,6 +11,19 @@
 // gives the per-sender FIFO delivery the engine's sequence-ordering layer
 // assumes, with no cross-size reordering at all.
 //
+// Connections are NOT serviced by per-stream goroutines. A bounded pool
+// of event-driven pollers (sized from runtime.NumCPU, configurable via
+// Config.Pollers) multiplexes every connection through one epoll
+// instance per poller: the paper's central claim — many communication
+// flows progressed by a small, controlled set of threads — applied to
+// the socket layer itself. An endpoint serving N peers costs O(pool)
+// goroutines, not O(N). On the send side, frames queued for one stream
+// while the poller was busy are coalesced and flushed as a single run —
+// one write syscall when the kernel buffer has room — the send-side dual
+// of PollBatch. Connections idle past Config.IdleTimeout in both
+// directions are reaped (fds released, peer sees clean EOF); the next
+// Send redials transparently through the existing retry path.
+//
 // Simultaneous connect (both sides of a cold pair dial at once) can leave
 // a pair with two live streams: each side may adopt the other's dialed
 // connection as its send path before its own dial completes. Once a
@@ -18,19 +31,25 @@
 // answer on it, so the loser of the race is never closed — it stays open
 // and read, it just carries no outbound traffic from this side. Closing
 // it instead would RST frames the peer already wrote into it.
+//
+// The implementation is Linux-only (raw epoll via the syscall package),
+// matching the deployment and CI targets.
 package tcpfab
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"pioman/internal/fabric"
 	"pioman/internal/sync2"
+	"pioman/internal/telemetry"
 	"pioman/internal/wire"
 )
 
@@ -55,22 +74,24 @@ const (
 	dialBackoffFirst = 10 * time.Millisecond
 	dialBackoffMax   = 400 * time.Millisecond
 
-	// closeDrainTimeout bounds how long Close lets writers flush queued
-	// frames toward a peer that has stopped reading.
+	// closeDrainTimeout bounds how long Close lets the pollers flush
+	// queued frames toward a peer that has stopped reading.
 	closeDrainTimeout = 5 * time.Second
 
-	// maxRecycledBuf caps the outbound buffer capacity a writer keeps
+	// maxRecycledBuf caps the outbound buffer capacity a stream keeps
 	// for reuse between batches (a few MTU-sized frames' worth).
 	maxRecycledBuf = 256 << 10
 
-	// readBufBytes sizes each stream's buffered reader. The old default
-	// 4096-byte bufio buffer made every frame above it cross two copies
-	// (socket→bufio, bufio→payload); 64 KiB batches small frames
-	// efficiently, and payloads larger than it bypass the buffer
-	// entirely — ReadPacketPooled's io.ReadFull drains the buffered
-	// prefix, then bufio delegates the large remainder straight into
-	// the pooled payload buffer.
+	// readBufBytes sizes each stream's inbound staging window, drawn
+	// from the fabric buffer pool. Small frames assemble inside it — one
+	// socket read yields a whole decoded run — and a frame larger than
+	// it switches the stream into direct-read mode, filling the pooled
+	// payload in place.
 	readBufBytes = 64 << 10
+
+	// maxPollers caps the default pool size: event loops are IO-bound,
+	// so more of them than this buys nothing even on wide hosts.
+	maxPollers = 8
 )
 
 // Config describes one process's attachment to a TCP fabric.
@@ -88,6 +109,14 @@ type Config struct {
 	// us) can be omitted; their accepted connection becomes the send
 	// path.
 	Peers map[int]string
+	// Pollers sets the event-loop pool size. 0 means
+	// min(runtime.NumCPU(), 8); pollers start lazily, so unused slots
+	// cost nothing.
+	Pollers int
+	// IdleTimeout reaps connections quiet in both directions for this
+	// long: their fds are released, the peer sees a clean EOF, and the
+	// next Send redials transparently. 0 disables reaping.
+	IdleTimeout time.Duration
 }
 
 // Endpoint is one process's port on a TCP fabric.
@@ -98,10 +127,14 @@ type Endpoint struct {
 
 	mu      sync.Mutex
 	peers   map[int]string
-	out     map[int]*peerConn     // send path per peer
+	out     map[int]*conn         // send path per peer
 	dialing map[int]chan struct{} // in-flight dial per peer; closed when done
-	open    map[net.Conn]struct{} // every live conn, for teardown
+	open    map[net.Conn]struct{} // handshake-phase accepted conns, for teardown
+	conns   map[*conn]struct{}    // every registered stream, for close-drain
 	stash   map[int]stash         // undelivered frames of a failed stream, per peer
+
+	pool        *pollerPool
+	idleTimeout time.Duration
 
 	seq   atomic.Uint64
 	lost  atomic.Uint64 // frames accepted by Send, then lost with a stream
@@ -109,28 +142,13 @@ type Endpoint struct {
 	done  chan struct{} // closed on Close; wakes every blocked receiver
 	inbox inbox
 	wg    sync.WaitGroup
-	// wwg tracks writer goroutines separately: Close waits for their
-	// queues to drain before it may close the connections under them.
-	wwg sync.WaitGroup
-}
 
-// peerConn owns the outbound half of one peer stream: Send serializes
-// frames into an unbounded buffer, a dedicated writer goroutine drains
-// it onto the socket. The buffering is what lets Send keep the Endpoint
-// contract ("Send never blocks on the receiver making progress") even
-// when the kernel send buffer has filled against a receiver that isn't
-// draining — the synchronous-write alternative distributed-deadlocks two
-// ranks that flood eager traffic at each other before polling.
-type peerConn struct {
-	c net.Conn
-
-	mu      sync.Mutex
-	cond    *sync.Cond
-	buf     []byte // serialized frames awaiting the writer
-	ends    []int  // end offset of each frame in buf, ascending
-	nframes int    // frames in buf, for loss accounting
-	dead    bool   // stop now, surrender the buffer: the conn failed
-	closing bool   // stop once the buffer is drained: endpoint closing
+	// Poller/connection accounting, surfaced via RegisterMetrics.
+	nPollers      atomic.Int64
+	nConns        atomic.Int64
+	coalesced     atomic.Uint64 // frames flushed as part of a multi-frame (or single) run
+	flushSyscalls atomic.Uint64 // write(2) calls issued by the flush path
+	reaped        atomic.Uint64 // connections torn down by the idle reaper
 }
 
 // stash holds serialized frames bound for a peer whose stream failed
@@ -159,59 +177,6 @@ func appendFrames(dst *stash, src stash) {
 	dst.n += src.n
 }
 
-func newPeerConn(c net.Conn) *peerConn {
-	pc := &peerConn{c: c}
-	pc.cond = sync.NewCond(&pc.mu)
-	return pc
-}
-
-// enqueue frames p for the writer goroutine. It reports false when the
-// stream no longer accepts frames, in which case the caller must redial.
-//
-// Serialization happens here, before Send returns, not in the writer:
-// the engine may complete the request — telling the application its
-// buffer is reusable — the moment Send returns, so the payload bytes
-// must be captured first. The caller has bounds-checked the payload, so
-// AppendPacket cannot panic.
-func (pc *peerConn) enqueue(p *wire.Packet) bool {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if pc.dead || pc.closing {
-		return false
-	}
-	pc.buf = fabric.AppendPacket(pc.buf, p)
-	pc.ends = append(pc.ends, len(pc.buf))
-	pc.nframes++
-	pc.cond.Signal()
-	return true
-}
-
-// kill marks the stream dead and wakes the writer so it exits,
-// surrendering anything still buffered to the caller. None of the
-// returned frames ever reached the socket, so the caller may stash them
-// for the stream's replacement; repeat kills return an empty remainder.
-func (pc *peerConn) kill() stash {
-	pc.mu.Lock()
-	pc.dead = true
-	s := stash{pc.buf, pc.ends, pc.nframes}
-	pc.buf, pc.ends, pc.nframes = nil, nil, 0
-	pc.cond.Signal()
-	pc.mu.Unlock()
-	return s
-}
-
-// drain asks the writer to finish the queue and then exit. A frame the
-// engine sent before Close must still reach the kernel buffer: with the
-// old synchronous Send it already had, and the shutdown sequencing of
-// both ranks' protocols (the closer's last ack completes the peer's
-// final request) depends on it.
-func (pc *peerConn) drain() {
-	pc.mu.Lock()
-	pc.closing = true
-	pc.cond.Signal()
-	pc.mu.Unlock()
-}
-
 // inbox is the arrival queue: FIFO, one notify edge for blocking
 // receivers. The head index (rather than re-slicing pkts[1:]) keeps the
 // backing array's full capacity across push/pop cycles, so a steady
@@ -237,7 +202,7 @@ func (ib *inbox) push(p *wire.Packet) {
 
 // pushRun appends a whole decoded run under one lock acquisition and
 // fires a single notify edge for it — the producer half of the batched
-// receive path: a read loop that decoded k frames from one socket visit
+// receive path: a poller that decoded k frames from one socket visit
 // costs the inbox one lock round trip and wakes blocked receivers once,
 // not k times.
 func (ib *inbox) pushRun(run []*wire.Packet) {
@@ -294,17 +259,30 @@ func New(cfg Config) (*Endpoint, error) {
 	if cfg.Self < 0 || cfg.Self >= cfg.Nodes {
 		return nil, fmt.Errorf("tcpfab: rank %d outside cluster of %d", cfg.Self, cfg.Nodes)
 	}
-	e := &Endpoint{
-		self:    cfg.Self,
-		nodes:   cfg.Nodes,
-		peers:   make(map[int]string, len(cfg.Peers)),
-		out:     make(map[int]*peerConn),
-		dialing: make(map[int]chan struct{}),
-		open:    make(map[net.Conn]struct{}),
-		stash:   make(map[int]stash),
-		done:    make(chan struct{}),
-		inbox:   inbox{notify: make(chan struct{}, 1)},
+	np := cfg.Pollers
+	if np <= 0 {
+		np = runtime.NumCPU()
+		if np > maxPollers {
+			np = maxPollers
+		}
 	}
+	if np < 1 {
+		np = 1
+	}
+	e := &Endpoint{
+		self:        cfg.Self,
+		nodes:       cfg.Nodes,
+		peers:       make(map[int]string, len(cfg.Peers)),
+		out:         make(map[int]*conn),
+		dialing:     make(map[int]chan struct{}),
+		open:        make(map[net.Conn]struct{}),
+		conns:       make(map[*conn]struct{}),
+		stash:       make(map[int]stash),
+		idleTimeout: cfg.IdleTimeout,
+		done:        make(chan struct{}),
+		inbox:       inbox{notify: make(chan struct{}, 1)},
+	}
+	e.pool = newPollerPool(e, np)
 	for r, a := range cfg.Peers {
 		e.peers[r] = a
 	}
@@ -356,11 +334,11 @@ func (e *Endpoint) Backlog(int) time.Duration { return 0 }
 func (e *Endpoint) SendCaptures() bool { return true }
 
 // Pending implements fabric.Endpoint. Only packets already decoded into
-// the inbox count: bytes still in a socket buffer or mid-read in a
-// readLoop are invisible here — the weaker Pending semantics the
-// fabric.Endpoint contract documents for real transports. The reader
-// goroutines push such packets and fire the notify edge on their own, so
-// a BlockingRecv waiter wakes regardless of what Pending reported.
+// the inbox count: bytes still in a socket buffer or mid-decode in a
+// poller are invisible here — the weaker Pending semantics the
+// fabric.Endpoint contract documents for real transports. The pollers
+// push such packets and fire the notify edge on their own, so a
+// BlockingRecv waiter wakes regardless of what Pending reported.
 func (e *Endpoint) Pending() bool { return !e.inbox.empty() }
 
 // Poll implements fabric.Endpoint.
@@ -426,7 +404,7 @@ func (e *Endpoint) Send(p *wire.Packet) error {
 		p.WireLen = len(p.Payload)
 	}
 	// Refuse here, synchronously, what the codec cannot frame: detected
-	// any later, the writer could only treat it as a stream failure and
+	// any later, the poller could only treat it as a stream failure and
 	// kill a healthy connection. Self-delivery skips the codec but is
 	// held to the same limit, so a payload does not pass rank-local
 	// testing only to fail on its first cross-rank trip.
@@ -444,16 +422,16 @@ func (e *Endpoint) Send(p *wire.Packet) error {
 		return nil
 	}
 	for {
-		pc, err := e.connTo(p.Dst)
+		c, err := e.connTo(p.Dst)
 		if err != nil {
 			return err
 		}
-		if pc.enqueue(p) {
+		if c.enqueue(p) {
 			return nil
 		}
-		// The stream died between lookup and enqueue and its writer
-		// has unregistered it; redial and try again. A peer that is
-		// truly gone ends the loop with a dial error.
+		// The stream died (or was reaped) between lookup and enqueue and
+		// its poller has unregistered it; redial and try again. A peer
+		// that is truly gone ends the loop with a dial error.
 	}
 }
 
@@ -462,19 +440,19 @@ func (e *Endpoint) Send(p *wire.Packet) error {
 // marker: concurrent senders to the same cold peer wait for that one
 // dial, while senders to connected peers (and accept/Close) are never
 // head-of-line blocked behind a slow or dead address.
-func (e *Endpoint) connTo(rank int) (*peerConn, error) {
+func (e *Endpoint) connTo(rank int) (*conn, error) {
 	for {
 		e.mu.Lock()
 		// Close sets state before taking mu, so a sender that raced
 		// past Send's entry check cannot dial and register a connection
-		// (and its reader goroutine) after Close has torn down.
+		// after Close has torn down.
 		if e.closed() {
 			e.mu.Unlock()
 			return nil, fabric.ErrClosed
 		}
-		if pc := e.out[rank]; pc != nil {
+		if c := e.out[rank]; c != nil {
 			e.mu.Unlock()
-			return pc, nil
+			return c, nil
 		}
 		if ch := e.dialing[rank]; ch != nil {
 			e.mu.Unlock()
@@ -490,7 +468,7 @@ func (e *Endpoint) connTo(rank int) (*peerConn, error) {
 		e.dialing[rank] = ch
 		e.mu.Unlock()
 
-		c, err := e.dialWithBackoff(addr)
+		nc, err := e.dialWithBackoff(addr)
 
 		e.mu.Lock()
 		delete(e.dialing, rank)
@@ -501,13 +479,13 @@ func (e *Endpoint) connTo(rank int) (*peerConn, error) {
 		}
 		if e.closed() {
 			e.mu.Unlock()
-			c.Close()
+			nc.Close()
 			return nil, fabric.ErrClosed
 		}
-		e.open[c] = struct{}{}
-		pc := e.out[rank]
-		if pc == nil {
-			pc = e.adoptConn(rank, c)
+		cn, pl, rerr := e.registerConnLocked(nc, rank)
+		if rerr != nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("tcpfab: register dialed conn for rank %d: %w", rank, rerr)
 		}
 		// Whether or not an accepted connection won the send-path slot
 		// while we dialed (simultaneous connect), the dialed stream
@@ -515,17 +493,20 @@ func (e *Endpoint) connTo(rank int) (*peerConn, error) {
 		// have adopted this stream as ITS send path and written frames
 		// to it already — closing it here would RST those frames away.
 		// A stream that lost the race on both ends just idles.
-		e.wg.Add(1)
-		go e.readLoop(c, rank)
+		sendPath := e.out[rank]
 		e.mu.Unlock()
-		return pc, nil
+		if err := pl.register(cn); err != nil {
+			e.unregisterUnpolled(cn)
+			return nil, fmt.Errorf("tcpfab: register dialed conn for rank %d: %w", rank, err)
+		}
+		return sendPath, nil
 	}
 }
 
 // dialWithBackoff dials addr and writes the stream handshake, retrying
 // failed attempts with capped exponential backoff until dialRetryWindow
 // elapses — the connection-resilience half of a peer restart (the other
-// half is the writer unregistering the dead conn so Send redials). Close
+// half is the poller unregistering the dead conn so Send redials). Close
 // aborts the wait immediately; the last attempt's error is returned.
 func (e *Endpoint) dialWithBackoff(addr string) (net.Conn, error) {
 	backoff := dialBackoffFirst
@@ -553,129 +534,90 @@ func (e *Endpoint) dialWithBackoff(addr string) (net.Conn, error) {
 	}
 }
 
-// adoptConn registers c as the send path toward rank and starts its
-// writer goroutine. A stash banked by a previous stream's failure is
-// loaded into the fresh writer queue first, so the undelivered run goes
-// out ahead of any traffic enqueued on the new stream. Caller holds
-// e.mu and has ruled out Close having started (closed() false under
-// this same lock hold).
-func (e *Endpoint) adoptConn(rank int, c net.Conn) *peerConn {
-	pc := newPeerConn(c)
-	if s, ok := e.stash[rank]; ok {
-		delete(e.stash, rank)
-		pc.buf, pc.ends, pc.nframes = s.buf, s.ends, s.n
+// dupFD extracts the socket fd from a handshaken net.Conn for raw epoll
+// use. The *os.File dup owns the fd from here on — the net.Conn is
+// closed (its runtime-netpoller registration with it) and the dup is put
+// back into non-blocking mode, which File() had cleared.
+func dupFD(nc net.Conn) (*os.File, int, error) {
+	tc, ok := nc.(*net.TCPConn)
+	if !ok {
+		nc.Close()
+		return nil, 0, fmt.Errorf("tcpfab: %T is not a *net.TCPConn", nc)
 	}
-	e.out[rank] = pc
-	e.wwg.Add(1)
-	go e.writeLoop(pc, rank)
-	return pc
+	f, err := tc.File()
+	nc.Close()
+	if err != nil {
+		return nil, 0, fmt.Errorf("tcpfab: dup socket fd: %w", err)
+	}
+	fd := int(f.Fd())
+	if err := syscall.SetNonblock(fd, true); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("tcpfab: set nonblock: %w", err)
+	}
+	return f, fd, nil
 }
 
-// writeLoop drains rank's outbound buffer onto the socket until the
-// stream dies. On a write error it splits the batch at the kernel-write
-// boundary: frames fully handed to the kernel may have reached the peer
-// — re-sending them could deliver duplicates, which the receiver's
-// ordering layer treats as protocol corruption — so they are counted in
-// LostFrames (the documented upper bound on loss). The partially
-// written frame and everything behind it are guaranteed undelivered
-// (the peer discards an incomplete frame along with the stream), so
-// they are stashed for the stream's replacement instead of dropped.
-func (e *Endpoint) writeLoop(pc *peerConn, rank int) {
-	defer e.wwg.Done()
-	for {
-		pc.mu.Lock()
-		for len(pc.buf) == 0 && !pc.dead && !pc.closing {
-			pc.cond.Wait()
-		}
-		if pc.dead || (pc.closing && len(pc.buf) == 0) {
-			pc.mu.Unlock()
-			return
-		}
-		batch, ends, n := pc.buf, pc.ends, pc.nframes
-		pc.buf, pc.ends, pc.nframes = nil, nil, 0
-		pc.mu.Unlock()
-		nw, err := pc.c.Write(batch)
-		if err != nil {
-			i := 0
-			for i < n && ends[i] <= nw {
-				i++
-			}
-			var sal stash
-			if i < n {
-				start := 0
-				if i > 0 {
-					start = ends[i-1]
-				}
-				sal.buf = batch[start:]
-				sal.ends = make([]int, n-i)
-				for j := i; j < n; j++ {
-					sal.ends[j-i] = ends[j] - start
-				}
-				sal.n = n - i
-			}
-			e.lost.Add(uint64(i))
-			e.failConn(rank, pc, sal)
-			return
-		}
-		// Hand the written buffer back for reuse unless new frames
-		// already started a fresh one. Burst-sized arrays go to the GC
-		// instead: recycling them would pin every connection at its
-		// historical peak backlog.
-		if cap(batch) <= maxRecycledBuf {
-			pc.mu.Lock()
-			if pc.buf == nil {
-				pc.buf, pc.ends = batch[:0], ends[:0]
-			}
-			pc.mu.Unlock()
-		}
+// registerConnLocked converts a handshaken stream into a poller-owned
+// conn: dup the fd out of the net.Conn, pick a poller (starting it on
+// first use), adopt the stream as rank's send path when none exists —
+// loading any banked stash ahead of new traffic — and enter it in the
+// endpoint tables. Caller holds e.mu and has ruled out Close having
+// started; the caller must then hand the conn to pl.register outside
+// the lock.
+func (e *Endpoint) registerConnLocked(nc net.Conn, rank int) (*conn, *poller, error) {
+	f, fd, err := dupFD(nc)
+	if err != nil {
+		return nil, nil, err
 	}
+	pl := e.pool.assignLocked()
+	if err := pl.start(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	c := newConn(e, pl, f, fd, rank)
+	if e.out[rank] == nil {
+		if s, ok := e.stash[rank]; ok {
+			delete(e.stash, rank)
+			c.qbuf, c.qends, c.qn = s.buf, s.ends, s.n
+			c.armed = true // add() performs the initial flush
+			c.pendingFrames.Add(int64(s.n))
+		}
+		e.out[rank] = c
+	}
+	e.conns[c] = struct{}{}
+	e.nConns.Add(1)
+	return c, pl, nil
 }
 
-// failConn tears down rank's failed send path and preserves, in FIFO
-// order, every frame guaranteed undelivered: the salvaged unwritten
-// tail of the failed write (oldest), then any stash a concurrent
-// failure path already banked, then whatever was still enqueued on the
-// writer. The stash primes the next stream adopted toward rank —
-// adoptConn loads it ahead of new traffic — and a background redial is
-// kicked off at once so the frames do not sit waiting for the next
-// Send to trigger reconnection.
-func (e *Endpoint) failConn(rank int, pc *peerConn, sal stash) {
-	tail := pc.kill()
-	redial := false
+// unregisterUnpolled backs out a conn whose poller registration failed
+// (endpoint raced Close): the stream never reached a poller, so this is
+// the one teardown path that runs off the poller goroutine.
+func (e *Endpoint) unregisterUnpolled(c *conn) {
+	tail := c.killQueue()
 	e.mu.Lock()
-	if e.out[rank] == pc {
-		delete(e.out, rank)
+	if e.out[c.rank] == c {
+		delete(e.out, c.rank)
 	}
-	delete(e.open, pc.c)
-	if sal.n+tail.n > 0 {
-		var merged stash
-		appendFrames(&merged, sal)
-		appendFrames(&merged, e.stash[rank])
-		appendFrames(&merged, tail)
-		e.stash[rank] = merged
-		if !e.closed() {
-			redial = true
-			// Register with wg under e.mu: Close's teardown also runs
-			// under e.mu after flipping state, so this Add is ordered
-			// before Close can reach its Wait.
-			e.wg.Add(1)
+	delete(e.conns, c)
+	if tail.n > 0 {
+		if e.closed() {
+			e.lost.Add(uint64(tail.n))
+		} else {
+			var merged stash
+			appendFrames(&merged, e.stash[c.rank])
+			appendFrames(&merged, tail)
+			e.stash[c.rank] = merged
 		}
 	}
 	e.mu.Unlock()
-	pc.c.Close()
-	if redial {
-		go func() {
-			defer e.wg.Done()
-			// On success adoptConn consumes the stash; on failure it
-			// stays banked for the next Send's redial to carry.
-			e.connTo(rank)
-		}()
-	}
+	c.f.Close()
+	e.nConns.Add(-1)
 }
 
 // acceptLoop admits peers. The handshake runs in the per-connection
 // goroutine — with the conn already tracked for teardown — so a peer that
-// connects and stalls can never wedge Close.
+// connects and stalls can never wedge Close. The goroutine ends at
+// registration: from then on a shared poller services the stream.
 func (e *Endpoint) acceptLoop() {
 	defer e.wg.Done()
 	for {
@@ -697,117 +639,36 @@ func (e *Endpoint) acceptLoop() {
 }
 
 // serveConn validates an accepted stream, adopts it as the send path to
-// its peer when none exists, and streams its frames into the inbox.
-func (e *Endpoint) serveConn(c net.Conn) {
+// its peer when none exists, and hands it to a poller.
+func (e *Endpoint) serveConn(nc net.Conn) {
 	defer e.wg.Done()
-	rank, nodes, err := readHandshake(c)
+	rank, nodes, err := readHandshake(nc)
 	if err != nil || nodes != e.nodes || rank < 0 || rank >= e.nodes || rank == e.self {
-		e.forgetConn(c, -1)
+		e.mu.Lock()
+		delete(e.open, nc)
+		e.mu.Unlock()
+		nc.Close()
 		return
 	}
 	e.mu.Lock()
+	delete(e.open, nc)
 	if e.closed() {
 		e.mu.Unlock()
-		e.forgetConn(c, -1)
+		nc.Close()
 		return
 	}
-	if e.out[rank] == nil {
-		e.adoptConn(rank, c)
-	}
+	c, pl, rerr := e.registerConnLocked(nc, rank)
 	e.mu.Unlock()
-	e.wg.Add(1)
-	e.readLoop(c, rank)
-}
-
-// readLoop decodes frames from one peer stream into the inbox until the
-// stream fails or the endpoint closes. Frames are decoded through the
-// recycling pools — packet structs from the packet freelist, payloads
-// read in one copy into fabric buffer-pool storage — and ownership
-// passes to whoever polls them out of the inbox (the engine releases
-// them after copying payloads into application buffers).
-//
-// Delivery is batched per socket visit: the first read blocks, then
-// every further frame already complete in the bufio buffer is decoded in
-// the same pass (the length prefix is peeked, so a partial frame is
-// never entered and the loop cannot block mid-run), and the whole run
-// enters the inbox under one lock with one notify edge. Under a
-// small-message storm the kernel delivers many frames per wakeup, so
-// this is what turns per-frame inbox traffic into per-batch traffic.
-func (e *Endpoint) readLoop(c net.Conn, rank int) {
-	defer e.wg.Done()
-	br := bufio.NewReaderSize(c, readBufBytes)
-	hdr := make([]byte, fabric.HeaderScratchBytes)
-	var run []*wire.Packet
-	for {
-		p, err := fabric.ReadPacketPooled(br, hdr)
-		if err != nil {
-			e.forgetConn(c, rank)
-			return
-		}
-		// A peer cannot speak for another rank: the stream's handshake
-		// identity wins over the frame header.
-		p.Src = rank
-		run = append(run[:0], p)
-		for bufferedFrame(br) {
-			p, err = fabric.ReadPacketPooled(br, hdr)
-			if err != nil {
-				e.inbox.pushRun(run) // complete frames stay deliverable
-				e.forgetConn(c, rank)
-				return
-			}
-			p.Src = rank
-			run = append(run, p)
-		}
-		e.inbox.pushRun(run)
-		// Drop the run's packet aliases: ownership moved to the inbox,
-		// and a retained pointer would resurrect a recycled packet.
-		for i := range run {
-			run[i] = nil
-		}
-	}
-}
-
-// bufferedFrame reports whether br holds at least one complete frame —
-// length prefix and body — so decoding one more cannot block. A prefix
-// announcing a frame larger than the buffer returns false and leaves the
-// bytes for the next blocking read (which also owns surfacing oversized-
-// frame errors).
-func bufferedFrame(br *bufio.Reader) bool {
-	if br.Buffered() < 4 {
-		return false
-	}
-	pre, err := br.Peek(4)
-	if err != nil {
-		return false
-	}
-	n := int(uint32(pre[0]) | uint32(pre[1])<<8 | uint32(pre[2])<<16 | uint32(pre[3])<<24)
-	return n >= 0 && br.Buffered() >= 4+n
-}
-
-// forgetConn closes c and unregisters it from the teardown set and, when
-// it was rank's send path, from the routing table (stopping its writer
-// via failConn, which stashes the never-written queue for the redialed
-// stream instead of dropping it).
-func (e *Endpoint) forgetConn(c net.Conn, rank int) {
-	e.mu.Lock()
-	var pc *peerConn
-	if rank >= 0 {
-		if cur := e.out[rank]; cur != nil && cur.c == c {
-			pc = cur
-		}
-	}
-	if pc == nil {
-		delete(e.open, c)
-		e.mu.Unlock()
-		c.Close()
+	if rerr != nil {
 		return
 	}
-	e.mu.Unlock()
-	e.failConn(rank, pc, stash{})
+	if err := pl.register(c); err != nil {
+		e.unregisterUnpolled(c)
+	}
 }
 
 // LostFrames counts frames Send accepted that were later abandoned: the
-// already-written prefix of a failed write batch (those bytes may or
+// already-written prefix of a failed flush batch (those bytes may or
 // may not have reached the peer — re-sending could duplicate, so they
 // can only be written off), plus any failure stash still unconsumed
 // when Close runs. Frames a stream failure left guaranteed-undelivered
@@ -820,20 +681,20 @@ func (e *Endpoint) forgetConn(c net.Conn, rank int) {
 // count is an upper bound on loss, never an undercount.
 func (e *Endpoint) LostFrames() uint64 { return e.lost.Load() }
 
-// KillConn forcibly closes the established stream toward rank, if one
+// KillConn forcibly fails the established stream toward rank, if one
 // exists, and reports whether it did. It simulates an abrupt connection
-// failure (peer crash, cable pull) for tests: both the reader and the
-// writer discover the closed socket asynchronously, exactly as they
-// would a real failure, so the salvage, stash, and redial machinery
-// runs its production path.
+// failure (peer crash, cable pull) for tests: the owning poller
+// shutdown(2)s the socket and discovers the dead stream through its
+// normal event path, so the salvage, stash, and redial machinery runs
+// its production course.
 func (e *Endpoint) KillConn(rank int) bool {
 	e.mu.Lock()
-	pc := e.out[rank]
+	c := e.out[rank]
 	e.mu.Unlock()
-	if pc == nil {
+	if c == nil {
 		return false
 	}
-	pc.c.Close()
+	c.pl.kill(c)
 	return true
 }
 
@@ -841,13 +702,38 @@ func (e *Endpoint) KillConn(rank int) bool {
 // bounds what one Send can carry.
 func (e *Endpoint) MaxPayload() int { return fabric.MaxPayloadBytes }
 
+// Pollers reports how many event-loop goroutines are currently running.
+// Pollers start lazily and exit on Close, so this is also the endpoint's
+// goroutine footprint for connection servicing.
+func (e *Endpoint) Pollers() int { return int(e.nPollers.Load()) }
+
+// OpenConns reports how many registered streams the endpoint currently
+// holds (send paths plus simultaneous-connect losers kept for reading).
+func (e *Endpoint) OpenConns() int { return int(e.nConns.Load()) }
+
+// RegisterMetrics implements fabric.MetricSource: the poller pool's
+// scalability counters join reg under prefix (the rail driver passes
+// "node<rank>.rail.<name>"), next to the portable driver counters.
+func (e *Endpoint) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterGauge(prefix+".pollers", "event-loop goroutines currently running", func() uint64 { return uint64(e.nPollers.Load()) })
+	reg.RegisterGauge(prefix+".conns", "registered TCP streams currently open", func() uint64 { return uint64(e.nConns.Load()) })
+	reg.RegisterCounter(prefix+".coalesced_frames", "frames flushed to the kernel via coalesced batch writes", e.coalesced.Load)
+	reg.RegisterCounter(prefix+".flush_syscalls", "write(2) calls issued by the send flush path", e.flushSyscalls.Load)
+	reg.RegisterCounter(prefix+".reaped_idle", "connections reaped by the idle timeout", e.reaped.Load)
+}
+
 func (e *Endpoint) closed() bool { return e.state.Load() != 0 }
 
-// Close implements fabric.Endpoint: stop accepting, drain the writer
-// queues so frames sent before Close still reach their peers (bounded by
-// closeDrainTimeout against a peer that stopped reading), then tear down
-// every stream, wake blocked receivers, and wait for the reader
-// goroutines. Packets already received remain pollable. Idempotent.
+// Close implements fabric.Endpoint: stop accepting, ask every stream to
+// finish its queue and poll the flush progress (the pollers keep
+// writing) so frames sent before Close still reach their peers (bounded
+// by closeDrainTimeout against a peer that stopped reading), then stop
+// the pollers — which tear down their streams — wake blocked receivers,
+// and wait for every goroutine. Packets already received remain
+// pollable. Idempotent.
 func (e *Endpoint) Close() error {
 	if !e.state.CompareAndSwap(0, 1) {
 		return nil
@@ -856,31 +742,33 @@ func (e *Endpoint) Close() error {
 		e.ln.Close()
 	}
 	e.mu.Lock()
-	conns := make([]net.Conn, 0, len(e.open))
 	for c := range e.open {
+		c.Close() // handshake-phase streams carry no frames yet
+	}
+	conns := make([]*conn, 0, len(e.conns))
+	for c := range e.conns {
 		conns = append(conns, c)
 	}
-	pcs := make([]*peerConn, 0, len(e.out))
-	for _, pc := range e.out {
-		pcs = append(pcs, pc)
-	}
 	e.mu.Unlock()
+	for _, c := range conns {
+		c.markClosing()
+	}
 	deadline := time.Now().Add(closeDrainTimeout)
-	for _, c := range conns {
-		c.SetWriteDeadline(deadline)
+	for {
+		left := int64(0)
+		for _, c := range conns {
+			left += c.pendingFrames.Load()
+		}
+		if left == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
 	}
-	for _, pc := range pcs {
-		pc.drain()
-	}
-	e.wwg.Wait()
-	for _, c := range conns {
-		c.Close()
-	}
+	e.pool.stop()
 	close(e.done)
 	e.wg.Wait()
 	// Stashes that never met a successful redial are abandoned now: no
-	// reader or writer goroutine is left to bank more, so the count is
-	// final.
+	// poller is left to bank more, so the count is final.
 	e.mu.Lock()
 	for r, s := range e.stash {
 		e.lost.Add(uint64(s.n))

@@ -27,6 +27,24 @@ func TestEndpointConformance(t *testing.T) {
 	})
 }
 
+// TestManyPeersConformance is the C10K shape gate: a 64-spoke hub
+// exchange over real localhost sockets, strict per-sender FIFO, with
+// goroutine growth bounded by the poller pool rather than the peer
+// count. The budget admits one accept loop per in-process endpoint plus
+// up to two pollers per spoke (simultaneous connect can leave a pair
+// with two live streams) — the old goroutine-per-stream design measured
+// ~7×peers here and fails it.
+func TestManyPeersConformance(t *testing.T) {
+	const peers = 64
+	conformance.RunManyPeers(t, func(t *testing.T, nodes int) fabric.Fabric {
+		l, err := tcpfab.NewLocal(nodes)
+		if err != nil {
+			t.Fatalf("NewLocal(%d): %v", nodes, err)
+		}
+		return l
+	}, peers, true, 3*peers+48)
+}
+
 // realWorld builds a 2-node engine world whose inter-node rail runs over
 // real localhost sockets.
 func realWorld(t *testing.T) *mpi.World {

@@ -27,6 +27,16 @@ func TestEndpointConformance(t *testing.T) {
 	conformance.RunEndpoint(t, openLocal)
 }
 
+// TestManyPeersConformance runs the C10K shape gate at 48 spokes: one
+// UDP socket and a fixed two goroutines (read loop + tick loop) per
+// endpoint regardless of peer count, so the budget is linear in the
+// number of in-process endpoints, not in connections. Not strict-FIFO:
+// datagram delivery is on arrival.
+func TestManyPeersConformance(t *testing.T) {
+	const peers = 48
+	conformance.RunManyPeers(t, openLocal, peers, false, 2*(peers+1)+32)
+}
+
 // udpWorld builds a 2-node engine world whose inter-node rail runs over
 // real loopback UDP datagrams, reliability sublayer and all.
 func udpWorld(t *testing.T) *mpi.World {

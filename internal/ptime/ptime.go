@@ -28,16 +28,26 @@ var sink atomic.Uint64
 
 // SpinFor busy-waits for approximately d, burning the executing core.
 // It never yields to the Go scheduler: the point is to occupy a core the
-// way a memcpy or PIO transfer would.
+// way a memcpy or PIO transfer would. In virtual mode (SetVirtual) the
+// duration is billed to the calling goroutine's meter instead of burned.
 func SpinFor(d time.Duration) {
 	if d <= 0 {
+		return
+	}
+	if virtualOn.Load() {
+		charge(d)
 		return
 	}
 	SpinUntil(time.Now().Add(d))
 }
 
-// SpinUntil busy-waits until the wall clock reaches deadline.
+// SpinUntil busy-waits until the wall clock reaches deadline; in virtual
+// mode the remaining duration is billed instead of burned.
 func SpinUntil(deadline time.Time) {
+	if virtualOn.Load() {
+		charge(time.Until(deadline))
+		return
+	}
 	var acc uint64
 	for time.Now().Before(deadline) {
 		for i := 0; i < spinBatch; i++ {
@@ -51,14 +61,35 @@ func SpinUntil(deadline time.Time) {
 // computation (the compute() phase of the paper's Fig. 4 benchmark).
 func Compute(d time.Duration) { SpinFor(d) }
 
-// A Stopwatch measures elapsed wall time with the monotonic clock.
-type Stopwatch struct{ start time.Time }
+// A Stopwatch measures elapsed wall time with the monotonic clock. In
+// virtual mode it additionally counts the virtual CPU time billed to its
+// own goroutine, so a measurement spanning charged costs reads the same
+// whether they were burned or booked; create and read it on the same
+// goroutine.
+type Stopwatch struct {
+	start   time.Time
+	vstart  time.Duration
+	virtual bool
+}
 
 // NewStopwatch returns a started stopwatch.
-func NewStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+func NewStopwatch() Stopwatch {
+	sw := Stopwatch{start: time.Now()}
+	if virtualOn.Load() {
+		sw.virtual = true
+		sw.vstart = Charged()
+	}
+	return sw
+}
 
 // Elapsed reports the time since the stopwatch started.
-func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }
+func (s Stopwatch) Elapsed() time.Duration {
+	el := time.Since(s.start)
+	if s.virtual {
+		el += Charged() - s.vstart
+	}
+	return el
+}
 
 // Restart resets the stopwatch to now.
-func (s *Stopwatch) Restart() { s.start = time.Now() }
+func (s *Stopwatch) Restart() { *s = NewStopwatch() }

@@ -121,3 +121,73 @@ func TestChargeCopyBurnsTime(t *testing.T) {
 		t.Fatalf("ChargeCopy(250000) took %v, want >= 100µs", el)
 	}
 }
+
+func TestVirtualChargesInsteadOfSpinning(t *testing.T) {
+	SetVirtual(true)
+	defer SetVirtual(false)
+	start := time.Now()
+	base := Charged()
+	SpinFor(50 * time.Millisecond)
+	SpinUntil(time.Now().Add(30 * time.Millisecond))
+	if el := time.Since(start); el > 10*time.Millisecond {
+		t.Fatalf("virtual SpinFor burned %v of wall time, want ~0", el)
+	}
+	got := Charged() - base
+	if got < 79*time.Millisecond || got > 81*time.Millisecond {
+		t.Fatalf("Charged = %v, want ~80ms", got)
+	}
+}
+
+func TestVirtualUncountedSuppressesCharges(t *testing.T) {
+	SetVirtual(true)
+	defer SetVirtual(false)
+	base := Charged()
+	Uncounted(func() {
+		SpinFor(time.Second)
+		Uncounted(func() { SpinFor(time.Second) }) // nesting holds
+		SpinFor(time.Second)
+	})
+	if d := Charged() - base; d != 0 {
+		t.Fatalf("Charged %v inside Uncounted, want 0", d)
+	}
+	SpinFor(time.Millisecond)
+	if d := Charged() - base; d != time.Millisecond {
+		t.Fatalf("Charged = %v after Uncounted returned, want 1ms", d)
+	}
+}
+
+func TestVirtualStopwatchCountsOwnGoroutineOnly(t *testing.T) {
+	SetVirtual(true)
+	defer SetVirtual(false)
+	sw := NewStopwatch()
+	done := make(chan struct{})
+	go func() {
+		// Another goroutine's charge models an idle core doing the work
+		// in parallel: it must not appear in this stopwatch.
+		SpinFor(time.Second)
+		close(done)
+	}()
+	<-done
+	SpinFor(2 * time.Millisecond)
+	el := sw.Elapsed()
+	if el < 2*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want >= the 2ms charged here", el)
+	}
+	if el > 500*time.Millisecond {
+		t.Fatalf("Elapsed = %v includes another goroutine's 1s charge", el)
+	}
+}
+
+func TestSetVirtualOffRestoresSpinning(t *testing.T) {
+	SetVirtual(true)
+	SpinFor(time.Hour) // booked, not burned
+	SetVirtual(false)
+	if Charged() != 0 {
+		t.Fatal("Charged nonzero after SetVirtual(false)")
+	}
+	start := time.Now()
+	SpinFor(200 * time.Microsecond)
+	if el := time.Since(start); el < 200*time.Microsecond {
+		t.Fatalf("real SpinFor returned after %v, want >= 200µs", el)
+	}
+}

@@ -113,12 +113,25 @@ func WriteChromeTrace(w io.Writer, streams []ChromeStream) error {
 	return enc.Encode(out)
 }
 
+// knownEventNames is the set of names an instant event may legitimately
+// carry: the declared trace kinds. The schema gate checks against it so
+// a Kind that misses its kindNames entry (rendered "kind(N)") — or an
+// exporter regression renaming events — fails CI instead of shipping
+// tracks the timeline tooling doesn't recognize.
+var knownEventNames = func() map[string]bool {
+	m := make(map[string]bool, len(kindNames))
+	for _, n := range kindNames {
+		m[n] = true
+	}
+	return m
+}()
+
 // CheckChromeTrace validates that r holds Chrome trace-event JSON of the
 // shape Perfetto loads: a traceEvents array whose entries all carry a
 // name, a known phase, non-negative pid/tid, and (for instant events) a
-// non-negative timestamp. It is the schema gate the exporter's tests and
-// the CI smoke check (tools/obscheck) share, so "loads in Perfetto" is
-// asserted by one implementation everywhere.
+// declared kind name and a non-negative timestamp. It is the schema gate
+// the exporter's tests and the CI smoke check (tools/obscheck) share, so
+// "loads in Perfetto" is asserted by one implementation everywhere.
 func CheckChromeTrace(r io.Reader) error {
 	var t chromeTrace
 	dec := json.NewDecoder(r)
@@ -136,6 +149,9 @@ func CheckChromeTrace(r io.Reader) error {
 		switch e.Ph {
 		case "i", "I": // instant (Perfetto accepts both spellings)
 			instants++
+			if !knownEventNames[e.Name] {
+				return fmt.Errorf("chrome trace: event %d has undeclared kind name %q", i, e.Name)
+			}
 			if e.Ts < 0 {
 				return fmt.Errorf("chrome trace: event %d (%s) has negative ts %v", i, e.Name, e.Ts)
 			}

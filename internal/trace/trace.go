@@ -21,22 +21,24 @@ type Kind uint8
 // by the application, submitted to the network (inline or by a tasklet on
 // an idle core), travels the wire, and completes.
 const (
-	KindNone         Kind = iota
-	KindRegister          // (a) request registration
-	KindEventCreate       // (b) event creation (multithreaded mode)
-	KindSubmit            // (b') network submission (copy + PIO/DMA)
-	KindWireSend          // packet handed to the fabric
-	KindWireRecv          // packet observed by the receive side
-	KindRTS               // rendezvous request on the wire
-	KindCTS               // rendezvous acknowledgement
-	KindData              // rendezvous payload transfer
-	KindMatch             // receive matched a posted request
-	KindUnexpected        // eager data buffered as unexpected
-	KindComplete          // (c) request completion detected
-	KindWakeup            // waiting thread rescheduled
-	KindPoll              // one polling pass of the event server
-	KindOffload           // submission executed by an idle core
-	KindBlockingCall      // fallback blocking syscall engaged
+	KindNone          Kind = iota
+	KindRegister           // (a) request registration
+	KindEventCreate        // (b) event creation (multithreaded mode)
+	KindSubmit             // (b') network submission (copy + PIO/DMA)
+	KindWireSend           // packet handed to the fabric
+	KindWireRecv           // packet observed by the receive side
+	KindRTS                // rendezvous request on the wire
+	KindCTS                // rendezvous acknowledgement
+	KindData               // rendezvous payload transfer
+	KindMatch              // receive matched a posted request
+	KindUnexpected         // eager data buffered as unexpected
+	KindComplete           // (c) request completion detected
+	KindWakeup             // waiting thread rescheduled
+	KindPoll               // one polling pass of the event server
+	KindOffload            // submission executed by an idle core
+	KindBlockingCall       // fallback blocking syscall engaged
+	KindRailProbation      // rail demoted: span submission failed
+	KindRailReadmit        // probation rail's health probe answered
 
 	// kindCount sentinel: keep this last. The String exhaustiveness test
 	// walks [0, kindCount) against kindNames, so adding a Kind above
@@ -45,22 +47,24 @@ const (
 )
 
 var kindNames = map[Kind]string{
-	KindNone:         "none",
-	KindRegister:     "register",
-	KindEventCreate:  "event-create",
-	KindSubmit:       "submit",
-	KindWireSend:     "wire-send",
-	KindWireRecv:     "wire-recv",
-	KindRTS:          "rts",
-	KindCTS:          "cts",
-	KindData:         "data",
-	KindMatch:        "match",
-	KindUnexpected:   "unexpected",
-	KindComplete:     "complete",
-	KindWakeup:       "wakeup",
-	KindPoll:         "poll",
-	KindOffload:      "offload",
-	KindBlockingCall: "blocking-call",
+	KindNone:          "none",
+	KindRegister:      "register",
+	KindEventCreate:   "event-create",
+	KindSubmit:        "submit",
+	KindWireSend:      "wire-send",
+	KindWireRecv:      "wire-recv",
+	KindRTS:           "rts",
+	KindCTS:           "cts",
+	KindData:          "data",
+	KindMatch:         "match",
+	KindUnexpected:    "unexpected",
+	KindComplete:      "complete",
+	KindWakeup:        "wakeup",
+	KindPoll:          "poll",
+	KindOffload:       "offload",
+	KindBlockingCall:  "blocking-call",
+	KindRailProbation: "rail-probation",
+	KindRailReadmit:   "rail-readmit",
 }
 
 // String implements fmt.Stringer.

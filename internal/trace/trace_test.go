@@ -209,6 +209,29 @@ func TestChromeTraceExport(t *testing.T) {
 	}
 }
 
+// TestChromeTraceRailHealthEvents pins that rail lifecycle transitions
+// — probation demotion and probe-driven readmission — render as their
+// own named instant events in the Perfetto export and clear the schema
+// gate, instead of hiding under a generic data event as they once did.
+func TestChromeTraceRailHealthEvents(t *testing.T) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	r := NewRecorder(8)
+	r.Record(Event{At: base, Kind: KindRailProbation, Core: -1, Tag: -1, Note: "rail tcp -> probation"})
+	r.Record(Event{At: base.Add(80 * time.Millisecond), Kind: KindRailReadmit, Core: -1, Tag: -1, Note: "rail tcp readmitted"})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []ChromeStream{{PID: 0, Name: "node0", Events: r.Events()}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("rail health trace fails schema gate: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{`"rail-probation"`, `"rail-readmit"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("export missing %s event:\n%s", want, buf.String())
+		}
+	}
+}
+
 // TestCheckChromeTraceRejectsGarbage pins the gate's failure modes: CI
 // depends on this check failing loudly rather than uploading a broken
 // artifact that Perfetto refuses.
@@ -217,9 +240,10 @@ func TestCheckChromeTraceRejectsGarbage(t *testing.T) {
 		"not json":       "]]]",
 		"empty events":   `{"traceEvents":[]}`,
 		"nameless event": `{"traceEvents":[{"ph":"i","ts":1,"pid":0,"tid":0}]}`,
-		"bad phase":      `{"traceEvents":[{"name":"x","ph":"Z","ts":1,"pid":0,"tid":0}]}`,
-		"negative ts":    `{"traceEvents":[{"name":"x","ph":"i","ts":-5,"pid":0,"tid":0}]}`,
+		"bad phase":      `{"traceEvents":[{"name":"poll","ph":"Z","ts":1,"pid":0,"tid":0}]}`,
+		"negative ts":    `{"traceEvents":[{"name":"poll","ph":"i","ts":-5,"pid":0,"tid":0}]}`,
 		"metadata only":  `{"traceEvents":[{"name":"process_name","ph":"M","pid":0,"tid":0}]}`,
+		"unknown kind":   `{"traceEvents":[{"name":"kind(99)","ph":"i","ts":1,"pid":0,"tid":0}]}`,
 	} {
 		if err := CheckChromeTrace(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: CheckChromeTrace accepted invalid input", name)
