@@ -1,9 +1,9 @@
 package main
 
 // The table renderer: turns one interval's metric deltas (telemetry.Delta
-// over two /metrics.json snapshots) into the rail/peer/engine tables the
-// terminal shows. Pure — it only reads the delta map — so the test feeds
-// it canned snapshots and asserts on the rendered text.
+// over two /metrics.json snapshots) into the rail/peer/engine/cluster
+// tables the terminal shows. Pure — it only reads the delta map — so the
+// test feeds it canned snapshots and asserts on the rendered text.
 
 import (
 	"fmt"
@@ -35,13 +35,20 @@ type peerRow struct {
 	sent, recv uint64
 }
 
-// renderTop renders the rail, peer and engine tables for one interval's
-// deltas. Counter deltas divide by elapsed into rates; histogram deltas
-// report the interval's p50/p99.
+// clusterRow is one node's cluster-membership view: epoch and alive are
+// live gauge values, deaths the interval's new death verdicts.
+type clusterRow struct {
+	epoch, alive, deaths uint64
+}
+
+// renderTop renders the rail, peer, engine and cluster tables for one
+// interval's deltas. Counter deltas divide by elapsed into rates;
+// histogram deltas report the interval's p50/p99.
 func renderTop(delta map[string]telemetry.MetricValue, elapsed time.Duration) string {
 	rails := map[string]*railRow{}
 	engines := map[string]*engineRow{}
 	peers := map[string]*peerRow{}
+	clusters := map[string]*clusterRow{}
 	var bufHits, bufMisses uint64
 	for name, m := range delta {
 		parts := strings.Split(name, ".")
@@ -88,6 +95,20 @@ func renderTop(delta map[string]telemetry.MetricValue, elapsed time.Duration) st
 				e.park = m.Hist
 			case "rdv_rts_to_cts_ns":
 				e.rtsToCts = m.Hist
+			}
+		case len(parts) == 3 && strings.HasPrefix(parts[0], "node") && parts[1] == "cluster":
+			c := clusters[parts[0]]
+			if c == nil {
+				c = &clusterRow{}
+				clusters[parts[0]] = c
+			}
+			switch parts[2] {
+			case "epoch":
+				c.epoch = m.Value
+			case "alive":
+				c.alive = m.Value
+			case "deaths":
+				c.deaths = m.Value
 			}
 		case len(parts) == 4 && strings.HasPrefix(parts[0], "node") && parts[1] == "peer":
 			key := parts[0] + " -> " + parts[2]
@@ -139,6 +160,13 @@ func renderTop(delta map[string]telemetry.MetricValue, elapsed time.Duration) st
 				key, rate(e.sends), rate(e.recvs), rate(e.rdv),
 				fmtNs(e.dwell.Quantile(0.5)), fmtNs(e.dwell.Quantile(0.99)),
 				fmtNs(e.park.Quantile(0.5)), fmtNs(e.rtsToCts.Quantile(0.5)))
+		}
+	}
+	if len(clusters) > 0 {
+		fmt.Fprintf(&b, "\n%-8s %7s %7s %10s\n", "CLUSTER", "epoch", "alive", "deaths/int")
+		for _, key := range sortedKeys(clusters) {
+			c := clusters[key]
+			fmt.Fprintf(&b, "%-8s %7d %7d %10d\n", key, c.epoch, c.alive, c.deaths)
 		}
 	}
 	if bufHits+bufMisses > 0 {

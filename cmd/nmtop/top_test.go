@@ -28,6 +28,11 @@ func cannedSnapshots() (*telemetry.Snapshot, *telemetry.Snapshot) {
 	pRecv := reg.Counter("node0.peer.1.recv_frames", "")
 	hits := reg.Counter("process.bufpool.hits", "")
 	misses := reg.Counter("process.bufpool.misses", "")
+	// Cluster membership view: a 4-rank world one epoch in, with one
+	// death verdict landing during the interval.
+	reg.RegisterGauge("node0.cluster.epoch", "", func() uint64 { return 5 })
+	reg.RegisterGauge("node0.cluster.alive", "", func() uint64 { return 2 })
+	deaths := reg.Counter("node0.cluster.deaths", "")
 
 	sent.Add(100)
 	prev := reg.Snapshot()
@@ -44,6 +49,7 @@ func cannedSnapshots() (*telemetry.Snapshot, *telemetry.Snapshot) {
 	pRecv.Add(1999)
 	hits.Add(90)
 	misses.Add(10)
+	deaths.Add(1)
 	return prev, reg.Snapshot()
 }
 
@@ -66,6 +72,9 @@ func TestRenderTop(t *testing.T) {
 		"up",
 		"node0.wan",
 		"PROB", // the probation rail's lifecycle state
+		"CLUSTER",
+		"epoch",
+		"deaths/int",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered table missing %q:\n%s", want, out)

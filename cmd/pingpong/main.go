@@ -116,6 +116,8 @@ func main() {
 	udpAddr := flag.String("udp", "", "run over real UDP datagrams with the reliability sublayer (fabric/udpfab): rank 0 binds this address, rank 1 reaches rank 0 at it; needs -rank (replaces the simulated -rails set)")
 	rank := flag.Int("rank", 0, "with -shm or -udp: this process's rank (0 sweeps, 1 echoes)")
 	jsonPath := flag.String("json", "", "alone: write the four-backend (sim, tcp loopback, shm, udp) RTT/allocation rows plus the UDP WAN rows to this file and exit; in bonded mode: merge the bonded tcp/shm/multirail rows into this file (rank 0)")
+	nrank := flag.Bool("nrank", false, "run as one rank of an N-process cluster launched through cmd/nmrun (reads the PIOMAN_* environment contract): pairwise neighbor pingpong over real TCP, survivor-set totals via allreduce; with -json (rank 0) merges a pingpong_nrank row into the file")
+	nrankDur := flag.Duration("nrank-duration", 3*time.Second, "with -nrank: how long the initiator of each pair keeps the exchange running (halved by -quick)")
 	metricsAddr := flag.String("metrics", "", "serve live telemetry over HTTP on this address while the sweep runs: Prometheus text at /metrics, JSON at /metrics.json (port 0 picks one, printed on startup)")
 	linger := flag.Duration("linger", 0, "with -metrics: keep the endpoint up this long after the sweep, so scripted scrapes never race the exit")
 	flag.Parse()
@@ -135,7 +137,10 @@ func main() {
 			railsSet = true
 		}
 	})
-	if *jsonPath != "" && !bonded {
+	if *nrank && (real || railsSet || rankSet) {
+		fail("-nrank takes its transport and rank from the nmrun environment contract; it cannot be combined with -listen/-connect/-shm/-udp/-rank/-rails")
+	}
+	if *jsonPath != "" && !bonded && !*nrank {
 		if real || rankSet || railsSet {
 			fail("-json runs its own in-process benchmark; outside bonded mode (-listen/-connect together with -shm) it cannot be combined with -listen/-connect/-shm/-udp/-rank/-rails")
 		}
@@ -195,6 +200,9 @@ func main() {
 		fail(fmt.Sprintf("-rails %q: supported rail sets are \"mx\" and \"mx,shm\"", *rails))
 	}
 
+	if *nrank {
+		finish(runNrank(*nrankDur, *quick, *jsonPath, metrics))
+	}
 	if bonded {
 		finish(runBonded(*listen, *connect, *shmDir, *quick, *jsonPath, metrics))
 	}

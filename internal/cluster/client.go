@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// registryLossTolerance is how many consecutive failed heartbeat
+// exchanges a client tolerates before concluding the registry host
+// itself died. The registry usually rides inside rank 0's process
+// (nmrun's embedded mode), so losing it is indistinguishable from —
+// and treated as — that rank's death.
+const registryLossTolerance = 5
+
+// Client is one rank's connection to the registry: it joins, then
+// heartbeats in the background, diffing the registry's dead set and
+// invoking the owner's callbacks on changes.
+type Client struct {
+	registry string
+	rank     int
+	peers    []Peer
+
+	epoch atomic.Uint64
+
+	mu       sync.Mutex
+	lastDead map[int]bool
+
+	hostRank int // rank co-located with the registry; <0 means standalone
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	once    sync.Once
+	started atomic.Bool
+}
+
+// Join registers (rank, fabricName, selfAddr) with the registry at
+// registryAddr and blocks until all nranks ranks have arrived (or
+// timeout elapses; zero selects DefaultJoinTimeout). It returns the
+// client, the full sorted peer map, and the membership epoch the world
+// formed at.
+func Join(registryAddr string, rank, nranks int, fabricName, selfAddr string, timeout time.Duration) (*Client, []Peer, uint64, error) {
+	if timeout <= 0 {
+		timeout = DefaultJoinTimeout
+	}
+	// The registry may not be up yet — under nmrun it lives inside rank
+	// 0's process, which races every other rank's launch — so a refused
+	// dial retries until the join timeout. Only the dial retries: once a
+	// connection carried the request, the registry has counted the join,
+	// and replaying it would read as flap churn.
+	req := request{Op: "join", Rank: rank, Nranks: nranks, Fabric: fabricName, Addr: selfAddr}
+	dialDeadline := time.Now().Add(timeout)
+	var conn net.Conn
+	for {
+		c, err := net.DialTimeout("tcp", registryAddr, time.Second)
+		if err == nil {
+			conn = c
+			break
+		}
+		if time.Now().After(dialDeadline) {
+			return nil, nil, 0, fmt.Errorf("cluster: rank %d join: %w", rank, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// The exchange deadline outlives the registry's own formation wait by
+	// a grace margin; a tie means the registry's "did not form" verdict
+	// arrives just as the client gives up, losing the diagnosis.
+	resp, err := exchange(conn, req, timeout+5*time.Second)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("cluster: rank %d join: %w", rank, err)
+	}
+	if !resp.OK {
+		return nil, nil, 0, fmt.Errorf("cluster: rank %d join refused: %s", rank, resp.Error)
+	}
+	c := &Client{
+		registry: registryAddr,
+		rank:     rank,
+		peers:    resp.Peers,
+		lastDead: make(map[int]bool),
+		hostRank: -1,
+		stop:     make(chan struct{}),
+	}
+	c.epoch.Store(resp.Epoch)
+	return c, resp.Peers, resp.Epoch, nil
+}
+
+// Epoch returns the latest membership epoch the client has observed.
+func (c *Client) Epoch() uint64 { return c.epoch.Load() }
+
+// Peers returns the peer map captured at world formation.
+func (c *Client) Peers() []Peer { return c.peers }
+
+// SetHostRank names the rank whose process hosts the registry. When the
+// registry stops answering heartbeats for registryLossTolerance rounds,
+// that rank is reported dead through onDeath — an embedded registry dies
+// exactly when its host rank does. Pass a negative rank for a standalone
+// registry (loss is then logged as unreachable, nobody is declared dead).
+func (c *Client) SetHostRank(rank int) { c.hostRank = rank }
+
+// Start launches the background heartbeat loop. onDeath(rank) fires once
+// per rank newly present in the registry's dead set; onAlive(rank) fires
+// when a previously-dead rank rejoined (respawn). Either callback may be
+// nil. Callbacks run on the heartbeat goroutine — keep them short (the
+// engine's MarkPeerDead/MarkPeerAlive are fine).
+func (c *Client) Start(interval time.Duration, onDeath, onAlive func(rank int)) {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	c.stopped.Add(1)
+	go c.beat(interval, onDeath, onAlive)
+}
+
+// beat is the heartbeat loop: one RPC per interval, diff the dead set,
+// fire callbacks, and escalate registry loss to host-rank death.
+func (c *Client) beat(interval time.Duration, onDeath, onAlive func(rank int)) {
+	defer c.stopped.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	misses := 0
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		resp, err := rpc(c.registry, request{Op: "heartbeat", Rank: c.rank}, interval*2)
+		if err != nil || !resp.OK {
+			misses++
+			if misses == registryLossTolerance && c.hostRank >= 0 && c.hostRank != c.rank && onDeath != nil {
+				// The registry rode inside hostRank's process; its silence
+				// is that rank's death as far as this rank can observe.
+				c.noteDead(c.hostRank, onDeath)
+			}
+			continue
+		}
+		misses = 0
+		c.epoch.Store(resp.Epoch)
+		c.diff(resp.Dead, onDeath, onAlive)
+	}
+}
+
+// diff reconciles the registry's dead set against the last view,
+// invoking callbacks only on transitions.
+func (c *Client) diff(dead []int, onDeath, onAlive func(rank int)) {
+	c.mu.Lock()
+	now := make(map[int]bool, len(dead))
+	var died, revived []int
+	for _, rank := range dead {
+		now[rank] = true
+		if !c.lastDead[rank] {
+			died = append(died, rank)
+		}
+	}
+	for rank := range c.lastDead {
+		if !now[rank] {
+			revived = append(revived, rank)
+		}
+	}
+	c.lastDead = now
+	c.mu.Unlock()
+	sort.Ints(died)
+	sort.Ints(revived)
+	for _, rank := range died {
+		if rank != c.rank && onDeath != nil {
+			onDeath(rank)
+		}
+	}
+	for _, rank := range revived {
+		if rank != c.rank && onAlive != nil {
+			onAlive(rank)
+		}
+	}
+}
+
+// noteDead records rank into the dead view (so a later registry
+// recovery does not re-fire) and invokes the callback once.
+func (c *Client) noteDead(rank int, onDeath func(rank int)) {
+	c.mu.Lock()
+	already := c.lastDead[rank]
+	c.lastDead[rank] = true
+	c.mu.Unlock()
+	if !already {
+		onDeath(rank)
+	}
+}
+
+// Close stops the heartbeat loop and sends a best-effort leave so
+// survivors learn of this rank's exit on their next beat rather than
+// after the liveness deadline.
+func (c *Client) Close() {
+	c.once.Do(func() {
+		close(c.stop)
+		c.stopped.Wait()
+		rpc(c.registry, request{Op: "leave", Rank: c.rank}, 2*time.Second)
+	})
+}
+
+// rpc performs one request/response exchange on a fresh connection.
+func rpc(addr string, req request, timeout time.Duration) (response, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return response{}, err
+	}
+	return exchange(c, req, timeout)
+}
+
+// exchange sends req and reads the reply on c, closing it either way.
+func exchange(c net.Conn, req request, timeout time.Duration) (response, error) {
+	defer c.Close()
+	var resp response
+	c.SetDeadline(time.Now().Add(timeout))
+	if err := json.NewEncoder(c).Encode(req); err != nil {
+		return resp, err
+	}
+	if err := json.NewDecoder(c).Decode(&resp); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}

@@ -116,6 +116,17 @@ type Config struct {
 	// ("node<rank>.peer.<k>.*") — normally the world's node count. Zero
 	// registers no per-peer series.
 	MetricsPeers int
+	// PeerDeadline bounds how long the engine keeps replaying toward a
+	// silent peer before declaring the rank dead. With it set, every
+	// inbound frame stamps the sender's last-heard clock, and a
+	// rendezvous send whose replay timer finds the peer silent — nothing
+	// heard on any rail since max(last frame, the request's posting) for
+	// longer than the deadline — triggers MarkPeerDead: every pending
+	// request targeting the rank completes with ErrPeerDead and new
+	// posts to it fail fast. Zero (the default) disables engine-local
+	// detection; requests to a crashed peer then replay forever unless a
+	// cluster layer calls MarkPeerDead (docs/CLUSTER.md).
+	PeerDeadline time.Duration
 }
 
 // Stats counts engine activity.
@@ -141,6 +152,12 @@ type Stats struct {
 	RdvParked     uint64
 	RailReadmits  uint64
 	StripeRetunes uint64
+	// Peer-death counters (docs/CLUSTER.md): PeerDead counts ranks this
+	// engine declared dead (deadline detection or MarkPeerDead);
+	// ReqsFailed counts requests completed with ErrPeerDead — pending
+	// ones failed by the death sweep plus new posts refused fast.
+	PeerDead   uint64
+	ReqsFailed uint64
 }
 
 // Engine is one node's communication engine.
@@ -276,6 +293,17 @@ type Engine struct {
 	maintBuf  []*SendReq
 	maintDone []*SendReq
 
+	// Peer-death state (Config.PeerDeadline, MarkPeerDead). deadPeers is
+	// indexed by rank and sized from the default rail's world size;
+	// deadCount mirrors how many are set, so the posting hot path learns
+	// "everyone alive" from one atomic load. lastHeard (same indexing)
+	// stamps the arrival time of the last frame from each peer and is
+	// allocated only when PeerDeadline is set — without it the receive
+	// path never reads the clock.
+	deadPeers []atomic.Bool
+	deadCount atomic.Int32
+	lastHeard []atomic.Int64
+
 	sendSeq atomic.Uint64
 	msgID   atomic.Uint64
 
@@ -292,6 +320,8 @@ type Engine struct {
 	nRdvParked atomic.Uint64
 	nReadmits  atomic.Uint64
 	nRetunes   atomic.Uint64
+	nPeerDead  atomic.Uint64
+	nReqFailed atomic.Uint64
 
 	// tel holds the registered metric handles when Config.Metrics was
 	// set; nil otherwise. Hot paths guard on this one pointer.
@@ -344,6 +374,19 @@ func New(node int, sch *sched.Scheduler, srv *piom.Server, rails []*nic.Driver, 
 	for i := range e.health {
 		e.health[i].probeGap.Store(int64(probeGapInit))
 		e.health[i].lastAt = time.Now().UnixNano()
+	}
+	if n := rails[0].Endpoint().Nodes(); n > 0 {
+		e.deadPeers = make([]atomic.Bool, n)
+		if cfg.PeerDeadline > 0 {
+			e.lastHeard = make([]atomic.Int64, n)
+			// A peer never heard from counts as silent since construction,
+			// not since the epoch — a world that dies during rendezvous
+			// setup still gets a full deadline before the verdict.
+			now := time.Now().UnixNano()
+			for i := range e.lastHeard {
+				e.lastHeard[i].Store(now)
+			}
+		}
 	}
 	e.strat = newStrategy(cfg.Strategy)
 	e.mtuOf = func(dst int) int { return e.railFor(dst).MTU() }
@@ -464,5 +507,7 @@ func (e *Engine) Stats() Stats {
 		RdvParked:      e.nRdvParked.Load(),
 		RailReadmits:   e.nReadmits.Load(),
 		StripeRetunes:  e.nRetunes.Load(),
+		PeerDead:       e.nPeerDead.Load(),
+		ReqsFailed:     e.nReqFailed.Load(),
 	}
 }

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"pioman/internal/trace"
+)
+
+// Rank-death detection and bounded-failure request semantics
+// (docs/CLUSTER.md). Before this layer existed a crashed peer was a
+// silent hang: the acked-replay timer re-sent RTS/DATA forever at the
+// 400ms backoff cap and Wait never returned. Now death is a detected,
+// reported, survivable event:
+//
+//   - detection is send-driven: with Config.PeerDeadline set, the replay
+//     timer's overdue scan checks how long the peer has been silent —
+//     nothing heard on any rail since max(last inbound frame, the
+//     request's posting) — and past the deadline declares the rank dead.
+//     Silence across every rail while replays go unanswered is the
+//     rail-health consensus of the registry-less mode; a cluster layer
+//     with a real failure detector (missed heartbeats at the registry)
+//     short-circuits it by calling MarkPeerDead directly;
+//   - the death sweep completes every pending request targeting the rank
+//     with ErrPeerDead — rendezvous sends in the replay window, parked
+//     sends, posted receives naming the rank, in-flight rendezvous
+//     receptions — and new posts to it fail fast;
+//   - survivors keep communicating: only state keyed to the dead rank is
+//     touched, AnySource receives stay posted, and the mpi layer shrinks
+//     its collectives to the survivor set.
+//
+// The no-failure fast path pays one atomic load per post (deadCount) and,
+// only when PeerDeadline is set, one clock stamp per inbound frame.
+
+// ErrPeerDead is the completion error of every request targeting a rank
+// that was declared dead — by deadline detection or by the cluster
+// layer's MarkPeerDead. Waits on such requests return normally; the
+// request's Err reports the reason.
+var ErrPeerDead = errors.New("core: peer rank is dead")
+
+// PeerDead reports whether rank has been declared dead on this engine.
+func (e *Engine) PeerDead(rank int) bool {
+	return rank >= 0 && rank < len(e.deadPeers) && e.deadPeers[rank].Load()
+}
+
+// postFailsFast reports whether a new post targeting rank must fail
+// immediately. The deadCount gate keeps the all-alive hot path to one
+// atomic load.
+func (e *Engine) postFailsFast(rank int) bool {
+	return e.deadCount.Load() != 0 && e.PeerDead(rank)
+}
+
+// noteHeard stamps the last-heard clock for src; called from the packet
+// handler only when deadline tracking allocated the clocks.
+func (e *Engine) noteHeard(src int) {
+	if src >= 0 && src < len(e.lastHeard) {
+		e.lastHeard[src].Store(time.Now().UnixNano())
+	}
+}
+
+// silentPast reports whether dst has been silent longer than the
+// deadline, measured from whichever is later: the last frame heard from
+// it, or the stalled request's own posting. The posting stamp is what
+// keeps an alive-but-quiet peer (heard from long ago, nothing owed
+// since) from being declared dead the moment a new request stalls
+// briefly: silence only counts from when this request started asking.
+func (e *Engine) silentPast(dst int, postedAt time.Time, nowNanos, deadline int64) bool {
+	if dst == e.node || dst < 0 || dst >= len(e.lastHeard) {
+		return false
+	}
+	ref := e.lastHeard[dst].Load()
+	if p := postedAt.UnixNano(); !postedAt.IsZero() && p > ref {
+		ref = p
+	}
+	return nowNanos-ref > deadline
+}
+
+// MarkPeerDead declares rank dead: every pending request targeting it
+// completes with ErrPeerDead, new posts to it fail fast, and the rank's
+// protocol state (replay window, parked sends, in-flight receptions,
+// out-of-order stash) is torn down. Idempotent — one caller wins; safe
+// from any goroutine (the cluster layer's liveness callback calls it
+// concurrently with the progress loop).
+//
+// Survivor state is untouched: receives posted with AnySource stay
+// posted, completed unexpected eager data from the dead rank stays
+// deliverable (the payload already arrived), and traffic to every other
+// rank proceeds.
+func (e *Engine) MarkPeerDead(rank int) {
+	if rank == e.node || rank < 0 || rank >= len(e.deadPeers) {
+		return
+	}
+	if !e.deadPeers[rank].CompareAndSwap(false, true) {
+		return
+	}
+	e.deadCount.Add(1)
+	e.nPeerDead.Add(1)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindComplete, -1, -1, 0, "peer %d declared dead", rank)
+	}
+
+	var sends []*SendReq
+	var recvs []*RecvReq
+	var orphans []*stashedEv
+	failed := 0
+	e.qlock.Lock()
+	// Rendezvous sends in the replay window (RTS posted or DATA in
+	// flight). A request the maintenance tick is re-sending right now is
+	// not completed under the resend: the failure parks on it exactly
+	// like a racing ack would, and replayDue completes it afterwards.
+	for id, s := range e.rdvSend {
+		if s.dst != rank {
+			continue
+		}
+		delete(e.rdvSend, id)
+		e.rdvInFlight[rank]--
+		e.pendingRdv.Add(-1)
+		failed++
+		if s.replaying {
+			s.failed, s.ackDeferred = ErrPeerDead, true
+		} else {
+			sends = append(sends, s)
+		}
+	}
+	for id, s := range e.await {
+		if s.dst != rank {
+			continue
+		}
+		delete(e.await, id)
+		e.rdvInFlight[rank]--
+		e.pendingRdv.Add(-1)
+		failed++
+		if s.replaying {
+			s.failed, s.ackDeferred = ErrPeerDead, true
+		} else {
+			sends = append(sends, s)
+		}
+	}
+	// Parked sends never have anything on the wire, so they are never
+	// mid-replay; fail them directly.
+	for _, s := range e.rdvWait[rank] {
+		e.pendingRdv.Add(-1)
+		failed++
+		sends = append(sends, s)
+	}
+	delete(e.rdvWait, rank)
+	delete(e.rdvInFlight, rank)
+	// Posted receives naming the dead rank; AnySource survives (another
+	// rank can still match it).
+	keep := e.posted[:0]
+	for _, r := range e.posted {
+		if r.src == rank {
+			failed++
+			recvs = append(recvs, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	for i := len(keep); i < len(e.posted); i++ {
+		e.posted[i] = nil
+	}
+	e.posted = keep
+	// In-flight rendezvous receptions from the rank: the remaining chunks
+	// will never arrive.
+	for k, st := range e.rdvRecv {
+		if k.src == rank {
+			delete(e.rdvRecv, k)
+			failed++
+			recvs = append(recvs, st.req)
+		}
+	}
+	// Unexpected RTS announcements from the rank are dropped — a future
+	// receive matching one would CTS into the void and hang. Buffered
+	// eager payloads stay: they are complete and deliverable.
+	uk := e.unexpected[:0]
+	for _, u := range e.unexpected {
+		if u.isRTS && u.src == rank {
+			continue
+		}
+		uk = append(uk, u)
+	}
+	for i := len(uk); i < len(e.unexpected); i++ {
+		e.unexpected[i] = nil
+	}
+	e.unexpected = uk
+	// Out-of-order arrivals stashed behind a gap the dead rank will never
+	// fill; their packets go back to the fabric pools outside the lock.
+	for _, ev := range e.stash[rank] {
+		orphans = append(orphans, ev)
+	}
+	delete(e.stash, rank)
+	e.qlock.Unlock()
+
+	e.nReqFailed.Add(uint64(failed))
+	for _, s := range sends {
+		s.req.CompleteErr(ErrPeerDead)
+	}
+	for _, r := range recvs {
+		r.req.CompleteErr(ErrPeerDead)
+	}
+	for _, ev := range orphans {
+		e.finishEv(ev)
+	}
+}
+
+// MarkPeerAlive clears a rank's dead flag — the respawn path: a launcher
+// that restarted the rank's process (nmrun -respawn) re-announces it once
+// the new incarnation registered. Requests failed by the death sweep stay
+// failed; new posts to the rank proceed, and the transport session-id
+// machinery adopts the fresh incarnation's streams.
+func (e *Engine) MarkPeerAlive(rank int) {
+	if rank < 0 || rank >= len(e.deadPeers) {
+		return
+	}
+	if e.deadPeers[rank].CompareAndSwap(true, false) {
+		e.deadCount.Add(-1)
+		if rank < len(e.lastHeard) {
+			// Restart the silence clock: the new incarnation owes nothing
+			// yet.
+			e.lastHeard[rank].Store(time.Now().UnixNano())
+		}
+	}
+}
+
+// failSend refuses a post toward a dead rank: the returned request is
+// already completed with ErrPeerDead, so every Wait path returns
+// immediately and Release works as usual.
+func (e *Engine) failSend(dst, tag int, data []byte) *SendReq {
+	r := sendReqPool.Get().(*SendReq)
+	r.eng, r.dst, r.tag, r.data = e, dst, tag, data
+	e.nSends.Add(1)
+	e.nReqFailed.Add(1)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(data), "isend dst=%d refused: peer dead", dst)
+	}
+	r.req.CompleteErr(ErrPeerDead)
+	return r
+}
+
+// failRecv refuses a receive naming a dead rank, mirroring failSend.
+func (e *Engine) failRecv(src, tag int, buf []byte) *RecvReq {
+	r := recvReqPool.Get().(*RecvReq)
+	r.eng, r.src, r.tag, r.buf = e, src, tag, buf
+	r.from = src
+	e.nRecvs.Add(1)
+	e.nReqFailed.Add(1)
+	if e.tracing() {
+		e.cfg.Trace.Recordf(trace.KindRegister, -1, tag, len(buf), "irecv src=%d refused: peer dead", src)
+	}
+	r.req.CompleteErr(ErrPeerDead)
+	return r
+}

@@ -478,6 +478,11 @@ func (e *Engine) handlePacket(rail *nic.Driver, core topo.CoreID, p *wire.Packet
 		e.cfg.Trace.Recordf(trace.KindWireRecv, int(core), p.Tag, len(p.Payload), "%v from %d", p.Kind, p.Src)
 	}
 	e.tel.notePeerRecv(p.Src)
+	if e.lastHeard != nil {
+		// Deadline tracking is on (Config.PeerDeadline): every inbound
+		// frame is proof of life, whatever its kind.
+		e.noteHeard(p.Src)
+	}
 	switch p.Kind {
 	case wire.PktEager:
 		ev := getStash()

@@ -37,6 +37,10 @@ const (
 	// weightDeadband suppresses SetStripeWeight churn: retunes apply
 	// only when the new weight moved more than 10% relative.
 	weightDeadband = 0.10
+	// rttAlpha is the EWMA blend for a rail's probe round-trip time.
+	// RTT swings on a ping cadence are noisier than goodput windows, so
+	// it smooths harder than weightAlpha.
+	rttAlpha = 0.3
 )
 
 // railHealth is one rail's lifecycle state, held in the engine's health
@@ -51,6 +55,8 @@ type railHealth struct {
 	probeGap  atomic.Int64  // current probe spacing, nanos
 	nextProbe atomic.Int64  // unix nanos of the next due probe
 	probeDst  atomic.Int32  // peer the probe pings (the failed span's dst)
+	nextRTT   atomic.Int64  // unix nanos of the next RTT probe (active rails)
+	rttNanos  atomic.Int64  // EWMA probe round-trip time, 0 = not yet measured
 
 	// EWMA bookkeeping, maintLock-owned.
 	lastBytes uint64
@@ -128,10 +134,19 @@ func (e *Engine) railMaint(now int64) {
 				continue
 			}
 			r := e.rails[i]
+			dst := int(h.probeDst.Load())
+			if e.PeerDead(dst) {
+				// No point probing a corpse — and a blocking transport
+				// (tcpfab's redial window) would stall the whole
+				// maintenance pass dialing it.
+				continue
+			}
 			// Rebaseline before each probe: a readmission requires the
-			// loss counters quiet across the ping round trip itself.
+			// loss counters quiet across the ping round trip itself. The
+			// Seq carries the send stamp so the pong also yields an RTT
+			// sample for the retune.
 			h.errsBase.Store(r.Stats().SendErrs + r.LostFrames())
-			r.SendPing(nic.Header{Src: e.node, Dst: int(h.probeDst.Load()), Tag: -1})
+			r.SendPing(nic.Header{Src: e.node, Dst: dst, Tag: -1, Seq: uint64(now)})
 			gap := h.probeGap.Load()
 			h.nextProbe.Store(now + gap)
 			if gap *= 2; gap > int64(probeGapMax) {
@@ -141,7 +156,35 @@ func (e *Engine) railMaint(now int64) {
 		}
 	}
 	if e.cfg.AutoStripeWeights {
+		e.rttProbes(now)
 		e.retuneWeights(now)
+	}
+}
+
+// rttProbes sends a timestamped health ping on each active striping rail
+// once per weightPeriod; caller holds maintLock. The pong echoes the
+// stamp (handlePong) and the EWMA round-trip time feeds the latency
+// penalty in retuneWeights — queueing delay that a goodput window cannot
+// see. Probes go to a fixed representative peer (rank 0, or 1 when we
+// are rank 0), skipping it once it is declared dead.
+func (e *Engine) rttProbes(now int64) {
+	dst := 0
+	if e.node == 0 {
+		dst = 1
+	}
+	if e.PeerDead(dst) {
+		return
+	}
+	for i, r := range e.rails {
+		h := &e.health[i]
+		if h.state.Load() != railActive || r.StripeWeight() <= 0 {
+			continue
+		}
+		if now < h.nextRTT.Load() {
+			continue
+		}
+		h.nextRTT.Store(now + int64(weightPeriod))
+		r.SendPing(nic.Header{Src: e.node, Dst: dst, Tag: -1, Seq: uint64(now)})
 	}
 }
 
@@ -163,6 +206,19 @@ func (e *Engine) handlePong(rail *nic.Driver, p *wire.Packet) {
 		return
 	}
 	h := &e.health[i]
+	// Every ping carries its send stamp in Seq; the echo is an RTT
+	// sample for the retune's latency penalty regardless of whether the
+	// rail is on probation.
+	if p.Seq != 0 {
+		if rtt := time.Now().UnixNano() - int64(p.Seq); rtt > 0 {
+			prev := h.rttNanos.Load()
+			if prev == 0 {
+				h.rttNanos.Store(rtt)
+			} else {
+				h.rttNanos.Store(int64((1-rttAlpha)*float64(prev) + rttAlpha*float64(rtt)))
+			}
+		}
+	}
 	if h.state.Load() != railProbation {
 		return
 	}
@@ -187,12 +243,28 @@ func (e *Engine) handlePong(rail *nic.Driver, p *wire.Packet) {
 
 // retuneWeights folds each rail's measured goodput into its live stripe
 // weight as an EWMA; caller holds maintLock. Goodput is bytes moved per
-// microsecond over the window, discounted by the window's loss ratio, so
-// a degraded-but-alive rail (delivering, but slowly or lossily) sheds
-// stripe share continuously instead of stalling tails at full share.
+// microsecond over the window, discounted by the window's loss ratio and
+// by the rail's probe RTT relative to the best rail's, so a
+// degraded-but-alive rail (delivering, but slowly, lossily, or behind a
+// deep queue) sheds stripe share continuously instead of stalling tails
+// at full share. The RTT penalty is what catches latency a goodput
+// window cannot see: a rail that still moves bytes but does so k× slower
+// round-trip gets its measured goodput divided by k.
 // Idle rails and rails whose weight is zero (deliberately out of the
 // stripe set) are left alone.
 func (e *Engine) retuneWeights(now int64) {
+	// The penalty baseline is the fastest active striping rail; with one
+	// rail (or no RTT samples yet) the penalty is a no-op.
+	minRTT := int64(0)
+	for i, r := range e.rails {
+		h := &e.health[i]
+		if h.state.Load() != railActive || r.StripeWeight() <= 0 {
+			continue
+		}
+		if rtt := h.rttNanos.Load(); rtt > 0 && (minRTT == 0 || rtt < minRTT) {
+			minRTT = rtt
+		}
+	}
 	for i, r := range e.rails {
 		h := &e.health[i]
 		if h.state.Load() != railActive {
@@ -230,6 +302,9 @@ func (e *Engine) retuneWeights(now int64) {
 			lossRatio = 1
 		}
 		measured := float64(dBytes) / (float64(dt) / 1e3) * (1 - lossRatio)
+		if rtt := h.rttNanos.Load(); rtt > 0 && minRTT > 0 && rtt > minRTT {
+			measured *= float64(minRTT) / float64(rtt)
+		}
 		next := (1-weightAlpha)*w + weightAlpha*measured
 		if diff := next - w; diff < w*weightDeadband && diff > -w*weightDeadband {
 			continue

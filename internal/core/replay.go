@@ -101,6 +101,8 @@ func (e *Engine) maybeMaint(n uint64) {
 // completed — and recycled by the application — under the resend.
 func (e *Engine) replayDue(nowNanos int64) {
 	now := time.Unix(0, nowNanos)
+	deadline := int64(e.cfg.PeerDeadline)
+	var suspects []int
 	buf := e.maintBuf[:0]
 	nrts := 0
 	e.qlock.Lock()
@@ -109,6 +111,9 @@ func (e *Engine) replayDue(nowNanos int64) {
 			s.bumpBackoff(now)
 			s.replaying = true
 			buf = append(buf, s)
+			if deadline > 0 && e.silentPast(s.dst, s.postedAt, nowNanos, deadline) {
+				suspects = appendRank(suspects, s.dst)
+			}
 		}
 	}
 	nrts = len(buf)
@@ -117,10 +122,24 @@ func (e *Engine) replayDue(nowNanos int64) {
 			s.bumpBackoff(now)
 			s.replaying = true
 			buf = append(buf, s)
+			if deadline > 0 && e.silentPast(s.dst, s.postedAt, nowNanos, deadline) {
+				suspects = appendRank(suspects, s.dst)
+			}
 		}
 	}
 	e.qlock.Unlock()
+	// Death verdicts first: MarkPeerDead tears the rank's replay state
+	// down and parks each mid-replay request's error completion on it
+	// (exactly as a racing ack would), which the retire pass below then
+	// runs. Replays toward a rank just declared dead are skipped — there
+	// is nobody to answer them.
+	for _, rank := range suspects {
+		e.MarkPeerDead(rank)
+	}
 	for i, s := range buf {
+		if len(suspects) > 0 && e.PeerDead(s.dst) {
+			continue
+		}
 		e.nReplays.Add(1)
 		if e.tracing() {
 			e.cfg.Trace.Recordf(trace.KindRTS, -1, s.tag, s.Len(), "replay msgid=%d", s.msgID)
@@ -153,9 +172,24 @@ func (e *Engine) replayDue(nowNanos int64) {
 	e.maintBuf = buf
 	for i, s := range done {
 		done[i] = nil
-		s.req.Complete()
+		if err := s.failed; err != nil {
+			s.req.CompleteErr(err)
+		} else {
+			s.req.Complete()
+		}
 	}
 	e.maintDone = done
+}
+
+// appendRank adds rank to the suspect list unless already present; the
+// list is a handful of entries at most.
+func appendRank(list []int, rank int) []int {
+	for _, r := range list {
+		if r == rank {
+			return list
+		}
+	}
+	return append(list, rank)
 }
 
 // handleDataAck completes a rendezvous send: the receiver has the whole

@@ -67,6 +67,15 @@ type SendReq struct {
 	backoff     time.Duration
 	replaying   bool
 	ackDeferred bool
+	// failed, guarded by qlock, carries the error a deferred completion
+	// must surface: when the death sweep finds the request mid-replay it
+	// cannot complete it under the resend, so the error parks here and
+	// replayDue's retire pass completes with it.
+	failed error
+	// postedAt stamps when the rendezvous send was posted; only set when
+	// Config.PeerDeadline is active, where it anchors the silence
+	// measurement (silence counts from max(lastHeard, postedAt)).
+	postedAt time.Time
 	// rtsAt stamps when the RTS was posted, for the metered engine's
 	// handshake-latency histogram. Only set when metrics are attached,
 	// and only on the rendezvous path — the eager hot path never reads
@@ -98,6 +107,10 @@ func (r *SendReq) Rendezvous() bool { return r.rdv }
 
 // Completed reports whether the send has finished.
 func (r *SendReq) Completed() bool { return r.req.Completed() }
+
+// Err returns the error the send completed with — ErrPeerDead when the
+// destination rank was declared dead — or nil. Valid after completion.
+func (r *SendReq) Err() error { return r.req.Err() }
 
 // Req exposes the underlying event-server request.
 func (r *SendReq) Req() *piom.Request { return &r.req }
@@ -131,6 +144,11 @@ type RecvReq struct {
 
 // Completed reports whether the receive has finished.
 func (r *RecvReq) Completed() bool { return r.req.Completed() }
+
+// Err returns the error the receive completed with — ErrPeerDead when
+// the named source rank was declared dead — or nil. Valid after
+// completion.
+func (r *RecvReq) Err() error { return r.req.Err() }
 
 // Req exposes the underlying event-server request.
 func (r *RecvReq) Req() *piom.Request { return &r.req }
@@ -180,6 +198,9 @@ func (e *Engine) Isend(dst, tag int, data []byte) *SendReq {
 		e.biglock.Lock()
 		defer e.biglock.Unlock()
 	}
+	if e.postFailsFast(dst) {
+		return e.failSend(dst, tag, data)
+	}
 	rail := e.railFor(dst)
 	r := sendReqPool.Get().(*SendReq)
 	r.eng, r.dst, r.tag, r.data = e, dst, tag, data
@@ -192,6 +213,9 @@ func (e *Engine) Isend(dst, tag int, data []byte) *SendReq {
 		r.msgID = e.msgID.Add(1)
 		if e.tel != nil {
 			r.rtsAt = time.Now()
+		}
+		if e.cfg.PeerDeadline > 0 {
+			r.postedAt = time.Now()
 		}
 		// Arm the acked-replay timer: the request stays owned by the
 		// engine (rdvSend, then await) until the receiver's DATA-ack,
@@ -286,6 +310,9 @@ func (e *Engine) Irecv(src, tag int, buf []byte) *RecvReq {
 	if e.cfg.Mode == Sequential {
 		e.biglock.Lock()
 		defer e.biglock.Unlock()
+	}
+	if src != AnySource && e.postFailsFast(src) {
+		return e.failRecv(src, tag, buf)
 	}
 	r := recvReqPool.Get().(*RecvReq)
 	r.eng, r.src, r.tag, r.buf = e, src, tag, buf

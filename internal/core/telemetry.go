@@ -67,6 +67,8 @@ func newEngineTelemetry(reg *telemetry.Registry, e *Engine, peers int) *engineTe
 	reg.RegisterCounter(p+".rdv_acked", "rendezvous sends completed by a receiver data-ack", e.nAcks.Load)
 	reg.RegisterCounter(p+".rail_readmits", "probation rails readmitted to the stripe set", e.nReadmits.Load)
 	reg.RegisterCounter(p+".stripe_retunes", "online EWMA stripe-weight adjustments applied", e.nRetunes.Load)
+	reg.RegisterCounter(p+".peer_dead", "peer ranks declared dead (deadline detection or cluster verdict)", e.nPeerDead.Load)
+	reg.RegisterCounter(p+".reqs_failed", "requests completed with ErrPeerDead", e.nReqFailed.Load)
 	t := &engineTelemetry{
 		dwell:     reg.Histogram(p+".progress_dwell_ns", "sampled progress-pass duration (ns, 1-in-64 passes)"),
 		park:      reg.Histogram(p+".park_ns", "time parked in the blocking-receive fallback (ns)"),
@@ -104,6 +106,9 @@ func (e *Engine) registerRails(reg *telemetry.Registry) {
 		h := &e.health[i]
 		reg.RegisterGauge(prefix+".health_state", "rail lifecycle state (0 active, 1 probation)", func() uint64 {
 			return uint64(h.state.Load())
+		})
+		reg.RegisterGauge(prefix+".rtt_ns", "EWMA health-probe round-trip time (ns, 0 until measured)", func() uint64 {
+			return uint64(h.rttNanos.Load())
 		})
 	}
 }

@@ -24,6 +24,10 @@ import (
 // whatever doc comments that package still owes).
 func GatedDirsFromRoot() []string {
 	return []string{
+		// internal/cluster is the control plane of the N-rank runtime
+		// (registry, liveness, rank-death verdicts) — operator-facing
+		// surface, documented like the transports it coordinates.
+		"internal/cluster",
 		"internal/fabric",
 		"internal/fabric/bufpool",
 		"internal/fabric/conformance",

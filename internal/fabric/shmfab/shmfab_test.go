@@ -125,6 +125,20 @@ func TestSelfHealingConformance(t *testing.T) {
 	})
 }
 
+// TestPeerDeathConformance runs the bounded-failure contract: one rank
+// of a three-rank shared-memory world dies mid-rendezvous, pending
+// requests toward it must complete with core.ErrPeerDead within the
+// PeerDeadline and the survivors keep communicating.
+func TestPeerDeathConformance(t *testing.T) {
+	conformance.RunPeerDeath(t, func(t *testing.T, nodes int) fabric.Fabric {
+		l, err := shmfab.NewLocal(nodes, t.TempDir())
+		if err != nil {
+			t.Fatalf("NewLocal(%d): %v", nodes, err)
+		}
+		return l
+	})
+}
+
 // TestTelemetrySnapshotConformance runs the observability case: a bonded
 // world with a metrics registry attached, the lossy rail's failure
 // visible in a registry snapshot under its documented name.

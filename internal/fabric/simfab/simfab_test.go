@@ -93,6 +93,26 @@ func TestSelfHealingConformance(t *testing.T) {
 	})
 }
 
+// TestPeerDeathConformance runs the bounded-failure contract: one rank
+// of a three-rank simulated world dies mid-rendezvous, pending requests
+// toward it must complete with core.ErrPeerDead within the PeerDeadline
+// and the survivors keep communicating.
+func TestPeerDeathConformance(t *testing.T) {
+	conformance.RunPeerDeath(t, func(t *testing.T, nodes int) fabric.Fabric {
+		return simfab.New(wire.NewFabric(nodes, wire.MYRI10G()))
+	})
+}
+
+// TestRTTRetuneConformance runs the latency-penalty regression: a bonded
+// world where railB delivers everything but 2ms late, invisible to
+// sender-side goodput windows, and the health-probe RTT must drive the
+// online retune to shed the slow rail's stripe share.
+func TestRTTRetuneConformance(t *testing.T) {
+	conformance.RunRTTRetune(t, func(t *testing.T, nodes int) fabric.Fabric {
+		return simfab.New(wire.NewFabric(nodes, wire.MYRI10G()))
+	})
+}
+
 // TestSelfHealSoakConformance runs the rail death-and-recovery soak:
 // mid-run kill and revival of the secondary simulated rail, probation,
 // probe-driven re-admission, and post-recovery traffic on the healed

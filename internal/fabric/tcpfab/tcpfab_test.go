@@ -142,6 +142,20 @@ func TestSelfHealingConformance(t *testing.T) {
 	})
 }
 
+// TestPeerDeathConformance runs the bounded-failure contract: one rank
+// of a three-rank loopback-TCP world dies mid-rendezvous, pending
+// requests toward it must complete with core.ErrPeerDead within the
+// PeerDeadline and the survivors keep communicating.
+func TestPeerDeathConformance(t *testing.T) {
+	conformance.RunPeerDeath(t, func(t *testing.T, nodes int) fabric.Fabric {
+		l, err := tcpfab.NewLocal(nodes)
+		if err != nil {
+			t.Fatalf("NewLocal(%d): %v", nodes, err)
+		}
+		return l
+	})
+}
+
 // TestSelfHealSoakConformance runs the rail death-and-recovery soak:
 // mid-run kill and revival of the secondary socket rail, probation,
 // probe-driven re-admission, and post-recovery traffic on the healed

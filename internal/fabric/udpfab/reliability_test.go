@@ -395,6 +395,79 @@ func TestAdaptiveRTOHighRTTNoSpuriousRetransmit(t *testing.T) {
 	}
 }
 
+// TestAIMDWindowLossBurstRecovery pins the congestion response of the
+// retransmit window: a loss burst (the peer goes silent) halves the
+// live window once per burst — repeat retransmits of the same fenced
+// frames cost nothing more — down to the 16-frame floor, and clean ack
+// rounds grow it back one frame per fully retired window, with the
+// trajectory visible in the window_size gauge.
+func TestAIMDWindowLossBurstRecovery(t *testing.T) {
+	peer := newSilentPeer(t)
+	e, err := New(Config{
+		Self: 0, Nodes: 2, Listen: "127.0.0.1:0",
+		Peers:  map[int]string{1: peer.addr()},
+		Window: 64, RTO: 30 * time.Millisecond, RTOMax: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	get := counters(e)
+	if w := e.PeerWindow(1); w != 64 {
+		t.Fatalf("fresh peer window = %d, want the configured 64", w)
+	}
+	if g := get("window_size"); g != 64 {
+		t.Fatalf("window_size gauge = %d before any loss, want 64", g)
+	}
+
+	// Burst 1: frame 1 goes unacked; its first retransmit is fresh loss
+	// evidence and halves the window exactly once no matter how many
+	// times the frame is resent afterwards.
+	sendSmall(t, e, 1, 1)
+	b, _ := peer.read(time.Second)
+	if b == nil {
+		t.Fatal("endpoint transmitted nothing")
+	}
+	session := binary.LittleEndian.Uint64(b[8:16])
+	waitFor(t, 2*time.Second, func() bool { return e.PeerWindow(1) == 32 })
+	base := get("retransmits")
+	waitFor(t, 2*time.Second, func() bool { return get("retransmits") > base+1 })
+	if w := e.PeerWindow(1); w != 32 {
+		t.Fatalf("repeat retransmits of one burst re-halved the window: %d, want 32", w)
+	}
+
+	// Bursts 2 and 3: each frame first sent after a cut that then goes
+	// unacked is a new loss event — 32 halves to 16, and the floor holds
+	// from there.
+	sendSmall(t, e, 1, 2)
+	waitFor(t, 2*time.Second, func() bool { return e.PeerWindow(1) == 16 })
+	sendSmall(t, e, 1, 3)
+	base = get("retransmits")
+	waitFor(t, 2*time.Second, func() bool { return get("retransmits") > base+2 })
+	if w := e.PeerWindow(1); w != 16 {
+		t.Fatalf("window fell through the floor: %d, want 16", w)
+	}
+
+	// Recovery: the peer acks the burst, then a full clean window of
+	// retired frames earns one frame of additive growth.
+	ack := mkAck(t, 1, 7777, session, 3, 0)
+	if _, err := peer.conn.WriteToUDP(ack, e.Addr().(*net.UDPAddr)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return flightSize(e, 1) == 0 })
+	for s := uint64(4); s < 20; s++ {
+		sendSmall(t, e, 1, s)
+	}
+	ack = mkAck(t, 1, 7777, session, 19, 0)
+	if _, err := peer.conn.WriteToUDP(ack, e.Addr().(*net.UDPAddr)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return e.PeerWindow(1) == 17 })
+	if g := get("window_size"); g != 17 {
+		t.Fatalf("window_size gauge = %d after regrowth, want 17", g)
+	}
+}
+
 // waitFor polls cond at the tick cadence until it holds or the deadline
 // fails the test.
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {

@@ -47,8 +47,17 @@ import (
 
 const (
 	// defaultWindow bounds how many datagrams per peer may be in flight
-	// (sent, unacknowledged) at once; sends beyond it queue.
+	// (sent, unacknowledged) at once; sends beyond it queue. The live
+	// bound is per-peer AIMD below this ceiling: halved on fresh loss
+	// evidence, grown back one frame per cleanly acked window.
 	defaultWindow = 512
+
+	// cwndFloorFrames floors the AIMD decrease: even under persistent
+	// loss the window keeps this many probe frames in flight, so an ack
+	// from a recovering peer always has something to acknowledge. A
+	// configured window smaller than the floor is its own floor (tiny
+	// test windows stay exact).
+	cwndFloorFrames = 16
 
 	// defaultRTO is the first retransmit timeout of a fresh datagram
 	// toward a peer with no round-trip samples yet; defaultRTOMax caps
@@ -146,6 +155,17 @@ type peerState struct {
 	txBase  uint64
 	flight  map[uint64]*outFrame
 	pending []*outFrame
+
+	// AIMD congestion control under the configured window: cwnd is the
+	// live in-flight bound (starts at and never exceeds Endpoint.window),
+	// cutSeq fences loss events — only a retransmitted frame first sent
+	// after the last cut halves the window again, so one loss burst costs
+	// one halving no matter how many frames it hit — and acked counts
+	// cleanly retired frames toward the next additive +1 (one full
+	// window acked without a cut grows cwnd by one frame).
+	cwnd   int
+	cutSeq uint64
+	acked  int
 
 	// Round-trip estimation (Jacobson): srtt/rttvar drive the adaptive
 	// retransmit timeout of fresh frames (rtoLocked); srtt == 0 means no
@@ -452,7 +472,7 @@ func (e *Endpoint) Send(p *wire.Packet) error {
 	f.seq = ps.nextSeq
 	ps.nextSeq++
 	f.backoff = e.rtoLocked(ps)
-	if len(ps.flight) < e.window {
+	if len(ps.flight) < ps.cwnd {
 		ps.flight[f.seq] = f
 		e.transmitLocked(ps, f)
 		e.armRTTSampleLocked(ps, f)
@@ -472,6 +492,7 @@ func (e *Endpoint) peer(rank int) *peerState {
 			rank:    rank,
 			nextSeq: 1,
 			txBase:  1,
+			cwnd:    e.window,
 			flight:  make(map[uint64]*outFrame),
 			rxAhead: make(map[uint64]struct{}),
 		}
@@ -733,6 +754,29 @@ func (e *Endpoint) PeerRTO(rank int) time.Duration {
 	return e.rtoLocked(e.peers[rank])
 }
 
+// cwndFloor is the AIMD decrease floor: min(cwndFloorFrames, the
+// configured window), so a deliberately tiny window is never inflated
+// by the floor.
+func (e *Endpoint) cwndFloor() int {
+	if e.window < cwndFloorFrames {
+		return e.window
+	}
+	return cwndFloorFrames
+}
+
+// PeerWindow reports the live AIMD send window toward rank — the
+// configured bound until loss cut it, the regrown value as clean acks
+// earn frames back. An observability hook and the white-box surface of
+// the loss-burst recovery tests.
+func (e *Endpoint) PeerWindow(rank int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rank < 0 || rank >= e.nodes || e.peers[rank] == nil {
+		return e.window
+	}
+	return e.peers[rank].cwnd
+}
+
 // applyAckLocked retires acknowledged frames from ps's window and
 // promotes queued sends into the space. Caller holds e.mu and has
 // validated cum against nextSeq.
@@ -747,10 +791,12 @@ func (e *Endpoint) applyAckLocked(ps *peerState, cum, sack uint64) {
 			ps.rttSeq = 0
 		}
 	}
+	retired := 0
 	for s := ps.txBase; s <= cum; s++ {
 		if f := ps.flight[s]; f != nil {
 			delete(ps.flight, s)
 			bufpool.Put(f.buf)
+			retired++
 		}
 	}
 	if cum+1 > ps.txBase {
@@ -763,9 +809,19 @@ func (e *Endpoint) applyAckLocked(ps *peerState, cum, sack uint64) {
 		if f := ps.flight[cum+1+i]; f != nil {
 			delete(ps.flight, cum+1+i)
 			bufpool.Put(f.buf)
+			retired++
 		}
 	}
-	for len(ps.flight) < e.window && len(ps.pending) > 0 {
+	// Additive increase: a full window retired without fresh loss (the
+	// cut resets the count) earns one frame back, up to the configured
+	// ceiling.
+	if ps.acked += retired; ps.acked >= ps.cwnd {
+		if ps.cwnd < e.window {
+			ps.cwnd++
+		}
+		ps.acked = 0
+	}
+	for len(ps.flight) < ps.cwnd && len(ps.pending) > 0 {
 		f := ps.pending[0]
 		ps.pending[0] = nil
 		ps.pending = ps.pending[1:]
@@ -804,6 +860,17 @@ func (e *Endpoint) tick() {
 		}
 		for _, f := range ps.flight {
 			if now.After(f.nextResend) {
+				if f.seq >= ps.cutSeq {
+					// Fresh loss evidence — the frame was first sent after
+					// the last cut. Multiplicative decrease, one halving
+					// per loss burst: everything already in flight is
+					// fenced behind the new cutSeq.
+					ps.cutSeq = ps.nextSeq
+					ps.acked = 0
+					if ps.cwnd /= 2; ps.cwnd < e.cwndFloor() {
+						ps.cwnd = e.cwndFloor()
+					}
+				}
 				f.backoff *= 2
 				if f.backoff > e.rtoMax {
 					f.backoff = e.rtoMax
@@ -834,6 +901,17 @@ func (e *Endpoint) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.RegisterCounter(prefix+".rejected_datagrams", "datagrams rejected by header validation", e.rejected.Load)
 	reg.RegisterCounter(prefix+".window_stalls", "sends queued behind a full retransmit window", e.windowStalls.Load)
 	reg.RegisterCounter(prefix+".bad_acks", "acks ignored as stale or acknowledging unsent sequences", e.badAcks.Load)
+	reg.RegisterGauge(prefix+".window_size", "live AIMD send window (frames, smallest across contacted peers)", func() uint64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		w := e.window
+		for _, ps := range e.peers {
+			if ps != nil && ps.cwnd < w {
+				w = ps.cwnd
+			}
+		}
+		return uint64(w)
+	})
 }
 
 func (e *Endpoint) closed() bool { return e.state.Load() != 0 }

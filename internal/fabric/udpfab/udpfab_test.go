@@ -84,6 +84,14 @@ func TestSelfHealingConformance(t *testing.T) {
 	conformance.RunSelfHealing(t, openLocal)
 }
 
+// TestPeerDeathConformance runs the bounded-failure contract: one rank
+// of a three-rank UDP world dies mid-rendezvous, pending requests
+// toward it must complete with core.ErrPeerDead within the PeerDeadline
+// and the survivors keep communicating.
+func TestPeerDeathConformance(t *testing.T) {
+	conformance.RunPeerDeath(t, openLocal)
+}
+
 // TestSelfHealSoakConformance runs the rail death-and-recovery soak:
 // mid-run kill and revival of the secondary UDP rail, probation,
 // probe-driven re-admission, and post-recovery traffic on the healed

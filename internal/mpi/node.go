@@ -96,6 +96,29 @@ func (p *Proc) Recv(src, tag int, buf []byte) (int, int) {
 	return n, from
 }
 
+// SendErr is Send with the failure surfaced: it returns core.ErrPeerDead
+// when the destination rank was declared dead (the post was refused fast,
+// or the rank died while the send was pending), nil otherwise. The
+// request still recycles either way.
+func (p *Proc) SendErr(dst, tag int, data []byte) error {
+	r := p.Isend(dst, tag, data)
+	p.WaitSend(r)
+	err := r.Err()
+	r.Release()
+	return err
+}
+
+// RecvErr is Recv with the failure surfaced: byte count and sender are
+// valid only when the error is nil; core.ErrPeerDead reports that the
+// named source rank died before (or while) the message was owed.
+func (p *Proc) RecvErr(src, tag int, buf []byte) (int, int, error) {
+	r := p.Irecv(src, tag, buf)
+	p.WaitRecv(r)
+	n, from, err := r.Len(), r.From(), r.Err()
+	r.Release()
+	return n, from, err
+}
+
 // Collective tags live in a reserved negative range so they never collide
 // with application traffic.
 const (
@@ -114,6 +137,13 @@ func collTag(base int, gen uint64) int {
 // release; rank 0 gathers then broadcasts. Built entirely on the engine's
 // eager path, so it also exercises unexpected-message handling under
 // contention.
+//
+// Rank 0 gathers with one receive per rank rather than a count of
+// AnySource matches: a per-rank receive naming a dead peer completes with
+// core.ErrPeerDead (and one posted toward a rank that dies mid-wait is
+// failed by the death sweep), so the barrier closes over the survivor set
+// instead of waiting forever for a contribution that cannot come. Sends
+// toward dead ranks fail fast; their requests complete like any other.
 func (p *Proc) Barrier() {
 	gen := p.Node.barrierGen.Add(1)
 	tag := collTag(tagBarrier, gen)
@@ -122,9 +152,14 @@ func (p *Proc) Barrier() {
 		return
 	}
 	if p.Rank() == 0 {
+		bufs := make([][1]byte, size)
+		reqs := make([]*core.RecvReq, 0, size-1)
 		for i := 1; i < size; i++ {
-			var b [1]byte
-			p.Recv(core.AnySource, tag, b[:])
+			reqs = append(reqs, p.Irecv(i, tag, bufs[i][:]))
+		}
+		for _, r := range reqs {
+			p.WaitRecv(r)
+			r.Release()
 		}
 		for i := 1; i < size; i++ {
 			p.Send(i, tag, []byte{1})
@@ -196,11 +231,21 @@ func (p *Proc) allReduce8(mine []byte, add func(acc, v []byte) []byte) []byte {
 		return mine
 	}
 	if p.Rank() == 0 {
-		acc := mine
+		// Per-rank receives, like Barrier: a dead rank's contribution
+		// error-completes and is left out of the fold, so the reduction
+		// closes over the survivor set.
+		bufs := make([][8]byte, size)
+		reqs := make([]*core.RecvReq, 0, size-1)
 		for i := 1; i < size; i++ {
-			var b [8]byte
-			p.Recv(core.AnySource, tag, b[:])
-			acc = add(acc, b[:])
+			reqs = append(reqs, p.Irecv(i, tag, bufs[i][:]))
+		}
+		acc := mine
+		for i, r := range reqs {
+			p.WaitRecv(r)
+			if r.Err() == nil {
+				acc = add(acc, bufs[i+1][:])
+			}
+			r.Release()
 		}
 		for i := 1; i < size; i++ {
 			p.Send(i, tag, acc)

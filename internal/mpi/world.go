@@ -81,6 +81,13 @@ type Config struct {
 	WatcherCheck time.Duration
 	// TimerPeriod drives the scheduler timer trigger (0 disables).
 	TimerPeriod time.Duration
+	// PeerDeadline mirrors core.Config.PeerDeadline: how long the engine
+	// keeps replaying toward a silent peer before declaring the rank dead
+	// and completing every pending request to it with core.ErrPeerDead
+	// (docs/CLUSTER.md). Zero disables engine-local death detection;
+	// cluster-launched worlds (JoinCluster) still get registry-driven
+	// verdicts through MarkPeerDead.
+	PeerDeadline time.Duration
 	// TraceCapacity, if positive, attaches an event recorder per node.
 	TraceCapacity int
 	// Metrics, if non-nil, registers every local node's engine, rails,
@@ -288,6 +295,7 @@ func (w *World) startNode(rank int, rails []*nic.Driver) *Node {
 		MultirailMin:      cfg.MultirailMin,
 		AutoStripeWeights: cfg.AutoStripeWeights,
 		WaitSpin:          waitSpin,
+		PeerDeadline:      cfg.PeerDeadline,
 		Trace:             rec,
 		Metrics:           cfg.Metrics,
 		MetricsPeers:      cfg.Nodes,

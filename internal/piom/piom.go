@@ -46,11 +46,18 @@ type Source interface {
 
 // Request is one asynchronous communication request tracked by the event
 // server. The engine embeds it into its send/receive state; completion is
-// signaled exactly once by whichever core detects the event.
+// signaled exactly once by whichever core detects the event. A request
+// may complete successfully (Complete) or with an error (CompleteErr) —
+// the failure-bounding half of the cluster runtime's contract: a request
+// whose peer died still completes, it just carries the reason.
 type Request struct {
 	done sync2.Flag
 	// onComplete, if set, runs exactly once right before waiters wake.
 	onComplete func()
+	// err is the request's failure, written before done.Set (whose
+	// release/acquire ordering publishes it) and read only after the
+	// completion flag is observed set.
+	err error
 }
 
 // NewRequest returns a fresh incomplete request.
@@ -71,6 +78,28 @@ func (r *Request) Complete() {
 		f()
 	}
 	r.done.Set()
+}
+
+// CompleteErr marks the request done with a failure and wakes waiters.
+// Waiters observe completion exactly as for Complete; Err reports the
+// failure afterwards. Idempotent — the first completion (of either kind)
+// wins.
+func (r *Request) CompleteErr(err error) {
+	if r.done.IsSet() {
+		return
+	}
+	r.err = err
+	r.Complete()
+}
+
+// Err returns the failure the request completed with, or nil for a
+// successful (or still incomplete) request. Valid once Completed reports
+// true; the completion flag's ordering makes the read safe cross-core.
+func (r *Request) Err() error {
+	if !r.done.IsSet() {
+		return nil
+	}
+	return r.err
 }
 
 // Completed reports whether the request has finished.
